@@ -1,0 +1,40 @@
+# Convenience targets; everything is plain `go` underneath (stdlib only).
+
+GO ?= go
+
+.PHONY: all build vet test race bench validate micro macro examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./... -count=1 -timeout 900s
+
+race:
+	$(GO) test -race ./... -count=1 -timeout 1800s
+
+bench:
+	$(GO) test -bench=. -benchmem ./... -timeout 1800s
+
+validate:
+	$(GO) run ./cmd/validate
+
+micro:
+	$(GO) run ./cmd/microbench -exp all -threads 8 -scale 10 -duration 400ms
+
+macro:
+	$(GO) run ./cmd/macrobench -w 2 -workers 4 -scale 20 -duration 1s
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/inmemdb
+	$(GO) run ./examples/analytics
+	$(GO) run ./examples/validation
+
+clean:
+	$(GO) clean -testcache

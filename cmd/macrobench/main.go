@@ -1,0 +1,68 @@
+// Command macrobench reproduces the paper's TPC-C macrobenchmark
+// (Figure 9): the DBx-style database's indexes are replaced by each data
+// structure × technique pair and the standard transaction mix is driven by
+// all workers; the table reports committed transactions per microsecond.
+//
+// The paper runs 48 threads over 48 warehouses at full spec scale; -w,
+// -workers and -scale shrink the run. As in the paper, the linked lists are
+// omitted (linear-time indexes would take hours just to populate) and the
+// Snap-collector is omitted from the table (the paper reports it was 1000x
+// slower since every range query snapshots an entire index).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ebrrq"
+	"ebrrq/internal/bench"
+	"ebrrq/internal/tpcc"
+)
+
+func main() {
+	warehouses := flag.Int("w", 2, "warehouses (paper: 48)")
+	workers := flag.Int("workers", 4, "worker threads (paper: 48)")
+	scale := flag.Int("scale", 20, "population divisor (1 = full spec: 3000 customers/district, 100k items)")
+	duration := flag.Duration("duration", time.Second, "measured run time")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	structures := []ebrrq.DataStructure{ebrrq.ABTree, ebrrq.LFBST, ebrrq.Citrus, ebrrq.SkipList}
+	techniques := []ebrrq.Technique{ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree, ebrrq.RLU, ebrrq.Unsafe}
+
+	fmt.Printf("# TPC-C (Figure 9): %d warehouses, %d workers, scale 1/%d, %v per cell\n",
+		*warehouses, *workers, *scale, *duration)
+	fmt.Printf("# committed transactions per microsecond\n\n")
+
+	header := bench.Row{Label: "structure"}
+	for _, t := range techniques {
+		header.Cells = append(header.Cells, t.String())
+	}
+	var rows []bench.Row
+	for _, ds := range structures {
+		row := bench.Row{Label: ds.String()}
+		for _, tech := range techniques {
+			if !ebrrq.Supported(ds, tech) {
+				row.Cells = append(row.Cells, "-")
+				continue
+			}
+			res, err := tpcc.RunBench(tpcc.Config{
+				Warehouses: *warehouses,
+				Scale:      *scale,
+				DS:         ds,
+				Tech:       tech,
+				MaxThreads: *workers + 2,
+				Seed:       *seed,
+			}, *workers, *duration)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s/%s: %v\n", ds, tech, err)
+				os.Exit(1)
+			}
+			row.Cells = append(row.Cells, fmt.Sprintf("%.4f", res.TxnsPerUs()))
+		}
+		rows = append(rows, row)
+	}
+	fmt.Print(bench.Table(header, rows))
+}

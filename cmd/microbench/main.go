@@ -1,0 +1,81 @@
+// Command microbench reproduces the paper's microbenchmark experiments
+// (Figures 5-8 and the limbo-list statistics of Experiment 1b) over every
+// data structure × range-query technique pair.
+//
+// Usage:
+//
+//	microbench -exp all -threads 8 -scale 10 -duration 500ms
+//
+// -exp selects 1, 1b, 2, 3, 4, or all. -scale divides the paper's key
+// ranges (ABTree 10^6; BSTs and skip list 10^5; lists 10^4) to fit small
+// machines; -threads bounds the worker sweep (the paper used 48 hardware
+// threads).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ebrrq/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: 1, 1b, 2, 3, 4, latency, all")
+	threads := flag.Int("threads", 8, "maximum worker threads (paper: 48)")
+	scale := flag.Int64("scale", 10, "key-range divisor (1 = paper sizes)")
+	duration := flag.Duration("duration", 500*time.Millisecond, "time per trial (paper: 3s)")
+	trials := flag.Int("trials", 1, "trials per data point (paper: 5)")
+	seed := flag.Int64("seed", 1, "random seed")
+	csvPath := flag.String("csv", "", "also write machine-readable rows to this file")
+	flag.Parse()
+
+	cfg := bench.ExpCfg{
+		Threads:  *threads,
+		Scale:    *scale,
+		Duration: *duration,
+		Trials:   *trials,
+		Seed:     *seed,
+		Out:      os.Stdout,
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		fmt.Fprintln(f, "experiment,structure,technique,param,metric,value")
+		cfg.CSV = f
+	}
+	switch *exp {
+	case "1":
+		cfg.Exp1()
+	case "1b":
+		cfg.Exp1b()
+	case "2":
+		cfg.Exp2()
+	case "3":
+		cfg.Exp3()
+	case "4":
+		cfg.Exp4()
+	case "latency":
+		cfg.ExpLatency()
+	case "all":
+		cfg.Exp1()
+		fmt.Println()
+		cfg.Exp1b()
+		fmt.Println()
+		cfg.Exp2()
+		fmt.Println()
+		cfg.Exp3()
+		fmt.Println()
+		cfg.Exp4()
+		fmt.Println()
+		cfg.ExpLatency()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,368 @@
+// Package ebrrq is a Go implementation of "Harnessing Epoch-based
+// Reclamation for Efficient Range Queries" (Arbel-Raviv and Brown,
+// PPoPP 2018): a general technique for adding linearizable range queries to
+// concurrent ordered sets by exploiting the limbo lists of epoch-based
+// memory reclamation.
+//
+// The package bundles six concurrent set implementations (two linked lists,
+// a skip list, two binary search trees and a relaxed (a,b)-tree), three RQ
+// provider algorithms from the paper (lock-based, emulated-HTM, lock-free),
+// and three baselines (a non-linearizable traversal, the Petrank-Timnat
+// Snap-collector, and Read-Log-Update). Pick a structure and a technique:
+//
+//	set, err := ebrrq.New(ebrrq.SkipList, ebrrq.LockFree, 8)
+//	th := set.NewThread()      // one per goroutine
+//	th.Insert(10, 100)
+//	kvs := th.RangeQuery(0, 50) // linearizable
+//
+// Keys are int64 in [ebrrq.MinKey, ebrrq.MaxKey]; values are int64.
+package ebrrq
+
+import (
+	"fmt"
+	"math"
+
+	"ebrrq/internal/ds/abtree"
+	"ebrrq/internal/ds/citrus"
+	"ebrrq/internal/ds/lazylist"
+	"ebrrq/internal/ds/lfbst"
+	"ebrrq/internal/ds/lflist"
+	"ebrrq/internal/ds/rlucitrus"
+	"ebrrq/internal/ds/rlulist"
+	"ebrrq/internal/ds/skiplist"
+	"ebrrq/internal/epoch"
+	"ebrrq/internal/rqprov"
+)
+
+// KV is a key-value pair returned by range queries.
+type KV = epoch.KV
+
+// MinKey and MaxKey bound the usable key space (values outside are reserved
+// for sentinels).
+const (
+	MinKey = int64(math.MinInt64 + 1)
+	MaxKey = int64(math.MaxInt64 - 3)
+)
+
+// DataStructure selects the underlying concurrent set (paper Figure 4).
+type DataStructure int
+
+const (
+	// LFList is the Harris-Michael lock-free linked list.
+	LFList DataStructure = iota
+	// LazyList is the lazy list (per-node locks, logical deletion).
+	LazyList
+	// SkipList is the optimistic lazy skip list.
+	SkipList
+	// LFBST is the Natarajan-Mittal lock-free external BST.
+	LFBST
+	// Citrus is the internal BST with fine-grained locks and RCU.
+	Citrus
+	// ABTree is the leaf-oriented relaxed (a,b)-tree with group updates.
+	ABTree
+	// BSlack is the relaxed B-slack tree (§6 of the paper): an (a,b)-tree
+	// whose underflow rebalancing repacks entire sibling groups in one
+	// group update, bounding slack for space efficiency.
+	BSlack
+)
+
+// String returns the structure's display name from the paper.
+func (d DataStructure) String() string {
+	switch d {
+	case LFList:
+		return "LFList"
+	case LazyList:
+		return "LazyList"
+	case SkipList:
+		return "SkipList"
+	case LFBST:
+		return "LFBST"
+	case Citrus:
+		return "Citrus"
+	case ABTree:
+		return "ABTree"
+	case BSlack:
+		return "BSlack"
+	}
+	return "?"
+}
+
+// Technique selects the range-query algorithm.
+type Technique int
+
+const (
+	// Unsafe is the non-linearizable single-traversal baseline.
+	Unsafe Technique = iota
+	// Lock is the paper's lock-based RQ provider (§4.3).
+	Lock
+	// HTM is the paper's HTM-based provider (§4.4), emulated in software.
+	HTM
+	// LockFree is the paper's DCSS-based lock-free provider (§4.5).
+	LockFree
+	// Snap is the Petrank-Timnat Snap-collector baseline (lists only).
+	Snap
+	// RLU is the Read-Log-Update baseline (LazyList and Citrus only).
+	RLU
+)
+
+// String returns the technique's display name from the paper's figures.
+func (t Technique) String() string {
+	switch t {
+	case Unsafe:
+		return "Unsafe"
+	case Lock:
+		return "Lock"
+	case HTM:
+		return "HTM"
+	case LockFree:
+		return "Lock-free"
+	case Snap:
+		return "Snap-collector"
+	case RLU:
+		return "RLU"
+	}
+	return "?"
+}
+
+// Supported reports whether the (structure, technique) pair exists — the
+// feasibility matrix of the paper's artifact (Table 1): the Snap-collector
+// needs logical deletion (lists only); RLU requires a ground-up redesign
+// and is provided for LazyList and Citrus.
+func Supported(d DataStructure, t Technique) bool {
+	switch t {
+	case Unsafe, Lock, HTM, LockFree:
+		return d >= LFList && d <= BSlack
+	case Snap:
+		return d == LFList || d == LazyList || d == SkipList
+	case RLU:
+		return d == LazyList || d == Citrus
+	}
+	return false
+}
+
+// Set is a concurrent ordered map[int64]int64 with range queries.
+type Set struct {
+	ds   DataStructure
+	tech Technique
+	prov *rqprov.Provider // nil for RLU
+	impl setImpl
+}
+
+// Thread is a per-goroutine handle to a Set. Handles must not be shared
+// between goroutines.
+type Thread struct {
+	set  *Set
+	impl threadImpl
+	pt   *rqprov.Thread // nil for RLU
+}
+
+type setImpl interface {
+	newThread(pt *rqprov.Thread) threadImpl
+}
+
+type threadImpl interface {
+	insert(key, value int64) bool
+	remove(key int64) bool
+	contains(key int64) (int64, bool)
+	rangeQuery(low, high int64) []KV
+}
+
+// Options tunes construction.
+type Options struct {
+	// Recorder, if non-nil, receives every timestamped update (validation
+	// harness support). Ignored by Snap and RLU.
+	Recorder rqprov.Recorder
+}
+
+// New creates a set using the given structure, technique and maximum thread
+// count.
+func New(d DataStructure, t Technique, maxThreads int) (*Set, error) {
+	return NewWithOptions(d, t, maxThreads, Options{})
+}
+
+// NewWithOptions is New with tuning options.
+func NewWithOptions(d DataStructure, t Technique, maxThreads int, opt Options) (*Set, error) {
+	if !Supported(d, t) {
+		return nil, fmt.Errorf("ebrrq: %v does not support the %v technique", d, t)
+	}
+	if maxThreads <= 0 {
+		return nil, fmt.Errorf("ebrrq: maxThreads must be positive")
+	}
+	s := &Set{ds: d, tech: t}
+	if t == RLU {
+		switch d {
+		case LazyList:
+			s.impl = rluListImpl{l: rlulist.New(maxThreads)}
+		case Citrus:
+			s.impl = rluCitrusImpl{t: rlucitrus.New(maxThreads)}
+		}
+		return s, nil
+	}
+	mode := rqprov.ModeUnsafe
+	switch t {
+	case Lock:
+		mode = rqprov.ModeLock
+	case HTM:
+		mode = rqprov.ModeHTM
+	case LockFree:
+		mode = rqprov.ModeLockFree
+	}
+	// Limbo lists are dtime-sorted unless helpers may physically unlink
+	// other threads' victims (Harris list); see the package docs of each
+	// structure.
+	limboSorted := d != LFList
+	maxAnnounce := 0 // provider default
+	if d == BSlack {
+		// One B-slack compression deletes a whole sibling group.
+		maxAnnounce = 2*maxThreads + 8
+		if min := 2*16 + 8; maxAnnounce < min {
+			maxAnnounce = min
+		}
+	}
+	s.prov = rqprov.New(rqprov.Config{
+		MaxThreads:  maxThreads,
+		Mode:        mode,
+		LimboSorted: limboSorted,
+		MaxAnnounce: maxAnnounce,
+		Recorder:    opt.Recorder,
+	})
+	switch d {
+	case LFList:
+		if t == Snap {
+			s.impl = provImpl{s: lflist.NewSnap(s.prov)}
+		} else {
+			s.impl = provImpl{s: lflist.New(s.prov)}
+		}
+	case LazyList:
+		if t == Snap {
+			s.impl = provImpl{s: lazylist.NewSnap(s.prov)}
+		} else {
+			s.impl = provImpl{s: lazylist.New(s.prov)}
+		}
+	case SkipList:
+		if t == Snap {
+			s.impl = provImpl{s: skiplist.NewSnap(s.prov)}
+		} else {
+			s.impl = provImpl{s: skiplist.New(s.prov)}
+		}
+	case LFBST:
+		s.impl = provImpl{s: lfbst.New(s.prov)}
+	case Citrus:
+		s.impl = provImpl{s: citrus.New(s.prov)}
+	case ABTree:
+		s.impl = provImpl{s: abtree.New(s.prov)}
+	case BSlack:
+		s.impl = provImpl{s: abtree.NewBSlack(s.prov)}
+	}
+	return s, nil
+}
+
+// DataStructure returns the set's structure.
+func (s *Set) DataStructure() DataStructure { return s.ds }
+
+// Technique returns the set's RQ technique.
+func (s *Set) Technique() Technique { return s.tech }
+
+// Provider exposes the underlying RQ provider (nil for RLU sets) for stats
+// such as the global timestamp or emulated-HTM abort counts.
+func (s *Set) Provider() *rqprov.Provider { return s.prov }
+
+// NewThread registers a goroutine with the set.
+func (s *Set) NewThread() *Thread {
+	var pt *rqprov.Thread
+	if s.prov != nil {
+		pt = s.prov.Register()
+	}
+	return &Thread{set: s, impl: s.impl.newThread(pt), pt: pt}
+}
+
+// Insert adds key with the given value; it returns false (without
+// overwriting) if key is already present.
+func (t *Thread) Insert(key, value int64) bool { return t.impl.insert(key, value) }
+
+// Delete removes key, reporting whether it was present.
+func (t *Thread) Delete(key int64) bool { return t.impl.remove(key) }
+
+// Contains returns the value stored under key.
+func (t *Thread) Contains(key int64) (int64, bool) { return t.impl.contains(key) }
+
+// RangeQuery returns all pairs with low <= key <= high, sorted by key. With
+// every technique except Unsafe the result is linearizable. The returned
+// slice is valid until this thread's next range query.
+func (t *Thread) RangeQuery(low, high int64) []KV { return t.impl.rangeQuery(low, high) }
+
+// LastRQTimestamp returns the linearization timestamp of this thread's most
+// recent range query (provider-based techniques only; 0 otherwise).
+func (t *Thread) LastRQTimestamp() uint64 {
+	if t.pt == nil {
+		return 0
+	}
+	return t.pt.LastRQTS()
+}
+
+// LimboVisitedLast returns how many limbo-list nodes this thread's most
+// recent range query visited (provider-based techniques only).
+func (t *Thread) LimboVisitedLast() uint64 {
+	if t.pt == nil {
+		return 0
+	}
+	return t.pt.LimboVisitedLast()
+}
+
+// ProviderThread exposes the underlying provider thread handle (nil for
+// RLU) for advanced uses such as the validation harness.
+func (t *Thread) ProviderThread() *rqprov.Thread { return t.pt }
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+// provSet is the method set shared by all provider-based structures.
+type provSet interface {
+	Insert(t *rqprov.Thread, key, value int64) bool
+	Delete(t *rqprov.Thread, key int64) bool
+	Contains(t *rqprov.Thread, key int64) (int64, bool)
+	RangeQuery(t *rqprov.Thread, low, high int64) []KV
+}
+
+type provImpl struct{ s provSet }
+
+func (p provImpl) newThread(pt *rqprov.Thread) threadImpl {
+	return &provThread{s: p.s, t: pt}
+}
+
+type provThread struct {
+	s provSet
+	t *rqprov.Thread
+}
+
+func (p *provThread) insert(key, value int64) bool          { return p.s.Insert(p.t, key, value) }
+func (p *provThread) remove(key int64) bool                 { return p.s.Delete(p.t, key) }
+func (p *provThread) contains(key int64) (int64, bool)      { return p.s.Contains(p.t, key) }
+func (p *provThread) rangeQuery(low, high int64) []KV       { return p.s.RangeQuery(p.t, low, high) }
+
+type rluListImpl struct{ l *rlulist.List }
+
+func (r rluListImpl) newThread(*rqprov.Thread) threadImpl {
+	return rluListThread{t: r.l.Register()}
+}
+
+type rluListThread struct{ t *rlulist.Thread }
+
+func (r rluListThread) insert(key, value int64) bool     { return r.t.Insert(key, value) }
+func (r rluListThread) remove(key int64) bool            { return r.t.Delete(key) }
+func (r rluListThread) contains(key int64) (int64, bool) { return r.t.Contains(key) }
+func (r rluListThread) rangeQuery(low, high int64) []KV  { return r.t.RangeQuery(low, high) }
+
+type rluCitrusImpl struct{ t *rlucitrus.Tree }
+
+func (r rluCitrusImpl) newThread(*rqprov.Thread) threadImpl {
+	return rluCitrusThread{t: r.t.Register()}
+}
+
+type rluCitrusThread struct{ t *rlucitrus.Thread }
+
+func (r rluCitrusThread) insert(key, value int64) bool     { return r.t.Insert(key, value) }
+func (r rluCitrusThread) remove(key int64) bool            { return r.t.Delete(key) }
+func (r rluCitrusThread) contains(key int64) (int64, bool) { return r.t.Contains(key) }
+func (r rluCitrusThread) rangeQuery(low, high int64) []KV  { return r.t.RangeQuery(low, high) }

@@ -1,0 +1,94 @@
+package ebrrq_test
+
+import (
+	"testing"
+
+	"ebrrq"
+)
+
+// FuzzSetAgainstModel decodes a byte string into an operation sequence and
+// checks every structure × technique pair against a reference map. Run
+// with `go test -fuzz FuzzSetAgainstModel` to explore; without -fuzz the
+// seed corpus doubles as a regression test.
+func FuzzSetAgainstModel(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{0x11, 0x92, 0x11, 0x25, 0x8f, 0x11})
+	f.Add([]byte("insert-delete-range-fuzzing"))
+	f.Add([]byte{255, 254, 253, 0, 0, 0, 128, 64, 32, 16, 8, 4, 2, 1})
+
+	type pair struct {
+		d ebrrq.DataStructure
+		t ebrrq.Technique
+	}
+	var ps []pair
+	for _, d := range []ebrrq.DataStructure{ebrrq.LFList, ebrrq.LazyList,
+		ebrrq.SkipList, ebrrq.LFBST, ebrrq.Citrus, ebrrq.ABTree} {
+		for _, t := range []ebrrq.Technique{ebrrq.Lock, ebrrq.LockFree, ebrrq.Snap, ebrrq.RLU} {
+			if ebrrq.Supported(d, t) {
+				ps = append(ps, pair{d, t})
+			}
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		for _, p := range ps {
+			s, err := ebrrq.New(p.d, p.t, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			th := s.NewThread()
+			model := map[int64]int64{}
+			for i := 0; i+1 < len(data); i += 2 {
+				op := data[i] % 4
+				k := int64(data[i+1] % 32)
+				switch op {
+				case 0:
+					v := int64(data[i]) * 7
+					_, have := model[k]
+					got := th.Insert(k, v)
+					if got == have {
+						t.Fatalf("%v/%v op %d: Insert(%d)=%v have=%v", p.d, p.t, i, k, got, have)
+					}
+					if !have {
+						model[k] = v
+					}
+				case 1:
+					_, have := model[k]
+					if got := th.Delete(k); got != have {
+						t.Fatalf("%v/%v op %d: Delete(%d)=%v have=%v", p.d, p.t, i, k, got, have)
+					}
+					delete(model, k)
+				case 2:
+					wantV, want := model[k]
+					gotV, got := th.Contains(k)
+					if got != want || (want && gotV != wantV) {
+						t.Fatalf("%v/%v op %d: Contains(%d)", p.d, p.t, i, k)
+					}
+				default:
+					hi := k + int64(data[i]%16)
+					res := th.RangeQuery(k, hi)
+					want := 0
+					for mk := range model {
+						if k <= mk && mk <= hi {
+							want++
+						}
+					}
+					if len(res) != want {
+						t.Fatalf("%v/%v op %d: RQ(%d,%d)=%d want %d", p.d, p.t, i, k, hi, len(res), want)
+					}
+					for j, kv := range res {
+						if kv.Value != model[kv.Key] {
+							t.Fatalf("%v/%v op %d: RQ value mismatch at %d", p.d, p.t, i, kv.Key)
+						}
+						if j > 0 && res[j-1].Key >= kv.Key {
+							t.Fatalf("%v/%v op %d: RQ unsorted", p.d, p.t, i)
+						}
+					}
+				}
+			}
+		}
+	})
+}

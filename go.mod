@@ -1,0 +1,3 @@
+module ebrrq
+
+go 1.22

@@ -1,0 +1,313 @@
+// Package bench is the microbenchmark harness reproducing the paper's
+// experiments (§5): timed trials of mixed insert/delete/search/range-query
+// workloads over every data structure × technique pair, with throughput
+// accounting split by operation class and the limbo-list statistics of
+// Experiment 1b.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ebrrq"
+)
+
+// Mix is one worker thread's operation mix, in percent. RQPct queries span
+// RQSize consecutive keys at a uniform offset.
+type Mix struct {
+	InsertPct, DeletePct, SearchPct, RQPct int
+	RQSize                                 int64
+}
+
+// Updates5050 is the canonical 50% insert / 50% delete updater.
+var Updates5050 = Mix{InsertPct: 50, DeletePct: 50}
+
+// RQOnly performs 100% range queries of the given size.
+func RQOnly(size int64) Mix { return Mix{RQPct: 100, RQSize: size} }
+
+// TrialCfg configures one timed trial.
+type TrialCfg struct {
+	DS       ebrrq.DataStructure
+	Tech     ebrrq.Technique
+	KeyRange int64 // keys drawn uniformly from [0, KeyRange)
+	Threads  []Mix // one worker per entry
+	Duration time.Duration
+	Seed     int64
+}
+
+// Result aggregates a trial's measurements.
+type Result struct {
+	Elapsed    time.Duration
+	Ops        uint64 // all completed operations
+	Updates    uint64 // completed inserts + deletes (successful or not)
+	Searches   uint64
+	RQs        uint64
+	RQKeys     uint64 // total keys returned by range queries
+	LimboVisit uint64 // limbo-list nodes visited by RQs (provider techniques)
+	LimboHist  [24]uint64
+	LimboSize  int // EBR limbo size at the end of the trial
+	HTMAborts  uint64
+
+	// rqLat is a sample of range-query latencies in nanoseconds.
+	rqLat []int64
+}
+
+// RQLatencyPercentile returns the p-th percentile (0 < p <= 100) of sampled
+// range-query latencies, or 0 if no RQs were sampled.
+func (r *Result) RQLatencyPercentile(p float64) time.Duration {
+	if len(r.rqLat) == 0 {
+		return 0
+	}
+	sort.Slice(r.rqLat, func(i, j int) bool { return r.rqLat[i] < r.rqLat[j] })
+	idx := int(p/100*float64(len(r.rqLat))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(r.rqLat) {
+		idx = len(r.rqLat) - 1
+	}
+	return time.Duration(r.rqLat[idx])
+}
+
+// TotalOpsPerUs returns total operations per microsecond (the paper's
+// headline metric).
+func (r Result) TotalOpsPerUs() float64 {
+	return float64(r.Ops) / float64(r.Elapsed.Microseconds())
+}
+
+// UpdatesPerUs returns updates per microsecond.
+func (r Result) UpdatesPerUs() float64 {
+	return float64(r.Updates) / float64(r.Elapsed.Microseconds())
+}
+
+// RQsPerUs returns range queries per microsecond.
+func (r Result) RQsPerUs() float64 {
+	return float64(r.RQs) / float64(r.Elapsed.Microseconds())
+}
+
+// RunTrial prefills the structure to half the key range and runs the
+// configured worker threads for the configured duration.
+func RunTrial(cfg TrialCfg) (Result, error) {
+	if cfg.KeyRange <= 0 {
+		cfg.KeyRange = 1 << 14
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	set, err := ebrrq.New(cfg.DS, cfg.Tech, len(cfg.Threads)+1)
+	if err != nil {
+		return Result{}, err
+	}
+	Prefill(set, cfg.KeyRange, cfg.Seed)
+
+	type counters struct {
+		ops, upd, srch, rqs, rqKeys, limbo uint64
+		hist                               [24]uint64
+		lat                                []int64
+		_                                  [40]byte
+	}
+	counts := make([]counters, len(cfg.Threads))
+	const maxLatSamples = 4096
+
+	var start, stop sync.WaitGroup
+	var halt atomic.Bool
+	start.Add(1)
+	for w, mix := range cfg.Threads {
+		stop.Add(1)
+		go func(w int, mix Mix) {
+			defer stop.Done()
+			th := set.NewThread()
+			r := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			c := &counts[w]
+			start.Wait()
+			for !halt.Load() {
+				p := r.Intn(100)
+				k := r.Int63n(cfg.KeyRange)
+				switch {
+				case p < mix.InsertPct:
+					th.Insert(k, k)
+					c.upd++
+				case p < mix.InsertPct+mix.DeletePct:
+					th.Delete(k)
+					c.upd++
+				case p < mix.InsertPct+mix.DeletePct+mix.SearchPct:
+					th.Contains(k)
+					c.srch++
+				default:
+					width := mix.RQSize
+					lo := int64(0)
+					if width <= 0 || width >= cfg.KeyRange {
+						width = cfg.KeyRange
+					} else {
+						lo = r.Int63n(cfg.KeyRange - width)
+					}
+					sample := len(c.lat) < maxLatSamples && c.rqs%8 == 0
+					var t0 time.Time
+					if sample {
+						t0 = time.Now()
+					}
+					res := th.RangeQuery(lo, lo+width-1)
+					if sample {
+						c.lat = append(c.lat, time.Since(t0).Nanoseconds())
+					}
+					c.rqs++
+					c.rqKeys += uint64(len(res))
+					v := th.LimboVisitedLast()
+					c.limbo += v
+					c.hist[histBucket(v)]++
+				}
+				c.ops++
+			}
+		}(w, mix)
+	}
+
+	t0 := time.Now()
+	start.Done()
+	time.Sleep(cfg.Duration)
+	halt.Store(true)
+	stop.Wait()
+	elapsed := time.Since(t0)
+
+	res := Result{Elapsed: elapsed}
+	for i := range counts {
+		res.Ops += counts[i].ops
+		res.Updates += counts[i].upd
+		res.Searches += counts[i].srch
+		res.RQs += counts[i].rqs
+		res.RQKeys += counts[i].rqKeys
+		res.LimboVisit += counts[i].limbo
+		res.rqLat = append(res.rqLat, counts[i].lat...)
+		for b := range counts[i].hist {
+			res.LimboHist[b] += counts[i].hist[b]
+		}
+	}
+	if p := set.Provider(); p != nil {
+		res.LimboSize = p.Domain().LimboSize()
+		res.HTMAborts = p.HTMAborts()
+	}
+	return res, nil
+}
+
+// histBucket maps a limbo-visit count to a power-of-two bucket index.
+func histBucket(v uint64) int {
+	b := 0
+	for v > 0 && b < 23 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+// BucketLabel renders a histogram bucket's range.
+func BucketLabel(b int) string {
+	if b == 0 {
+		return "0"
+	}
+	return fmt.Sprintf("%d-%d", 1<<(b-1), (1<<b)-1)
+}
+
+// Prefill inserts random keys until the set holds KeyRange/2 of them
+// (paper §5: "data structures are prefilled with approximately K/2 keys").
+func Prefill(set *ebrrq.Set, keyRange int64, seed int64) {
+	th := set.NewThread()
+	r := rand.New(rand.NewSource(seed + 424243))
+	for inserted := int64(0); inserted < keyRange/2; {
+		k := r.Int63n(keyRange)
+		if th.Insert(k, k) {
+			inserted++
+		}
+	}
+}
+
+// DefaultKeyRange returns the paper's key range for a structure (§5
+// Experiment 1), divided by scale (>= 1) to fit smaller machines.
+func DefaultKeyRange(d ebrrq.DataStructure, scale int64) int64 {
+	if scale < 1 {
+		scale = 1
+	}
+	var k int64
+	switch d {
+	case ebrrq.ABTree:
+		k = 1_000_000
+	case ebrrq.LFBST, ebrrq.Citrus, ebrrq.SkipList:
+		k = 100_000
+	default: // lists: linear operations
+		k = 10_000
+	}
+	k /= scale
+	if k < 128 {
+		k = 128
+	}
+	return k
+}
+
+// Row is one line of an experiment table.
+type Row struct {
+	Label string
+	Cells []string
+}
+
+// Table renders rows with aligned columns.
+func Table(header Row, rows []Row) string {
+	widths := make([]int, len(header.Cells)+1)
+	widths[0] = len(header.Label)
+	for i, c := range header.Cells {
+		widths[i+1] = len(c)
+	}
+	for _, r := range rows {
+		if len(r.Label) > widths[0] {
+			widths[0] = len(r.Label)
+		}
+		for i, c := range r.Cells {
+			if i+1 < len(widths) && len(c) > widths[i+1] {
+				widths[i+1] = len(c)
+			}
+		}
+	}
+	line := func(r Row) string {
+		s := fmt.Sprintf("%-*s", widths[0], r.Label)
+		for i, c := range r.Cells {
+			w := 0
+			if i+1 < len(widths) {
+				w = widths[i+1]
+			}
+			s += fmt.Sprintf("  %*s", w, c)
+		}
+		return s + "\n"
+	}
+	out := line(header)
+	for _, r := range rows {
+		out += line(r)
+	}
+	return out
+}
+
+// TechniquesFor lists the techniques applicable to a structure in the
+// paper's presentation order.
+func TechniquesFor(d ebrrq.DataStructure) []ebrrq.Technique {
+	all := []ebrrq.Technique{ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree,
+		ebrrq.RLU, ebrrq.Snap, ebrrq.Unsafe}
+	var out []ebrrq.Technique
+	for _, t := range all {
+		if ebrrq.Supported(d, t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// SortedBuckets returns the non-empty histogram buckets in order.
+func SortedBuckets(h [24]uint64) []int {
+	var out []int
+	for b, c := range h {
+		if c > 0 {
+			out = append(out, b)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ebrrq"
+)
+
+func TestRunTrialCountsOps(t *testing.T) {
+	r, err := RunTrial(TrialCfg{
+		DS: ebrrq.SkipList, Tech: ebrrq.LockFree, KeyRange: 1024,
+		Threads:  []Mix{Updates5050, RQOnly(64), {SearchPct: 100}},
+		Duration: 100 * time.Millisecond, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ops == 0 || r.Updates == 0 || r.RQs == 0 || r.Searches == 0 {
+		t.Fatalf("zero counts: %+v", r)
+	}
+	if r.Ops != r.Updates+r.RQs+r.Searches {
+		t.Fatalf("op classes don't sum: %+v", r)
+	}
+	if r.TotalOpsPerUs() <= 0 {
+		t.Fatal("throughput not positive")
+	}
+}
+
+func TestRunTrialUnsupported(t *testing.T) {
+	_, err := RunTrial(TrialCfg{DS: ebrrq.ABTree, Tech: ebrrq.Snap,
+		Threads: []Mix{Updates5050}, Duration: 10 * time.Millisecond})
+	if err == nil {
+		t.Fatal("expected error for unsupported pair")
+	}
+}
+
+func TestPrefillReachesTarget(t *testing.T) {
+	set, err := ebrrq.New(ebrrq.LFBST, ebrrq.Lock, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Prefill(set, 2048, 5)
+	th := set.NewThread()
+	res := th.RangeQuery(0, 2047)
+	if len(res) != 1024 {
+		t.Fatalf("prefill produced %d keys, want 1024", len(res))
+	}
+}
+
+func TestDefaultKeyRange(t *testing.T) {
+	if DefaultKeyRange(ebrrq.ABTree, 1) != 1_000_000 {
+		t.Fatal("ABTree key range")
+	}
+	if DefaultKeyRange(ebrrq.LFList, 1) != 10_000 {
+		t.Fatal("list key range")
+	}
+	if DefaultKeyRange(ebrrq.SkipList, 10) != 10_000 {
+		t.Fatal("scaling")
+	}
+	if DefaultKeyRange(ebrrq.LFList, 1<<30) != 128 {
+		t.Fatal("floor")
+	}
+}
+
+func TestHistBucket(t *testing.T) {
+	cases := map[uint64]int{0: 0, 1: 1, 2: 2, 3: 2, 4: 3, 1023: 10, 1024: 11}
+	for v, want := range cases {
+		if got := histBucket(v); got != want {
+			t.Fatalf("histBucket(%d) = %d, want %d", v, got, want)
+		}
+	}
+	if BucketLabel(0) != "0" || BucketLabel(3) != "4-7" {
+		t.Fatal("bucket labels")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table(Row{Label: "h", Cells: []string{"a", "bb"}},
+		[]Row{{Label: "long-label", Cells: []string{"1", "2"}}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 || len(lines[0]) != len(lines[1]) {
+		t.Fatalf("misaligned table:\n%s", out)
+	}
+}
+
+// TestExperimentsSmoke runs each experiment driver at a tiny scale to make
+// sure every figure/table can be regenerated end to end.
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke is slow")
+	}
+	var buf bytes.Buffer
+	cfg := ExpCfg{Threads: 2, Scale: 1 << 8, Duration: 20 * time.Millisecond, Out: &buf, Seed: 1}
+	cfg.Exp1()
+	if !strings.Contains(buf.String(), "[ABTree]") || !strings.Contains(buf.String(), "Lock-free") {
+		t.Fatalf("Exp1 output incomplete:\n%s", buf.String())
+	}
+	buf.Reset()
+	cfg.Exp2()
+	if !strings.Contains(buf.String(), "rq=4") {
+		t.Fatal("Exp2 output incomplete")
+	}
+	buf.Reset()
+	cfg.Exp3()
+	if !strings.Contains(buf.String(), "RQ throughput") || !strings.Contains(buf.String(), "Update throughput") {
+		t.Fatal("Exp3 output incomplete")
+	}
+	buf.Reset()
+	cfg.Exp4()
+	if !strings.Contains(buf.String(), "SkipList") {
+		t.Fatal("Exp4 output incomplete")
+	}
+	buf.Reset()
+	cfg.Exp1b()
+	if !strings.Contains(buf.String(), "limbo") {
+		t.Fatal("Exp1b output incomplete")
+	}
+}

@@ -1,0 +1,313 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ebrrq"
+)
+
+// ExpCfg parameterizes the experiment drivers. The defaults reproduce the
+// paper's workloads scaled to the host (the paper used a 48-thread Xeon;
+// Threads and Scale shrink the sweep for smaller machines).
+type ExpCfg struct {
+	Threads  int           // maximum worker count (paper: 48)
+	Scale    int64         // key-range divisor (1 = paper sizes)
+	Duration time.Duration // per trial (paper: 3s × 5 trials)
+	Trials   int           // trials per point; the mean is reported
+	Seed     int64
+	Out      io.Writer
+	// CSV, if non-nil, additionally receives one machine-readable row per
+	// data point: experiment,structure,technique,param,metric,value
+	// (mirroring the artifact's results.db/dbx.csv outputs).
+	CSV io.Writer
+}
+
+// csvRow emits one CSV data point if a CSV sink is configured.
+func (c *ExpCfg) csvRow(exp string, ds, tech fmt.Stringer, param string, metric string, value float64) {
+	if c.CSV == nil {
+		return
+	}
+	fmt.Fprintf(c.CSV, "%s,%s,%s,%s,%s,%g\n", exp, ds, tech, param, metric, value)
+}
+
+func (c *ExpCfg) defaults() {
+	if c.Threads <= 0 {
+		c.Threads = 8
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.Trials <= 0 {
+		c.Trials = 1
+	}
+}
+
+func (c *ExpCfg) printf(format string, args ...any) {
+	fmt.Fprintf(c.Out, format, args...)
+}
+
+// threadCounts returns the x-axis of Experiments 1 and 2: powers of two up
+// to the configured maximum.
+func (c *ExpCfg) threadCounts() []int {
+	var out []int
+	for n := 1; n <= c.Threads; n *= 2 {
+		out = append(out, n)
+	}
+	if len(out) == 0 || out[len(out)-1] != c.Threads {
+		out = append(out, c.Threads)
+	}
+	return out
+}
+
+// run averages Trials runs of cfg.
+func (c *ExpCfg) run(t TrialCfg) Result {
+	t.Duration = c.Duration
+	var agg Result
+	for i := 0; i < c.Trials; i++ {
+		t.Seed = c.Seed + int64(i)*104729
+		r, err := RunTrial(t)
+		if err != nil {
+			panic(err)
+		}
+		if i == 0 {
+			agg = r
+		} else {
+			agg.Ops += r.Ops
+			agg.Updates += r.Updates
+			agg.Searches += r.Searches
+			agg.RQs += r.RQs
+			agg.Elapsed += r.Elapsed
+			agg.LimboVisit += r.LimboVisit
+			agg.LimboSize = r.LimboSize
+		}
+	}
+	return agg
+}
+
+// AllStructures lists the benchmarked structures in the paper's order.
+var AllStructures = []ebrrq.DataStructure{
+	ebrrq.ABTree, ebrrq.LFBST, ebrrq.Citrus,
+	ebrrq.SkipList, ebrrq.LazyList, ebrrq.LFList,
+}
+
+// Exp1 reproduces Figure 5: n update threads (50% insert / 50% delete) plus
+// one thread performing range queries of size 100; total operations per
+// microsecond versus n, one series per technique.
+func (c ExpCfg) Exp1() {
+	c.defaults()
+	c.printf("# Experiment 1 (Figure 5): one thread performs RQs (range 100),\n")
+	c.printf("# n threads perform 50%% inserts / 50%% deletes. Total ops/us.\n")
+	for _, ds := range AllStructures {
+		k := DefaultKeyRange(ds, c.Scale)
+		c.printf("\n[%s] key range %d, prefill %d\n", ds, k, k/2)
+		header := Row{Label: "technique"}
+		for _, n := range c.threadCounts() {
+			header.Cells = append(header.Cells, fmt.Sprintf("n=%d", n))
+		}
+		var rows []Row
+		for _, tech := range TechniquesFor(ds) {
+			row := Row{Label: tech.String()}
+			for _, n := range c.threadCounts() {
+				threads := make([]Mix, 0, n+1)
+				for i := 0; i < n; i++ {
+					threads = append(threads, Updates5050)
+				}
+				threads = append(threads, RQOnly(100))
+				r := c.run(TrialCfg{DS: ds, Tech: tech, KeyRange: k, Threads: threads})
+				row.Cells = append(row.Cells, fmt.Sprintf("%.3f", r.TotalOpsPerUs()))
+				c.csvRow("exp1", ds, tech, fmt.Sprintf("n=%d", n), "ops_per_us", r.TotalOpsPerUs())
+			}
+			rows = append(rows, row)
+		}
+		c.printf("%s", Table(header, rows))
+	}
+}
+
+// Exp1b reproduces the limbo-list statistics reported in the text of
+// Experiment 1: the distribution of limbo-list nodes visited per RQ, and
+// the total limbo size at the end of the trial.
+func (c ExpCfg) Exp1b() {
+	c.defaults()
+	c.printf("# Experiment 1b: limbo-list nodes visited per RQ (distribution)\n")
+	c.printf("# and total limbo size, workload as in Experiment 1.\n")
+	for _, ds := range AllStructures {
+		k := DefaultKeyRange(ds, c.Scale)
+		for _, tech := range []ebrrq.Technique{ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree} {
+			n := c.Threads
+			threads := make([]Mix, 0, n+1)
+			for i := 0; i < n; i++ {
+				threads = append(threads, Updates5050)
+			}
+			threads = append(threads, RQOnly(100))
+			r := c.run(TrialCfg{DS: ds, Tech: tech, KeyRange: k, Threads: threads, Seed: c.Seed})
+			c.printf("\n[%s/%s] rqs=%d avg visited=%.1f final limbo size=%d\n",
+				ds, tech, r.RQs, float64(r.LimboVisit)/float64(max64(r.RQs, 1)), r.LimboSize)
+			for _, b := range SortedBuckets(r.LimboHist) {
+				c.printf("  visited %-12s : %d rqs\n", BucketLabel(b), r.LimboHist[b])
+			}
+		}
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Exp2 reproduces Figure 6: a fixed population of threads performs 100%
+// updates while the number of threads performing 100% RQs varies; total
+// operations per microsecond versus RQ-thread count.
+func (c ExpCfg) Exp2() {
+	c.defaults()
+	upd := c.Threads // the paper fixes 42 update threads on 48 hw threads
+	rqCounts := []int{0, 1, 2, 4}
+	c.printf("# Experiment 2 (Figure 6): %d threads perform 100%% updates;\n", upd)
+	c.printf("# the number of RQ threads varies (ranges of 100). Total ops/us.\n")
+	for _, ds := range AllStructures {
+		k := DefaultKeyRange(ds, c.Scale)
+		c.printf("\n[%s] key range %d\n", ds, k)
+		header := Row{Label: "technique"}
+		for _, rq := range rqCounts {
+			header.Cells = append(header.Cells, fmt.Sprintf("rq=%d", rq))
+		}
+		var rows []Row
+		for _, tech := range TechniquesFor(ds) {
+			row := Row{Label: tech.String()}
+			for _, rq := range rqCounts {
+				threads := make([]Mix, 0, upd+rq)
+				for i := 0; i < upd; i++ {
+					threads = append(threads, Updates5050)
+				}
+				for i := 0; i < rq; i++ {
+					threads = append(threads, RQOnly(100))
+				}
+				r := c.run(TrialCfg{DS: ds, Tech: tech, KeyRange: k, Threads: threads})
+				row.Cells = append(row.Cells, fmt.Sprintf("%.3f", r.TotalOpsPerUs()))
+				c.csvRow("exp2", ds, tech, fmt.Sprintf("rq=%d", rq), "ops_per_us", r.TotalOpsPerUs())
+			}
+			rows = append(rows, row)
+		}
+		c.printf("%s", Table(header, rows))
+	}
+}
+
+// Exp3 reproduces Figure 7: threads perform 20% updates / 80% searches
+// while one thread performs 100% RQs of varying size; reported are RQ
+// throughput (left graphs) and update throughput (right graphs) for
+// SkipList and Citrus.
+func (c ExpCfg) Exp3() {
+	c.defaults()
+	c.printf("# Experiment 3 (Figure 7): %d threads perform 20%% updates /\n", c.Threads)
+	c.printf("# 80%% searches, one thread performs RQs of varying size.\n")
+	for _, ds := range []ebrrq.DataStructure{ebrrq.SkipList, ebrrq.Citrus} {
+		k := DefaultKeyRange(ds, c.Scale)
+		sizes := []int64{10, 100, 1000}
+		for s := int64(10000); s <= k; s *= 10 {
+			sizes = append(sizes, s)
+		}
+		if sizes[len(sizes)-1] != k {
+			sizes = append(sizes, k)
+		}
+		c.printf("\n[%s] key range %d\n", ds, k)
+		header := Row{Label: "technique"}
+		for _, s := range sizes {
+			header.Cells = append(header.Cells, fmt.Sprintf("rq=%d", s))
+		}
+		var rqRows, updRows []Row
+		for _, tech := range TechniquesFor(ds) {
+			rqRow := Row{Label: tech.String()}
+			updRow := Row{Label: tech.String()}
+			for _, s := range sizes {
+				threads := make([]Mix, 0, c.Threads+1)
+				for i := 0; i < c.Threads; i++ {
+					threads = append(threads, Mix{InsertPct: 10, DeletePct: 10, SearchPct: 80})
+				}
+				threads = append(threads, RQOnly(s))
+				r := c.run(TrialCfg{DS: ds, Tech: tech, KeyRange: k, Threads: threads})
+				rqRow.Cells = append(rqRow.Cells, fmt.Sprintf("%.5f", r.RQsPerUs()))
+				updRow.Cells = append(updRow.Cells, fmt.Sprintf("%.3f", r.UpdatesPerUs()))
+				c.csvRow("exp3", ds, tech, fmt.Sprintf("rqsize=%d", s), "rqs_per_us", r.RQsPerUs())
+				c.csvRow("exp3", ds, tech, fmt.Sprintf("rqsize=%d", s), "updates_per_us", r.UpdatesPerUs())
+			}
+			rqRows = append(rqRows, rqRow)
+			updRows = append(updRows, updRow)
+		}
+		c.printf("RQ throughput (RQs/us):\n%s", Table(header, rqRows))
+		c.printf("Update throughput (updates/us):\n%s", Table(header, updRows))
+	}
+}
+
+// Exp4 reproduces Figure 8: every thread performs the mixed workload
+// 10% inserts / 10% deletes / 78% searches / 2% RQs over ranges of 100;
+// the table reports total operations per microsecond.
+func (c ExpCfg) Exp4() {
+	c.defaults()
+	mix := Mix{InsertPct: 10, DeletePct: 10, SearchPct: 78, RQPct: 2, RQSize: 100}
+	c.printf("# Experiment 4 (Figure 8): %d threads, each 10%% ins / 10%% del /\n", c.Threads)
+	c.printf("# 78%% search / 2%% RQ(100). Total ops/us.\n\n")
+	header := Row{Label: "structure"}
+	for _, t := range []ebrrq.Technique{ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree, ebrrq.RLU, ebrrq.Snap, ebrrq.Unsafe} {
+		header.Cells = append(header.Cells, t.String())
+	}
+	var rows []Row
+	for _, ds := range AllStructures {
+		k := DefaultKeyRange(ds, c.Scale)
+		row := Row{Label: ds.String()}
+		for _, tech := range []ebrrq.Technique{ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree, ebrrq.RLU, ebrrq.Snap, ebrrq.Unsafe} {
+			if !ebrrq.Supported(ds, tech) {
+				row.Cells = append(row.Cells, "-")
+				continue
+			}
+			threads := make([]Mix, c.Threads)
+			for i := range threads {
+				threads[i] = mix
+			}
+			r := c.run(TrialCfg{DS: ds, Tech: tech, KeyRange: k, Threads: threads})
+			row.Cells = append(row.Cells, fmt.Sprintf("%.3f", r.TotalOpsPerUs()))
+			c.csvRow("exp4", ds, tech, "mixed", "ops_per_us", r.TotalOpsPerUs())
+		}
+		rows = append(rows, row)
+	}
+	c.printf("%s", Table(header, rows))
+}
+
+// ExpLatency is an additional experiment (beyond the paper's figures, in
+// support of its §5 discussion): per-technique range-query latency
+// percentiles under the Experiment 1 workload — the latency view of why
+// full-snapshot techniques hurt even when throughput looks tolerable.
+func (c ExpCfg) ExpLatency() {
+	c.defaults()
+	c.printf("# RQ latency: p50/p99 of range-100 queries, %d updaters (50/50).\n\n", c.Threads)
+	for _, ds := range []ebrrq.DataStructure{ebrrq.SkipList, ebrrq.ABTree} {
+		k := DefaultKeyRange(ds, c.Scale)
+		c.printf("[%s] key range %d\n", ds, k)
+		header := Row{Label: "technique", Cells: []string{"p50", "p99"}}
+		var rows []Row
+		for _, tech := range TechniquesFor(ds) {
+			threads := make([]Mix, 0, c.Threads+1)
+			for i := 0; i < c.Threads; i++ {
+				threads = append(threads, Updates5050)
+			}
+			threads = append(threads, RQOnly(100))
+			t := TrialCfg{DS: ds, Tech: tech, KeyRange: k, Threads: threads,
+				Duration: c.Duration, Seed: c.Seed}
+			r, err := RunTrial(t)
+			if err != nil {
+				panic(err)
+			}
+			p50, p99 := r.RQLatencyPercentile(50), r.RQLatencyPercentile(99)
+			rows = append(rows, Row{Label: tech.String(),
+				Cells: []string{p50.String(), p99.String()}})
+			c.csvRow("latency", ds, tech, "rq=100", "p50_ns", float64(p50.Nanoseconds()))
+			c.csvRow("latency", ds, tech, "rq=100", "p99_ns", float64(p99.Nanoseconds()))
+		}
+		c.printf("%s\n", Table(header, rows))
+	}
+}

@@ -1,0 +1,136 @@
+// Package dbx is a small in-memory database substrate in the spirit of
+// DBx1000 (Yu et al., VLDB '14), which the paper's macrobenchmark modifies:
+// its hash indexes are replaced with the ordered sets of this repository so
+// TPC-C transactions can issue true range queries (the original DBx did not
+// support them — see §5 of the paper).
+//
+// dbx provides three things: a concurrent append-only row store with stable
+// row ids (Store), ordered secondary indexes backed by any data structure ×
+// RQ technique pair (Index), and composite-key packing helpers. Transaction
+// logic lives in package tpcc.
+package dbx
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"ebrrq"
+)
+
+const (
+	chunkBits = 12
+	chunkSize = 1 << chunkBits // rows per chunk
+	maxChunks = 1 << 16        // per thread
+)
+
+// Store is a concurrent append-only row store. Each thread appends to its
+// own chunked segment (no synchronization on the write path beyond one
+// atomic publish per row); any thread may read any row by id.
+type Store[T any] struct {
+	segs []seg[T]
+}
+
+type seg[T any] struct {
+	chunks []atomic.Pointer[[chunkSize]T]
+	next   int // owner-only
+	_      [48]byte
+}
+
+// NewStore creates a store for up to maxThreads appending threads.
+func NewStore[T any](maxThreads int) *Store[T] {
+	s := &Store[T]{segs: make([]seg[T], maxThreads)}
+	for i := range s.segs {
+		s.segs[i].chunks = make([]atomic.Pointer[[chunkSize]T], maxChunks)
+	}
+	return s
+}
+
+// Append inserts a row from thread tid and returns its RowID.
+func (s *Store[T]) Append(tid int, row T) int64 {
+	sg := &s.segs[tid]
+	ci, off := sg.next>>chunkBits, sg.next&(chunkSize-1)
+	if ci >= maxChunks {
+		panic("dbx: store segment full")
+	}
+	ch := sg.chunks[ci].Load()
+	if ch == nil {
+		ch = new([chunkSize]T)
+		sg.chunks[ci].Store(ch)
+	}
+	ch[off] = row
+	sg.next++
+	return int64(tid)<<40 | int64(sg.next-1)
+}
+
+// Get returns a pointer to the row with the given id. The row's fields are
+// shared; mutable fields must be atomics or protected by the caller.
+func (s *Store[T]) Get(id int64) *T {
+	tid := int(id >> 40)
+	n := int(id & (1<<40 - 1))
+	ch := s.segs[tid].chunks[n>>chunkBits].Load()
+	return &ch[n&(chunkSize-1)]
+}
+
+// Rows returns the number of rows appended by all threads (quiescent use).
+func (s *Store[T]) Rows() int {
+	total := 0
+	for i := range s.segs {
+		total += s.segs[i].next
+	}
+	return total
+}
+
+// Index is an ordered index mapping packed int64 keys to row ids, backed by
+// a pluggable structure × technique pair.
+type Index struct {
+	Name string
+	set  *ebrrq.Set
+}
+
+// NewIndex creates an index.
+func NewIndex(name string, ds ebrrq.DataStructure, tech ebrrq.Technique, maxThreads int) (*Index, error) {
+	set, err := ebrrq.New(ds, tech, maxThreads)
+	if err != nil {
+		return nil, fmt.Errorf("dbx: index %s: %w", name, err)
+	}
+	return &Index{Name: name, set: set}, nil
+}
+
+// Handle is a per-thread accessor to an index.
+type Handle struct {
+	idx *Index
+	th  *ebrrq.Thread
+}
+
+// NewHandle registers the calling thread with the index.
+func (ix *Index) NewHandle() *Handle {
+	return &Handle{idx: ix, th: ix.set.NewThread()}
+}
+
+// Insert maps key to rowID; false if the key exists.
+func (h *Handle) Insert(key, rowID int64) bool { return h.th.Insert(key, rowID) }
+
+// Delete unmaps key; false if absent.
+func (h *Handle) Delete(key int64) bool { return h.th.Delete(key) }
+
+// Get returns the rowID under key.
+func (h *Handle) Get(key int64) (int64, bool) { return h.th.Contains(key) }
+
+// Range returns all (key, rowID) pairs with low <= key <= high. The slice
+// is valid until the handle's next range query.
+func (h *Handle) Range(low, high int64) []ebrrq.KV { return h.th.RangeQuery(low, high) }
+
+// Key packs composite key fields into one int64: each field i consumes
+// widths[i] bits, most-significant field first. Panics if a field
+// overflows its width (during development; packing is on hot paths).
+func Key(fields []int64, widths []int) int64 {
+	var k int64
+	for i, f := range fields {
+		w := widths[i]
+		if f < 0 || f >= 1<<w {
+			panic(fmt.Sprintf("dbx: key field %d value %d overflows %d bits", i, f, w))
+		}
+		k = k<<w | f
+	}
+	return k
+}

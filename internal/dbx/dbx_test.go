@@ -1,0 +1,125 @@
+package dbx
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"ebrrq"
+)
+
+func TestStoreAppendGet(t *testing.T) {
+	s := NewStore[int64](2)
+	var ids []int64
+	for i := int64(0); i < 10_000; i++ {
+		ids = append(ids, s.Append(0, i*3))
+	}
+	for i, id := range ids {
+		if got := *s.Get(id); got != int64(i)*3 {
+			t.Fatalf("row %d = %d", i, got)
+		}
+	}
+	if s.Rows() != 10_000 {
+		t.Fatalf("Rows = %d", s.Rows())
+	}
+	// Second thread's segment is independent.
+	id := s.Append(1, 999)
+	if *s.Get(id) != 999 {
+		t.Fatal("cross-segment get")
+	}
+}
+
+func TestStoreConcurrentReadDuringAppend(t *testing.T) {
+	s := NewStore[int64](4)
+	var wg sync.WaitGroup
+	ids := make([][]int64, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := int64(0); i < 20_000; i++ {
+				id := s.Append(tid, int64(tid)*1_000_000+i)
+				ids[tid] = append(ids[tid], id)
+				// Read back a row written earlier by this thread.
+				if i > 0 {
+					_ = *s.Get(ids[tid][i/2])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for tid := range ids {
+		for i, id := range ids[tid] {
+			if got := *s.Get(id); got != int64(tid)*1_000_000+int64(i) {
+				t.Fatalf("thread %d row %d = %d", tid, i, got)
+			}
+		}
+	}
+}
+
+func TestKeyPackingOrder(t *testing.T) {
+	// Packed keys must preserve lexicographic field order.
+	w := []int{10, 4, 24}
+	less := func(a, b []int64) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return a[i] < b[i]
+			}
+		}
+		return false
+	}
+	f := func(a1, a2, b1, b2, c1, c2 uint16) bool {
+		x := []int64{int64(a1) % 1024, int64(b1) % 16, int64(c1)}
+		y := []int64{int64(a2) % 1024, int64(b2) % 16, int64(c2)}
+		kx, ky := Key(x, w), Key(y, w)
+		switch {
+		case less(x, y):
+			return kx < ky
+		case less(y, x):
+			return kx > ky
+		default:
+			return kx == ky
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Key([]int64{16}, []int{4})
+}
+
+func TestIndexRoundtrip(t *testing.T) {
+	ix, err := NewIndex("test", ebrrq.ABTree, ebrrq.LockFree, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ix.NewHandle()
+	for i := int64(0); i < 500; i++ {
+		if !h.Insert(i*2, i) {
+			t.Fatalf("insert %d", i)
+		}
+	}
+	if v, ok := h.Get(100); !ok || v != 50 {
+		t.Fatalf("Get(100) = %d,%v", v, ok)
+	}
+	r := h.Range(10, 20)
+	if len(r) != 6 {
+		t.Fatalf("Range(10,20) len %d", len(r))
+	}
+	if !h.Delete(100) || h.Delete(100) {
+		t.Fatal("delete semantics")
+	}
+}
+
+func TestIndexUnsupportedPair(t *testing.T) {
+	if _, err := NewIndex("bad", ebrrq.ABTree, ebrrq.Snap, 2); err == nil {
+		t.Fatal("expected error")
+	}
+}

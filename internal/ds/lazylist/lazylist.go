@@ -1,0 +1,287 @@
+// Package lazylist implements the lazy linked list of Heller et al.
+// ("LazyList" in the paper's Figure 4): per-node locks, optimistic
+// validation, wait-free searches, and logical deletion via a marked flag.
+//
+// RQ integration: insertion linearizes at the write of pred.next under
+// pred's lock (routed through UpdateCAS, which under the lock cannot fail);
+// deletion linearizes at the write of the marked flag under the victim's
+// lock. The marked flag is represented as a dcss.Slot (nil = live,
+// &markedSentinel = logically deleted) so the lock-free provider can
+// linearize it with DCSS like any other slot.
+//
+// The thread that marks a node is the thread that physically unlinks and
+// retires it, so per-thread limbo lists are sorted by dtime and the
+// provider may be configured with LimboSorted=true.
+package lazylist
+
+import (
+	"math"
+	"sync"
+	"unsafe"
+
+	"ebrrq/internal/dcss"
+	"ebrrq/internal/epoch"
+	"ebrrq/internal/rqprov"
+	"ebrrq/internal/snapc"
+)
+
+// markedSentinel is the non-nil value stored in a node's marked slot once
+// the node is logically deleted.
+var markedSentinel int64
+
+func sentinelPtr() unsafe.Pointer { return unsafe.Pointer(&markedSentinel) }
+
+type node struct {
+	epoch.Node // must be first
+	mu         sync.Mutex
+	marked     dcss.Slot // nil = live
+	next       dcss.Slot // *node
+}
+
+func ptr(v unsafe.Pointer) *node      { return (*node)(dcss.Ptr(v)) }
+func fromNode(n *node) unsafe.Pointer { return unsafe.Pointer(n) }
+func hdr(n *node) *epoch.Node         { return &n.Node }
+func ownerOf(h *epoch.Node) *node     { return (*node)(unsafe.Pointer(h)) }
+
+func (n *node) isMarked() bool { return n.marked.Load() != nil }
+
+// List is a concurrent sorted set with linearizable range queries.
+type List struct {
+	head  *node
+	tail  *node
+	prov  *rqprov.Provider
+	snap  *snapc.Registry // non-nil: range queries use the Snap-collector
+	pools []freeList
+}
+
+type freeList struct {
+	nodes []*node
+	_     [40]byte
+}
+
+// New creates an empty lazy list attached to the provider. The provider's
+// EBR domain is configured to recycle this list's nodes.
+func New(p *rqprov.Provider) *List {
+	tail := &node{}
+	tail.InitKey(math.MaxInt64, 0)
+	tail.SetITime(1)
+	head := &node{}
+	head.InitKey(math.MinInt64, 0)
+	head.SetITime(1)
+	head.next.Store(fromNode(tail))
+	l := &List{head: head, tail: tail, prov: p}
+	l.pools = make([]freeList, p.MaxThreads())
+	p.Domain().SetFreeFunc(func(tid int, h *epoch.Node) {
+		fl := &l.pools[tid]
+		if len(fl.nodes) < 4096 {
+			fl.nodes = append(fl.nodes, ownerOf(h))
+		}
+	})
+	return l
+}
+
+// NewSnap creates a list whose range queries are served by the
+// Petrank-Timnat Snap-collector (the paper's "Snap-collector" baseline).
+// Use with a ModeUnsafe provider.
+func NewSnap(p *rqprov.Provider) *List {
+	l := New(p)
+	l.snap = snapc.NewRegistry(p.MaxThreads())
+	return l
+}
+
+func (l *List) reportIns(t *rqprov.Thread, h *epoch.Node) {
+	if l.snap == nil {
+		return
+	}
+	if c := l.snap.Active(); c != nil {
+		c.Report(t.ID(), h, h.Key(), h.Value(), snapc.ReportInsert)
+	}
+}
+
+func (l *List) reportDel(t *rqprov.Thread, h *epoch.Node) {
+	if l.snap == nil {
+		return
+	}
+	if c := l.snap.Active(); c != nil {
+		c.Report(t.ID(), h, h.Key(), h.Value(), snapc.ReportDelete)
+	}
+}
+
+func (l *List) alloc(t *rqprov.Thread, key, value int64) *node {
+	fl := &l.pools[t.ID()]
+	var n *node
+	if ln := len(fl.nodes); ln > 0 {
+		n = fl.nodes[ln-1]
+		fl.nodes = fl.nodes[:ln-1]
+	} else {
+		n = &node{}
+	}
+	n.InitKey(key, value)
+	n.marked.Store(nil)
+	return n
+}
+
+func (l *List) dealloc(t *rqprov.Thread, n *node) {
+	fl := &l.pools[t.ID()]
+	if len(fl.nodes) < 4096 {
+		fl.nodes = append(fl.nodes, n)
+	}
+}
+
+// search returns (pred, curr) with pred.key < key <= curr.key, without
+// acquiring locks or helping.
+func (l *List) search(key int64) (*node, *node) {
+	pred := l.head
+	curr := ptr(pred.next.Load())
+	for curr.Key() < key {
+		pred = curr
+		curr = ptr(curr.next.Load())
+	}
+	return pred, curr
+}
+
+// validate checks, under locks, that pred and curr are live and adjacent.
+func validate(pred, curr *node) bool {
+	return !pred.isMarked() && !curr.isMarked() && ptr(pred.next.Load()) == curr
+}
+
+func oneNode(h *epoch.Node) []*epoch.Node { return []*epoch.Node{h} }
+
+// Insert adds key with the given value; false if key is present.
+func (l *List) Insert(t *rqprov.Thread, key, value int64) bool {
+	t.StartOp()
+	defer t.EndOp()
+	var n *node
+	for {
+		pred, curr := l.search(key)
+		pred.mu.Lock()
+		if !validate(pred, curr) {
+			pred.mu.Unlock()
+			continue
+		}
+		if curr.Key() == key {
+			pred.mu.Unlock()
+			if n != nil {
+				l.dealloc(t, n)
+			}
+			l.reportIns(t, hdr(curr)) // observed present
+			return false
+		}
+		if n == nil {
+			n = l.alloc(t, key, value)
+		}
+		n.next.Store(fromNode(curr))
+		// Linearization: publish pred.next = n (the CAS cannot fail:
+		// pred.next is only written under pred's lock).
+		if !t.UpdateCAS(&pred.next, fromNode(curr), fromNode(n),
+			oneNode(hdr(n)), nil, false) {
+			panic("lazylist: locked insert CAS failed")
+		}
+		l.reportIns(t, hdr(n))
+		pred.mu.Unlock()
+		return true
+	}
+}
+
+// Delete removes key; false if key is absent.
+func (l *List) Delete(t *rqprov.Thread, key int64) bool {
+	t.StartOp()
+	defer t.EndOp()
+	for {
+		pred, curr := l.search(key)
+		if curr.Key() != key {
+			return false
+		}
+		pred.mu.Lock()
+		curr.mu.Lock()
+		if !validate(pred, curr) {
+			curr.mu.Unlock()
+			pred.mu.Unlock()
+			continue
+		}
+		// Linearization: logical deletion (records dtime).
+		if !t.UpdateCAS(&curr.marked, nil, sentinelPtr(),
+			nil, oneNode(hdr(curr)), false) {
+			panic("lazylist: locked mark CAS failed")
+		}
+		l.reportDel(t, hdr(curr))
+		succ := ptr(curr.next.Load())
+		// Physical unlink: announce, unlink, retire.
+		t.PhysicalDelete(oneNode(hdr(curr)), func() bool {
+			if !pred.next.CAS(fromNode(curr), fromNode(succ)) {
+				panic("lazylist: locked unlink CAS failed")
+			}
+			return true
+		})
+		curr.mu.Unlock()
+		pred.mu.Unlock()
+		return true
+	}
+}
+
+// Contains reports whether key is present (wait-free).
+func (l *List) Contains(t *rqprov.Thread, key int64) (int64, bool) {
+	t.StartOp()
+	defer t.EndOp()
+	_, curr := l.search(key)
+	if curr.Key() != key {
+		return 0, false
+	}
+	if curr.isMarked() {
+		l.reportDel(t, hdr(curr)) // observed marked
+		return 0, false
+	}
+	l.reportIns(t, hdr(curr)) // observed present
+	return curr.Value(), true
+}
+
+// RangeQuery returns all pairs with keys in [low, high], linearized at the
+// query's timestamp increment. The result is valid until the thread's next
+// range query.
+func (l *List) RangeQuery(t *rqprov.Thread, low, high int64) []epoch.KV {
+	t.StartOp()
+	defer t.EndOp()
+	if l.snap != nil {
+		return l.snapRangeQuery(t, low, high)
+	}
+	t.TraversalStart(low, high)
+	curr := ptr(l.head.next.Load())
+	for curr.Key() < low {
+		curr = ptr(curr.next.Load())
+	}
+	for curr.Key() <= high {
+		t.VisitMaybeMarked(hdr(curr), curr.isMarked())
+		curr = ptr(curr.next.Load())
+	}
+	return t.TraversalEnd()
+}
+
+// snapRangeQuery takes a full snapshot with the Snap-collector and filters
+// it to [low, high].
+func (l *List) snapRangeQuery(t *rqprov.Thread, low, high int64) []epoch.KV {
+	c := l.snap.Acquire()
+	curr := ptr(l.head.next.Load())
+	for curr != l.tail && c.IsActive() {
+		if curr.isMarked() {
+			c.Report(t.ID(), hdr(curr), curr.Key(), curr.Value(), snapc.ReportDelete)
+		} else {
+			c.AddNode(hdr(curr), curr.Key(), curr.Value())
+		}
+		curr = ptr(curr.next.Load())
+	}
+	c.BlockFurtherNodes()
+	c.Deactivate()
+	c.BlockFurtherReports()
+	return snapc.FilterRange(c.Reconstruct(), low, high)
+}
+
+// Size counts live nodes (quiescent use only).
+func (l *List) Size() int {
+	n := 0
+	for curr := ptr(l.head.next.Load()); curr != l.tail; curr = ptr(curr.next.Load()) {
+		if !curr.isMarked() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,36 @@
+package lazylist
+
+import (
+	"testing"
+
+	"ebrrq/internal/dstest"
+	"ebrrq/internal/rqprov"
+)
+
+func builder(p *rqprov.Provider) dstest.Set { return New(p) }
+
+func TestSequential(t *testing.T) {
+	for _, mode := range dstest.AllModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			dstest.RunSequential(t, mode, true, builder, dstest.SequentialCfg{Seed: 21})
+		})
+	}
+}
+
+func TestValidatedConcurrent(t *testing.T) {
+	for _, mode := range dstest.Modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			dstest.RunValidated(t, mode, true, builder, dstest.StressCfg{Seed: 22})
+		})
+	}
+}
+
+func TestValidatedFullIteration(t *testing.T) {
+	for _, mode := range dstest.Modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			dstest.RunValidated(t, mode, true, builder, dstest.StressCfg{
+				Seed: 23, RQRange: 1 << 30, KeySpace: 128,
+			})
+		})
+	}
+}

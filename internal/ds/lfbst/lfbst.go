@@ -1,0 +1,367 @@
+// Package lfbst implements the lock-free external binary search tree of
+// Natarajan and Mittal (PPoPP '14) — "LFBST" in the paper's Figure 4.
+//
+// The tree is leaf-oriented: internal (router) nodes direct searches, leaves
+// hold the keys. Updates synchronize by flagging and tagging *edges* (child
+// pointers): a deletion first flags the edge to its victim leaf (injection),
+// then — possibly with help from other operations — tags the sibling edge
+// and splices the victim's parent out with a single CAS at the ancestor.
+//
+// There is no logical deletion in the PPoPP '18 paper's sense: an element
+// leaves the abstract set at the splice CAS that physically removes its
+// leaf, so that CAS is routed through UpdateCAS (recording dtime and
+// retiring both the leaf and its router parent), while the injection CAS is
+// an ordinary slot CAS. Insertion linearizes at the CAS that replaces a
+// leaf with a new router over the old leaf and the new one; only the new
+// leaf is recorded as inserted (the old leaf keeps its identity and itime).
+//
+// Because the thread whose splice CAS succeeds both sets dtime and retires
+// the victim, limbo lists are dtime-sorted (LimboSorted=true).
+package lfbst
+
+import (
+	"math"
+	"unsafe"
+
+	"ebrrq/internal/dcss"
+	"ebrrq/internal/epoch"
+	"ebrrq/internal/rqprov"
+)
+
+const (
+	flagBit = uintptr(2) // edge leads to a leaf whose deletion is pending
+	tagBit  = uintptr(4) // edge is frozen (its parent is being spliced out)
+)
+
+// MaxKey is the largest user key (two larger values serve as sentinels).
+const MaxKey = math.MaxInt64 - 2
+
+type node struct {
+	epoch.Node // must be first
+	child      [2]dcss.Slot
+}
+
+func ptr(v unsafe.Pointer) *node      { return (*node)(dcss.Ptr(v)) }
+func fromNode(n *node) unsafe.Pointer { return unsafe.Pointer(n) }
+func hdr(n *node) *epoch.Node         { return &n.Node }
+func ownerOf(h *epoch.Node) *node     { return (*node)(unsafe.Pointer(h)) }
+func flagged(v unsafe.Pointer) bool   { return dcss.Flags(v)&flagBit != 0 }
+func tagged(v unsafe.Pointer) bool    { return dcss.Flags(v)&tagBit != 0 }
+
+// Tree is a concurrent external BST with linearizable range queries over
+// keys in [math.MinInt64, MaxKey].
+type Tree struct {
+	root  *node // R: router with key inf2
+	s     *node // S: router with key inf1 (R's left child)
+	prov  *rqprov.Provider
+	pools []freeList
+}
+
+type freeList struct {
+	nodes []*node
+	_     [40]byte
+}
+
+// New creates an empty tree attached to the provider.
+func New(p *rqprov.Provider) *Tree {
+	inf2 := int64(math.MaxInt64)
+	inf1 := int64(math.MaxInt64 - 1)
+	mkLeaf := func(k int64) *node {
+		n := &node{}
+		n.InitKey(k, 0)
+		n.SetITime(1)
+		return n
+	}
+	s := &node{}
+	s.InitRouting(inf1)
+	s.child[0].Store(fromNode(mkLeaf(inf1)))
+	s.child[1].Store(fromNode(mkLeaf(inf2)))
+	root := &node{}
+	root.InitRouting(inf2)
+	root.child[0].Store(fromNode(s))
+	root.child[1].Store(fromNode(mkLeaf(inf2)))
+	t := &Tree{root: root, s: s, prov: p}
+	t.pools = make([]freeList, p.MaxThreads())
+	p.Domain().SetFreeFunc(func(tid int, h *epoch.Node) {
+		fl := &t.pools[tid]
+		if len(fl.nodes) < 4096 {
+			fl.nodes = append(fl.nodes, ownerOf(h))
+		}
+	})
+	return t
+}
+
+func (t *Tree) alloc(th *rqprov.Thread) *node {
+	fl := &t.pools[th.ID()]
+	if ln := len(fl.nodes); ln > 0 {
+		n := fl.nodes[ln-1]
+		fl.nodes = fl.nodes[:ln-1]
+		return n
+	}
+	return &node{}
+}
+
+func (t *Tree) dealloc(th *rqprov.Thread, n *node) {
+	fl := &t.pools[th.ID()]
+	if len(fl.nodes) < 4096 {
+		fl.nodes = append(fl.nodes, n)
+	}
+}
+
+// seekRec captures the state of a seek: ancestor is the deepest node on the
+// access path entered via an untagged edge above parent, successor its child
+// on the path, parent the leaf's router parent and leaf the terminal leaf.
+// leafV is the raw edge value under which leaf was reached.
+type seekRec struct {
+	ancestor, successor, parent, leaf *node
+	leafV                             unsafe.Pointer
+}
+
+func dirFor(n *node, key int64) int {
+	if key < n.Key() {
+		return 0
+	}
+	return 1
+}
+
+// seek walks from the root to the leaf for key. It never restarts.
+func (t *Tree) seek(key int64) seekRec {
+	anc, succ := t.root, t.s
+	par := t.s
+	currV := t.s.child[0].Load()
+	curr := ptr(currV)
+	for curr.Routing() {
+		if !tagged(currV) {
+			anc, succ = par, curr
+		}
+		par = curr
+		currV = curr.child[dirFor(curr, key)].Load()
+		curr = ptr(currV)
+	}
+	return seekRec{ancestor: anc, successor: succ, parent: par, leaf: curr, leafV: currV}
+}
+
+// cleanup completes a pending deletion near sr (its own, or one it is
+// helping): it tags the sibling edge and splices the region between the
+// ancestor's edge and the parent out of the tree with one CAS. Returns true
+// if this thread's CAS performed the splice.
+//
+// The spliced region can be a *chain*: the seek path between successor and
+// parent consists of edges that are already tagged, each belonging to
+// another pending deletion whose flagged leaf hangs off the chain. The
+// single CAS at the ancestor therefore commits every deletion along the
+// chain at once, so every flagged leaf (set keys) and every router on the
+// chain is passed as dnodes — their dtimes are all the splice's timestamp
+// and they are all retired by the winning thread. Chain edges are immutable
+// (flags and tags are never cleared), which makes the walk race-free.
+func (t *Tree) cleanup(th *rqprov.Thread, key int64, sr seekRec) bool {
+	parent := sr.parent
+	d := dirFor(parent, key)
+	childSlot, siblingSlot := &parent.child[d], &parent.child[1-d]
+	childV := childSlot.Load()
+	if !flagged(childV) {
+		// The pending deletion flagged the other edge (we are helping a
+		// deletion of the sibling leaf).
+		childSlot, siblingSlot = siblingSlot, childSlot
+		childV = childSlot.Load()
+		if !flagged(childV) {
+			return false // already cleaned up
+		}
+	}
+	// Freeze the sibling edge (preserving any flag on it).
+	for {
+		sv := siblingSlot.Load()
+		if tagged(sv) {
+			break
+		}
+		if siblingSlot.CAS(sv, dcss.Pack(dcss.Ptr(sv), dcss.Flags(sv)|tagBit)) {
+			break
+		}
+	}
+	sv := siblingSlot.Load() // tagged ⇒ immutable now
+	newV := dcss.Pack(dcss.Ptr(sv), dcss.Flags(sv)&flagBit)
+
+	// Collect everything the splice removes: walk the (immutable) chain
+	// from successor to parent along the seek path; each interior node
+	// contributes itself (a router) and its flagged leaf.
+	//
+	// A *reachable* chain holds at most one uncommitted deletion per
+	// thread (a deleter loops until its flag is committed), so a longer
+	// walk proves the seek wandered into an already-spliced, frozen
+	// region — the splice CAS below would fail anyway, so give up early
+	// rather than overflow the announcement array.
+	maxRouters := th.Provider().MaxThreads() + 2
+	var dnodes []*epoch.Node
+	for cur := sr.successor; cur != parent; {
+		if maxRouters--; maxRouters < 0 {
+			return false // stale seek record; caller re-seeks
+		}
+		dn := dirFor(cur, key)
+		dnodes = append(dnodes, hdr(cur), hdr(ptr(cur.child[1-dn].Load())))
+		cur = ptr(cur.child[dn].Load())
+	}
+	dnodes = append(dnodes, hdr(parent), hdr(ptr(childV)))
+
+	aSlot := &sr.ancestor.child[dirFor(sr.ancestor, key)]
+	// The splice is the linearization point of every deletion it commits.
+	return th.UpdateCAS(aSlot, fromNode(sr.successor), newV, nil, dnodes, true)
+}
+
+// Insert adds key with the given value; false if key is present.
+func (t *Tree) Insert(th *rqprov.Thread, key, value int64) bool {
+	th.StartOp()
+	defer th.EndOp()
+	var newLeaf, newInternal *node
+	for {
+		sr := t.seek(key)
+		if sr.leaf.Key() == key {
+			if newLeaf != nil {
+				t.dealloc(th, newLeaf)
+			}
+			if newInternal != nil {
+				t.dealloc(th, newInternal)
+			}
+			return false
+		}
+		if dcss.Flags(sr.leafV) != 0 {
+			// The edge to the leaf is flagged or tagged: help the
+			// pending deletion, then retry.
+			t.cleanup(th, key, sr)
+			continue
+		}
+		if newLeaf == nil {
+			newLeaf = t.alloc(th)
+			newInternal = t.alloc(th)
+		}
+		newLeaf.InitKey(key, value)
+		oldLeaf := sr.leaf
+		rk := key
+		if oldLeaf.Key() > rk {
+			rk = oldLeaf.Key()
+		}
+		newInternal.InitRouting(rk)
+		if key < oldLeaf.Key() {
+			newInternal.child[0].Store(fromNode(newLeaf))
+			newInternal.child[1].Store(fromNode(oldLeaf))
+		} else {
+			newInternal.child[0].Store(fromNode(oldLeaf))
+			newInternal.child[1].Store(fromNode(newLeaf))
+		}
+		slot := &sr.parent.child[dirFor(sr.parent, key)]
+		// Linearization: replace the leaf with the new router.
+		if th.UpdateCAS(slot, fromNode(oldLeaf), fromNode(newInternal),
+			[]*epoch.Node{hdr(newLeaf)}, nil, false) {
+			return true
+		}
+		v := slot.Load()
+		if ptr(v) == oldLeaf && dcss.Flags(v) != 0 {
+			t.cleanup(th, key, sr)
+		}
+	}
+}
+
+// Delete removes key; false if key is absent.
+func (t *Tree) Delete(th *rqprov.Thread, key int64) bool {
+	th.StartOp()
+	defer th.EndOp()
+	injected := false
+	var victim *node
+	for {
+		sr := t.seek(key)
+		if !injected {
+			if sr.leaf.Key() != key {
+				return false
+			}
+			if dcss.Flags(sr.leafV) != 0 {
+				// Another operation owns this leaf; help and retry.
+				t.cleanup(th, key, sr)
+				continue
+			}
+			victim = sr.leaf
+			slot := &sr.parent.child[dirFor(sr.parent, key)]
+			// Injection: flag the edge (plain CAS — the deletion
+			// linearizes later, at the splice).
+			if slot.CAS(fromNode(victim), dcss.Pack(fromNode(victim), flagBit)) {
+				injected = true
+				if t.cleanup(th, key, sr) {
+					return true
+				}
+				continue
+			}
+			v := slot.Load()
+			if ptr(v) == victim && dcss.Flags(v) != 0 {
+				t.cleanup(th, key, sr)
+			}
+			continue
+		}
+		// Cleanup mode: finish our own deletion (helpers may beat us).
+		if sr.leaf != victim {
+			return true // spliced by a helper
+		}
+		if t.cleanup(th, key, sr) {
+			return true
+		}
+	}
+}
+
+// Contains reports whether key is present.
+func (t *Tree) Contains(th *rqprov.Thread, key int64) (int64, bool) {
+	th.StartOp()
+	defer th.EndOp()
+	curr := ptr(t.s.child[0].Load())
+	for curr.Routing() {
+		curr = ptr(curr.child[dirFor(curr, key)].Load())
+	}
+	if curr.Key() != key {
+		return 0, false
+	}
+	return curr.Value(), true
+}
+
+// RangeQuery returns all pairs with keys in [low, high], linearized at the
+// query's timestamp increment. The DFS traversal (Figure 1 of the PPoPP '18
+// paper, adapted to an external tree) satisfies COLLECT because searches
+// are exactly sequential external-BST searches.
+func (t *Tree) RangeQuery(th *rqprov.Thread, low, high int64) []epoch.KV {
+	th.StartOp()
+	defer th.EndOp()
+	if high > MaxKey {
+		high = MaxKey
+	}
+	th.TraversalStart(low, high)
+	stack := make([]*node, 0, 64)
+	stack = append(stack, ptr(t.s.child[0].Load()))
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !n.Routing() {
+			if low <= n.Key() && n.Key() <= high {
+				th.Visit(hdr(n))
+			}
+			continue
+		}
+		// External tree: left subtree < n.key, right subtree >= n.key.
+		if low < n.Key() {
+			stack = append(stack, ptr(n.child[0].Load()))
+		}
+		if high >= n.Key() {
+			stack = append(stack, ptr(n.child[1].Load()))
+		}
+	}
+	return th.TraversalEnd()
+}
+
+// Size counts the user leaves (quiescent use only).
+func (t *Tree) Size() int {
+	var count func(n *node) int
+	count = func(n *node) int {
+		if !n.Routing() {
+			if n.Key() <= MaxKey {
+				return 1
+			}
+			return 0
+		}
+		return count(ptr(n.child[0].Load())) + count(ptr(n.child[1].Load()))
+	}
+	return count(ptr(t.s.child[0].Load()))
+}

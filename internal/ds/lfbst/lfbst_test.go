@@ -1,0 +1,48 @@
+package lfbst
+
+import (
+	"testing"
+
+	"ebrrq/internal/dstest"
+	"ebrrq/internal/rqprov"
+)
+
+func builder(p *rqprov.Provider) dstest.Set { return New(p) }
+
+func TestSequential(t *testing.T) {
+	for _, mode := range dstest.AllModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			dstest.RunSequential(t, mode, true, builder, dstest.SequentialCfg{Seed: 51})
+		})
+	}
+}
+
+func TestValidatedConcurrent(t *testing.T) {
+	for _, mode := range dstest.Modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			dstest.RunValidated(t, mode, true, builder, dstest.StressCfg{Seed: 52})
+		})
+	}
+}
+
+func TestValidatedFullIteration(t *testing.T) {
+	for _, mode := range dstest.Modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			dstest.RunValidated(t, mode, true, builder, dstest.StressCfg{
+				Seed: 53, RQRange: 1 << 30, KeySpace: 128,
+			})
+		})
+	}
+}
+
+// TestHighContentionSmallKeys drives many threads over a tiny key space to
+// exercise injection/cleanup helping and tagged chains.
+func TestHighContentionSmallKeys(t *testing.T) {
+	for _, mode := range dstest.Modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			dstest.RunValidated(t, mode, true, builder, dstest.StressCfg{
+				Seed: 54, Updaters: 8, KeySpace: 16, RQRange: 8,
+			})
+		})
+	}
+}

@@ -1,0 +1,304 @@
+// Package lflist implements the Harris-Michael lock-free linked list
+// ("LFList" in the paper's Figure 4) augmented with linearizable range
+// queries via the RQ provider.
+//
+// Deletion is logical-then-physical: a delete linearizes at the CAS that
+// sets the mark bit in the victim's next pointer (routed through
+// Thread.UpdateCAS so the victim's dtime is recorded), and the node is
+// physically unlinked — by the deleter or by a helping traversal — under
+// Thread.PhysicalDelete, which announces the node before unlinking and
+// retires it to the EBR limbo list afterwards.
+//
+// Because a node may be physically unlinked (and hence retired) by a thread
+// other than the one that marked it, per-thread limbo lists are not sorted
+// by dtime; the provider must be configured with LimboSorted=false.
+package lflist
+
+import (
+	"math"
+	"unsafe"
+
+	"ebrrq/internal/dcss"
+	"ebrrq/internal/epoch"
+	"ebrrq/internal/rqprov"
+	"ebrrq/internal/snapc"
+)
+
+// markBit flags a node's next pointer when the node is logically deleted.
+// Bit 0 is reserved by package dcss for descriptors.
+const markBit = uintptr(2)
+
+type node struct {
+	epoch.Node // must be the first field (limbo lists recover *node from it)
+	next       dcss.Slot
+}
+
+func asNode(p unsafe.Pointer) *node     { return (*node)(p) }
+func fromNode(n *node) unsafe.Pointer   { return unsafe.Pointer(n) }
+func hdr(n *node) *epoch.Node           { return &n.Node }
+func ownerOf(h *epoch.Node) *node       { return (*node)(unsafe.Pointer(h)) }
+func marked(v unsafe.Pointer) bool      { return dcss.Flags(v)&markBit != 0 }
+func ptr(v unsafe.Pointer) *node        { return asNode(dcss.Ptr(v)) }
+func pack(n *node, m bool) unsafe.Pointer {
+	if m {
+		return dcss.Pack(fromNode(n), markBit)
+	}
+	return fromNode(n)
+}
+
+// List is a concurrent sorted set over int64 keys in
+// (math.MinInt64, math.MaxInt64) with linearizable range queries.
+type List struct {
+	head  *node
+	tail  *node
+	prov  *rqprov.Provider
+	snap  *snapc.Registry // non-nil: range queries use the Snap-collector
+	pools []freeList
+}
+
+type freeList struct {
+	nodes []*node
+	_     [40]byte // avoid false sharing between per-thread pools
+}
+
+// New creates an empty list attached to the provider. The provider's EBR
+// domain is configured to recycle this list's nodes; a provider must not be
+// shared between data structures.
+func New(p *rqprov.Provider) *List {
+	tail := &node{}
+	tail.InitKey(math.MaxInt64, 0)
+	head := &node{}
+	head.InitKey(math.MinInt64, 0)
+	head.next.Store(pack(tail, false))
+	// Sentinels are permanently "inserted".
+	head.SetITime(1)
+	tail.SetITime(1)
+	l := &List{head: head, tail: tail, prov: p}
+	l.pools = make([]freeList, p.MaxThreads())
+	p.Domain().SetFreeFunc(func(tid int, h *epoch.Node) {
+		fl := &l.pools[tid]
+		if len(fl.nodes) < 4096 {
+			fl.nodes = append(fl.nodes, ownerOf(h))
+		}
+	})
+	return l
+}
+
+// NewSnap creates a list whose range queries are served by the
+// Petrank-Timnat Snap-collector instead of the RQ provider (the paper's
+// "Snap-collector" baseline). Use it with a ModeUnsafe provider so updates
+// pay no timestamping cost; every update and search then reports to the
+// active collector, as the original algorithm requires.
+func NewSnap(p *rqprov.Provider) *List {
+	l := New(p)
+	l.snap = snapc.NewRegistry(p.MaxThreads())
+	return l
+}
+
+// reportIns tells the active collector (if any) that h was inserted or
+// observed present.
+func (l *List) reportIns(t *rqprov.Thread, h *epoch.Node) {
+	if l.snap == nil {
+		return
+	}
+	if c := l.snap.Active(); c != nil {
+		c.Report(t.ID(), h, h.Key(), h.Value(), snapc.ReportInsert)
+	}
+}
+
+// reportDel tells the active collector (if any) that h was deleted or
+// observed marked.
+func (l *List) reportDel(t *rqprov.Thread, h *epoch.Node) {
+	if l.snap == nil {
+		return
+	}
+	if c := l.snap.Active(); c != nil {
+		c.Report(t.ID(), h, h.Key(), h.Value(), snapc.ReportDelete)
+	}
+}
+
+func (l *List) alloc(t *rqprov.Thread, key, value int64) *node {
+	fl := &l.pools[t.ID()]
+	var n *node
+	if ln := len(fl.nodes); ln > 0 {
+		n = fl.nodes[ln-1]
+		fl.nodes = fl.nodes[:ln-1]
+	} else {
+		n = &node{}
+	}
+	n.InitKey(key, value)
+	return n
+}
+
+func (l *List) dealloc(t *rqprov.Thread, n *node) {
+	fl := &l.pools[t.ID()]
+	if len(fl.nodes) < 4096 {
+		fl.nodes = append(fl.nodes, n)
+	}
+}
+
+// find returns (pred, curr) such that pred.key < key <= curr.key, with pred
+// and curr unmarked at the time of observation, physically unlinking marked
+// nodes along the way (with announcement + retire via PhysicalDelete).
+func (l *List) find(t *rqprov.Thread, key int64) (*node, *node) {
+retry:
+	for {
+		pred := l.head
+		currv := pred.next.Load()
+		for {
+			curr := ptr(currv)
+			nextv := curr.next.Load()
+			for marked(nextv) {
+				// curr is logically deleted: help unlink it.
+				succ := ptr(nextv)
+				ok := t.PhysicalDelete(oneNode(hdr(curr)), func() bool {
+					return pred.next.CAS(pack(curr, false), pack(succ, false))
+				})
+				if !ok {
+					continue retry
+				}
+				curr = succ
+				nextv = curr.next.Load()
+			}
+			if curr.Key() >= key {
+				return pred, curr
+			}
+			pred = curr
+			currv = nextv
+		}
+	}
+}
+
+// oneNode avoids a heap allocation for single-node inode/dnode slices.
+func oneNode(h *epoch.Node) []*epoch.Node { return []*epoch.Node{h} }
+
+// Insert adds key with the given value. It returns false if key is present.
+func (l *List) Insert(t *rqprov.Thread, key, value int64) bool {
+	t.StartOp()
+	defer t.EndOp()
+	var n *node
+	for {
+		pred, curr := l.find(t, key)
+		if curr.Key() == key {
+			if n != nil {
+				l.dealloc(t, n)
+			}
+			l.reportIns(t, hdr(curr)) // observed present
+			return false
+		}
+		if n == nil {
+			n = l.alloc(t, key, value)
+		}
+		n.next.Store(pack(curr, false))
+		if t.UpdateCAS(&pred.next, pack(curr, false), pack(n, false),
+			oneNode(hdr(n)), nil, false) {
+			l.reportIns(t, hdr(n))
+			return true
+		}
+	}
+}
+
+// Delete removes key. It returns false if key is absent.
+func (l *List) Delete(t *rqprov.Thread, key int64) bool {
+	t.StartOp()
+	defer t.EndOp()
+	for {
+		pred, curr := l.find(t, key)
+		if curr.Key() != key {
+			return false
+		}
+		nextv := curr.next.Load()
+		if marked(nextv) {
+			continue // concurrently deleted; re-find to settle outcome
+		}
+		succ := ptr(nextv)
+		// Linearization: mark curr (records dtime).
+		if !t.UpdateCAS(&curr.next, pack(succ, false), pack(succ, true),
+			nil, oneNode(hdr(curr)), false) {
+			continue
+		}
+		l.reportDel(t, hdr(curr))
+		// Best-effort physical unlink; a later find() will otherwise do it.
+		t.PhysicalDelete(oneNode(hdr(curr)), func() bool {
+			return pred.next.CAS(pack(curr, false), pack(succ, false))
+		})
+		return true
+	}
+}
+
+// Contains reports whether key is present, returning its value. The search
+// is read-only (it does not help unlink marked nodes).
+func (l *List) Contains(t *rqprov.Thread, key int64) (int64, bool) {
+	t.StartOp()
+	defer t.EndOp()
+	curr := l.head
+	for curr.Key() < key {
+		curr = ptr(curr.next.Load())
+	}
+	if curr.Key() != key {
+		return 0, false
+	}
+	if marked(curr.next.Load()) {
+		l.reportDel(t, hdr(curr)) // observed marked
+		return 0, false
+	}
+	l.reportIns(t, hdr(curr)) // observed present
+	return curr.Value(), true
+}
+
+// RangeQuery returns all key-value pairs with keys in [low, high],
+// linearized at the query's timestamp increment. The returned slice is
+// valid until the thread's next range query.
+func (l *List) RangeQuery(t *rqprov.Thread, low, high int64) []epoch.KV {
+	t.StartOp()
+	defer t.EndOp()
+	if l.snap != nil {
+		return l.snapRangeQuery(t, low, high)
+	}
+	t.TraversalStart(low, high)
+	curr := ptr(l.head.next.Load())
+	for curr.Key() < low {
+		curr = ptr(curr.next.Load())
+	}
+	for curr.Key() <= high {
+		nextv := curr.next.Load()
+		t.VisitMaybeMarked(hdr(curr), marked(nextv))
+		curr = ptr(nextv)
+	}
+	return t.TraversalEnd()
+}
+
+// snapRangeQuery takes a full snapshot with the Snap-collector and filters
+// it to [low, high]. Must run inside the caller's StartOp/EndOp (node
+// identities in the collector must not be recycled mid-snapshot).
+func (l *List) snapRangeQuery(t *rqprov.Thread, low, high int64) []epoch.KV {
+	c := l.snap.Acquire()
+	curr := ptr(l.head.next.Load())
+	for curr != l.tail && c.IsActive() {
+		nextv := curr.next.Load()
+		if marked(nextv) {
+			c.Report(t.ID(), hdr(curr), curr.Key(), curr.Value(), snapc.ReportDelete)
+		} else {
+			c.AddNode(hdr(curr), curr.Key(), curr.Value())
+		}
+		curr = ptr(nextv)
+	}
+	c.BlockFurtherNodes()
+	c.Deactivate()
+	c.BlockFurtherReports()
+	return snapc.FilterRange(c.Reconstruct(), low, high)
+}
+
+// Size counts the unmarked nodes; intended for tests and prefill accounting
+// (quiescent use only).
+func (l *List) Size() int {
+	n := 0
+	curr := ptr(l.head.next.Load())
+	for curr != l.tail {
+		if !marked(curr.next.Load()) {
+			n++
+		}
+		curr = ptr(curr.next.Load())
+	}
+	return n
+}

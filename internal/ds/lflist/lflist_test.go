@@ -1,0 +1,64 @@
+package lflist
+
+import (
+	"testing"
+
+	"ebrrq/internal/dstest"
+	"ebrrq/internal/rqprov"
+)
+
+func builder(p *rqprov.Provider) dstest.Set { return New(p) }
+
+func TestSequential(t *testing.T) {
+	for _, mode := range dstest.AllModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			dstest.RunSequential(t, mode, false, builder, dstest.SequentialCfg{Seed: 7})
+		})
+	}
+}
+
+func TestBasic(t *testing.T) {
+	p := rqprov.New(rqprov.Config{MaxThreads: 1, Mode: rqprov.ModeLock})
+	l := New(p)
+	th := p.Register()
+	if !l.Insert(th, 5, 50) || !l.Insert(th, 1, 10) || !l.Insert(th, 9, 90) {
+		t.Fatal("inserts failed")
+	}
+	if l.Insert(th, 5, 55) {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if v, ok := l.Contains(th, 5); !ok || v != 50 {
+		t.Fatalf("Contains(5) = (%d,%v)", v, ok)
+	}
+	res := l.RangeQuery(th, 0, 100)
+	if len(res) != 3 || res[0].Key != 1 || res[1].Key != 5 || res[2].Key != 9 {
+		t.Fatalf("RangeQuery = %v", res)
+	}
+	if !l.Delete(th, 5) || l.Delete(th, 5) {
+		t.Fatal("delete behaviour wrong")
+	}
+	if _, ok := l.Contains(th, 5); ok {
+		t.Fatal("deleted key still present")
+	}
+	if got := l.Size(); got != 2 {
+		t.Fatalf("Size = %d, want 2", got)
+	}
+}
+
+func TestValidatedConcurrent(t *testing.T) {
+	for _, mode := range dstest.Modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			dstest.RunValidated(t, mode, false, builder, dstest.StressCfg{Seed: 11})
+		})
+	}
+}
+
+func TestValidatedFullIteration(t *testing.T) {
+	for _, mode := range dstest.Modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			dstest.RunValidated(t, mode, false, builder, dstest.StressCfg{
+				Seed: 13, RQRange: 1 << 30, KeySpace: 128,
+			})
+		})
+	}
+}

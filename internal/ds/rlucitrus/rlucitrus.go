@@ -1,0 +1,223 @@
+// Package rlucitrus implements an internal binary search tree on RLU — the
+// "RLU" baseline for the Citrus tree in the PPoPP '18 experiments (the
+// paper chose Citrus for the comparison because its lock+RCU design is the
+// closest to RLU's). Structure and deletion strategy mirror package citrus;
+// synchronization replaces RCU + per-node locks with RLU sections, TryLock
+// copies and commit-time RLUSync. Range queries are RLU snapshot reads.
+package rlucitrus
+
+import (
+	"math"
+
+	"ebrrq/internal/epoch"
+	"ebrrq/internal/rlu"
+)
+
+type body struct {
+	key, value int64
+	child      [2]*rlu.Node[body]
+}
+
+// Tree is an internal BST on RLU.
+type Tree struct {
+	dom  *rlu.Domain[body]
+	root *rlu.Node[body] // sentinel, key MaxInt64; user keys under child[0]
+}
+
+// Thread is a per-goroutine handle.
+type Thread struct {
+	t  *rlu.Thread[body]
+	tr *Tree
+}
+
+// New creates an empty tree for up to maxThreads threads.
+func New(maxThreads int) *Tree {
+	return &Tree{
+		dom:  rlu.NewDomain[body](maxThreads),
+		root: rlu.NewNode(body{key: math.MaxInt64}),
+	}
+}
+
+// Register allocates a thread handle.
+func (tr *Tree) Register() *Thread {
+	return &Thread{t: tr.dom.Register(), tr: tr}
+}
+
+func dirFor(key, nodeKey int64) int {
+	if key < nodeKey {
+		return 0
+	}
+	return 1
+}
+
+// locate returns (prev, dir, curr) with curr the (dereferenced) node
+// holding key or nil; prev is dereferenced too.
+func (tr *Tree) locate(t *rlu.Thread[body], key int64) (*rlu.Node[body], int, *rlu.Node[body]) {
+	prev := t.Deref(tr.root)
+	dir := 0
+	curr := t.Deref(prev.Body.child[0])
+	for curr != nil && curr.Body.key != key {
+		prev = curr
+		dir = dirFor(key, curr.Body.key)
+		curr = t.Deref(curr.Body.child[dir])
+	}
+	return prev, dir, curr
+}
+
+// Insert adds key; false if present.
+func (th *Thread) Insert(key, value int64) bool {
+	t := th.t
+	for {
+		t.ReaderLock()
+		prev, dir, curr := th.tr.locate(t, key)
+		if curr != nil {
+			t.ReaderUnlock()
+			return false
+		}
+		p, ok := t.TryLock(prev)
+		if !ok {
+			t.Abort()
+			continue
+		}
+		p.Body.child[dir] = rlu.NewNode(body{key: key, value: value})
+		t.ReaderUnlock() // commit
+		return true
+	}
+}
+
+// Delete removes key; false if absent.
+func (th *Thread) Delete(key int64) bool {
+	t := th.t
+	for {
+		t.ReaderLock()
+		prev, dir, curr := th.tr.locate(t, key)
+		if curr == nil {
+			t.ReaderUnlock()
+			return false
+		}
+		p, ok := t.TryLock(prev)
+		if !ok {
+			t.Abort()
+			continue
+		}
+		c, ok := t.TryLock(curr)
+		if !ok {
+			t.Abort()
+			continue
+		}
+		l := t.Deref(c.Body.child[0])
+		r := t.Deref(c.Body.child[1])
+		if l == nil || r == nil {
+			repl := c.Body.child[0]
+			if l == nil {
+				repl = c.Body.child[1]
+			}
+			p.Body.child[dir] = rlu.Orig(repl)
+			t.ReaderUnlock() // commit
+			return true
+		}
+		if th.deleteTwoChildren(p, dir, c, r) {
+			return true
+		}
+		// aborted inside; retry
+	}
+}
+
+// deleteTwoChildren replaces curr (locked copy c) with a copy of its
+// successor and unlinks the original successor — all in one RLU commit, so
+// readers never observe an intermediate state. Returns false after Abort.
+func (th *Thread) deleteTwoChildren(p *rlu.Node[body], dir int, c *rlu.Node[body], r *rlu.Node[body]) bool {
+	t := th.t
+	// Find the successor (leftmost of the right subtree).
+	succPrev := (*rlu.Node[body])(nil) // nil means succ is curr's right child
+	succ := r
+	for {
+		next := t.Deref(succ.Body.child[0])
+		if next == nil {
+			break
+		}
+		succPrev = succ
+		succ = next
+	}
+	s, ok := t.TryLock(succ)
+	if !ok {
+		t.Abort()
+		return false
+	}
+	n := rlu.NewNode(body{key: s.Body.key, value: s.Body.value})
+	n.Body.child[0] = rlu.Orig(c.Body.child[0])
+	if succPrev == nil {
+		// Successor is curr's right child: its right subtree hangs off
+		// the replacement directly.
+		n.Body.child[1] = rlu.Orig(s.Body.child[1])
+	} else {
+		sp, ok := t.TryLock(succPrev)
+		if !ok {
+			t.Abort()
+			return false
+		}
+		n.Body.child[1] = rlu.Orig(c.Body.child[1])
+		sp.Body.child[0] = rlu.Orig(s.Body.child[1])
+	}
+	p.Body.child[dir] = n
+	t.ReaderUnlock() // commit
+	return true
+}
+
+// Contains reports whether key is present.
+func (th *Thread) Contains(key int64) (int64, bool) {
+	t := th.t
+	t.ReaderLock()
+	_, _, curr := th.tr.locate(t, key)
+	if curr == nil {
+		t.ReaderUnlock()
+		return 0, false
+	}
+	v := curr.Body.value
+	t.ReaderUnlock()
+	return v, true
+}
+
+// RangeQuery returns all pairs in [low, high]; linearized at the section
+// start (RLU snapshot).
+func (th *Thread) RangeQuery(low, high int64) []epoch.KV {
+	t := th.t
+	t.ReaderLock()
+	var res []epoch.KV
+	// Pruned in-order traversal: emits keys in sorted order.
+	stack := make([]*rlu.Node[body], 0, 64)
+	cur := t.Deref(t.Deref(th.tr.root).Body.child[0])
+	for cur != nil || len(stack) > 0 {
+		for cur != nil {
+			stack = append(stack, cur)
+			if low < cur.Body.key {
+				cur = t.Deref(cur.Body.child[0])
+			} else {
+				cur = nil
+			}
+		}
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		k := n.Body.key
+		if low <= k && k <= high {
+			res = append(res, epoch.KV{Key: k, Value: n.Body.value})
+		}
+		if high > k {
+			cur = t.Deref(n.Body.child[1])
+		}
+	}
+	t.ReaderUnlock()
+	return res
+}
+
+// Size counts keys (quiescent use only).
+func (tr *Tree) Size() int {
+	var count func(n *rlu.Node[body]) int
+	count = func(n *rlu.Node[body]) int {
+		if n == nil {
+			return 0
+		}
+		return 1 + count(n.Body.child[0]) + count(n.Body.child[1])
+	}
+	return count(tr.root.Body.child[0])
+}

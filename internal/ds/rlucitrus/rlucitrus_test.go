@@ -1,0 +1,130 @@
+package rlucitrus
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSequentialModel(t *testing.T) {
+	tr := New(2)
+	th := tr.Register()
+	model := map[int64]int64{}
+	rng := rand.New(rand.NewSource(73))
+	for i := 0; i < 20000; i++ {
+		k := rng.Int63n(300)
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			v := rng.Int63n(1 << 30)
+			_, have := model[k]
+			if got := th.Insert(k, v); got == have {
+				t.Fatalf("op %d: Insert(%d)=%v have=%v", i, k, got, have)
+			}
+			if !have {
+				model[k] = v
+			}
+		case 4, 5, 6:
+			_, have := model[k]
+			if got := th.Delete(k); got != have {
+				t.Fatalf("op %d: Delete(%d)=%v have=%v", i, k, got, have)
+			}
+			delete(model, k)
+		case 7, 8:
+			wantV, want := model[k]
+			gotV, got := th.Contains(k)
+			if got != want || (want && gotV != wantV) {
+				t.Fatalf("op %d: Contains(%d)=(%d,%v) want (%d,%v)", i, k, gotV, got, wantV, want)
+			}
+		default:
+			lo := rng.Int63n(300)
+			hi := lo + rng.Int63n(80)
+			res := th.RangeQuery(lo, hi)
+			want := 0
+			for mk := range model {
+				if lo <= mk && mk <= hi {
+					want++
+				}
+			}
+			if len(res) != want {
+				t.Fatalf("op %d: RQ(%d,%d) len %d want %d", i, lo, hi, len(res), want)
+			}
+			for j := 1; j < len(res); j++ {
+				if res[j-1].Key >= res[j].Key {
+					t.Fatalf("op %d: RQ unsorted", i)
+				}
+			}
+		}
+	}
+	if got, want := tr.Size(), len(model); got != want {
+		t.Fatalf("Size=%d want %d", got, want)
+	}
+}
+
+func TestTwoChildDeletion(t *testing.T) {
+	tr := New(1)
+	th := tr.Register()
+	for _, k := range []int64{50, 25, 80, 60, 90, 55} {
+		if !th.Insert(k, k*2) {
+			t.Fatalf("insert %d", k)
+		}
+	}
+	if !th.Delete(50) { // successor 55 deep in right subtree
+		t.Fatal("delete 50")
+	}
+	for _, k := range []int64{25, 55, 60, 80, 90} {
+		if v, ok := th.Contains(k); !ok || v != k*2 {
+			t.Fatalf("lost %d after two-child delete", k)
+		}
+	}
+	if !th.Delete(80) { // successor 90 is direct right child
+		t.Fatal("delete 80")
+	}
+	res := th.RangeQuery(0, 100)
+	if len(res) != 4 {
+		t.Fatalf("RQ len %d: %v", len(res), res)
+	}
+}
+
+// TestSnapshotPrefix mirrors the rlulist test on the tree.
+func TestSnapshotPrefix(t *testing.T) {
+	const writers = 3
+	tr := New(writers + 2)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			th := tr.Register()
+			r := rand.New(rand.NewSource(id))
+			for i := int64(0); !stop.Load() && i < 1<<20; i++ {
+				// Insert in increasing sequence order, random subtrees.
+				th.Insert(id*1_000_000+i, r.Int63())
+			}
+		}(int64(w))
+	}
+	rq := tr.Register()
+	deadline := time.Now().Add(400 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		res := rq.RangeQuery(0, 1<<62)
+		last := make(map[int64]int64)
+		counts := make(map[int64]int64)
+		for _, kv := range res {
+			w := kv.Key / 1_000_000
+			i := kv.Key % 1_000_000
+			if i > last[w] {
+				last[w] = i
+			}
+			counts[w]++
+		}
+		for w, hi := range last {
+			if counts[w] != hi+1 {
+				t.Fatalf("writer %d: %d keys, max index %d — snapshot hole", w, counts[w], hi)
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}

@@ -1,0 +1,149 @@
+// Package rlulist implements the linked list of the RLU paper (Matveev et
+// al., SOSP '15) — the "RLU" baseline for LazyList in the PPoPP '18
+// experiments. Readers (including range queries) run in RLU read-side
+// sections and observe a consistent snapshot; every update commits through
+// RLUSync, waiting for all concurrent sections.
+//
+// Within a section, originals cannot change (committers wait for active
+// sections), so a successful TryLock needs no re-validation: conflicting
+// writers are detected by TryLock failure, which aborts and retries.
+package rlulist
+
+import (
+	"math"
+
+	"ebrrq/internal/epoch"
+	"ebrrq/internal/rlu"
+)
+
+type body struct {
+	key, value int64
+	next       *rlu.Node[body]
+}
+
+// List is a sorted set on RLU.
+type List struct {
+	dom  *rlu.Domain[body]
+	head *rlu.Node[body]
+}
+
+// Thread is a per-goroutine handle.
+type Thread struct {
+	t *rlu.Thread[body]
+	l *List
+}
+
+// New creates an empty list for up to maxThreads threads.
+func New(maxThreads int) *List {
+	tail := rlu.NewNode(body{key: math.MaxInt64})
+	head := rlu.NewNode(body{key: math.MinInt64, next: tail})
+	return &List{dom: rlu.NewDomain[body](maxThreads), head: head}
+}
+
+// Register allocates a thread handle.
+func (l *List) Register() *Thread {
+	return &Thread{t: l.dom.Register(), l: l}
+}
+
+// find locates (prev, curr) with prev.key < key <= curr.key inside the
+// caller's section, dereferencing through RLU.
+func (l *List) find(t *rlu.Thread[body], key int64) (*rlu.Node[body], *rlu.Node[body]) {
+	prev := t.Deref(l.head)
+	curr := t.Deref(prev.Body.next)
+	for curr.Body.key < key {
+		prev = curr
+		curr = t.Deref(curr.Body.next)
+	}
+	return prev, curr
+}
+
+// Insert adds key; false if present.
+func (th *Thread) Insert(key, value int64) bool {
+	t := th.t
+	for {
+		t.ReaderLock()
+		prev, curr := th.l.find(t, key)
+		if curr.Body.key == key {
+			t.ReaderUnlock()
+			return false
+		}
+		p, ok := t.TryLock(prev)
+		if !ok {
+			t.Abort()
+			continue
+		}
+		n := rlu.NewNode(body{key: key, value: value, next: rlu.Orig(curr)})
+		p.Body.next = n
+		t.ReaderUnlock() // commit
+		return true
+	}
+}
+
+// Delete removes key; false if absent.
+func (th *Thread) Delete(key int64) bool {
+	t := th.t
+	for {
+		t.ReaderLock()
+		prev, curr := th.l.find(t, key)
+		if curr.Body.key != key {
+			t.ReaderUnlock()
+			return false
+		}
+		p, ok := t.TryLock(prev)
+		if !ok {
+			t.Abort()
+			continue
+		}
+		c, ok := t.TryLock(curr)
+		if !ok {
+			t.Abort()
+			continue
+		}
+		p.Body.next = rlu.Orig(c.Body.next)
+		t.ReaderUnlock() // commit; curr is unlinked (GC reclaims)
+		return true
+	}
+}
+
+// Contains reports whether key is present.
+func (th *Thread) Contains(key int64) (int64, bool) {
+	t := th.t
+	t.ReaderLock()
+	_, curr := th.l.find(t, key)
+	found := curr.Body.key == key
+	v := curr.Body.value
+	t.ReaderUnlock()
+	if !found {
+		return 0, false
+	}
+	return v, true
+}
+
+// RangeQuery returns all pairs in [low, high]; it is linearized at the
+// section start (RLU snapshot).
+func (th *Thread) RangeQuery(low, high int64) []epoch.KV {
+	t := th.t
+	t.ReaderLock()
+	var res []epoch.KV
+	curr := t.Deref(t.Deref(th.l.head).Body.next)
+	for curr.Body.key < low {
+		curr = t.Deref(curr.Body.next)
+	}
+	for curr.Body.key <= high {
+		res = append(res, epoch.KV{Key: curr.Body.key, Value: curr.Body.value})
+		curr = t.Deref(curr.Body.next)
+	}
+	t.ReaderUnlock()
+	return res
+}
+
+// Size counts keys (quiescent use only).
+func (l *List) Size() int {
+	n := 0
+	curr := l.head.Body.next
+	for curr.Body.key != math.MaxInt64 {
+		n++
+		curr = curr.Body.next
+	}
+	return n
+}

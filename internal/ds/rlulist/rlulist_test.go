@@ -1,0 +1,142 @@
+package rlulist
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSequentialModel(t *testing.T) {
+	l := New(2)
+	th := l.Register()
+	model := map[int64]int64{}
+	rng := rand.New(rand.NewSource(71))
+	for i := 0; i < 20000; i++ {
+		k := rng.Int63n(200)
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			v := rng.Int63n(1 << 30)
+			_, have := model[k]
+			if got := th.Insert(k, v); got == have {
+				t.Fatalf("op %d: Insert(%d)=%v have=%v", i, k, got, have)
+			}
+			if !have {
+				model[k] = v
+			}
+		case 4, 5, 6:
+			_, have := model[k]
+			if got := th.Delete(k); got != have {
+				t.Fatalf("op %d: Delete(%d)=%v have=%v", i, k, got, have)
+			}
+			delete(model, k)
+		case 7, 8:
+			wantV, want := model[k]
+			gotV, got := th.Contains(k)
+			if got != want || (want && gotV != wantV) {
+				t.Fatalf("op %d: Contains(%d)", i, k)
+			}
+		default:
+			lo := rng.Int63n(200)
+			hi := lo + rng.Int63n(50)
+			res := th.RangeQuery(lo, hi)
+			want := 0
+			for mk := range model {
+				if lo <= mk && mk <= hi {
+					want++
+				}
+			}
+			if len(res) != want {
+				t.Fatalf("op %d: RQ(%d,%d) len %d want %d", i, lo, hi, len(res), want)
+			}
+		}
+	}
+}
+
+// TestSnapshotPrefix: writers insert strictly increasing keys; every range
+// query must see, per writer, a prefix of its sequence. A non-snapshot
+// traversal can violate this (seeing key i+1 while missing key i).
+func TestSnapshotPrefix(t *testing.T) {
+	const writers = 3
+	l := New(writers + 2)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			th := l.Register()
+			for i := int64(0); !stop.Load() && i < 1<<20; i++ {
+				th.Insert(id*1_000_000+i, i)
+			}
+		}(int64(w))
+	}
+	rq := l.Register()
+	deadline := time.Now().Add(400 * time.Millisecond)
+	checks := 0
+	for time.Now().Before(deadline) {
+		res := rq.RangeQuery(0, 1<<62)
+		last := make(map[int64]int64)
+		counts := make(map[int64]int64)
+		for _, kv := range res {
+			w := kv.Key / 1_000_000
+			i := kv.Key % 1_000_000
+			if i > last[w] {
+				last[w] = i
+			}
+			counts[w]++
+		}
+		for w, hi := range last {
+			if counts[w] != hi+1 {
+				t.Fatalf("writer %d: saw %d keys but max index %d — snapshot hole", w, counts[w], hi)
+			}
+		}
+		checks++
+	}
+	stop.Store(true)
+	wg.Wait()
+	if checks == 0 {
+		t.Fatal("no snapshot checks performed")
+	}
+}
+
+func TestConcurrentMixedSmoke(t *testing.T) {
+	l := New(6)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			th := l.Register()
+			r := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				k := r.Int63n(128)
+				switch r.Intn(3) {
+				case 0:
+					th.Insert(k, k)
+				case 1:
+					th.Delete(k)
+				default:
+					th.Contains(k)
+				}
+			}
+		}(int64(w))
+	}
+	rq := l.Register()
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		res := rq.RangeQuery(20, 90)
+		for i, kv := range res {
+			if kv.Key < 20 || kv.Key > 90 {
+				t.Fatalf("out-of-range key %d", kv.Key)
+			}
+			if i > 0 && res[i-1].Key >= kv.Key {
+				t.Fatalf("unsorted/duplicate result")
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}

@@ -1,0 +1,57 @@
+package skiplist
+
+import (
+	"testing"
+
+	"ebrrq/internal/dstest"
+	"ebrrq/internal/rqprov"
+)
+
+func builder(p *rqprov.Provider) dstest.Set { return New(p) }
+
+func TestSequential(t *testing.T) {
+	for _, mode := range dstest.AllModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			dstest.RunSequential(t, mode, true, builder, dstest.SequentialCfg{Seed: 31})
+		})
+	}
+}
+
+func TestValidatedConcurrent(t *testing.T) {
+	for _, mode := range dstest.Modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			dstest.RunValidated(t, mode, true, builder, dstest.StressCfg{Seed: 32})
+		})
+	}
+}
+
+func TestValidatedFullIteration(t *testing.T) {
+	for _, mode := range dstest.Modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			dstest.RunValidated(t, mode, true, builder, dstest.StressCfg{
+				Seed: 33, RQRange: 1 << 30, KeySpace: 128,
+			})
+		})
+	}
+}
+
+func TestTowerDistribution(t *testing.T) {
+	p := rqprov.New(rqprov.Config{MaxThreads: 1, Mode: rqprov.ModeLock, LimboSorted: true})
+	l := New(p)
+	counts := make([]int, maxLevel)
+	for i := 0; i < 100000; i++ {
+		counts[l.randomLevel(0)]++
+	}
+	if counts[0] < 40000 || counts[0] > 60000 {
+		t.Fatalf("level-0 frequency %d outside geometric expectation", counts[0])
+	}
+	for lv := 1; lv < 5; lv++ {
+		if counts[lv] == 0 {
+			t.Fatalf("level %d never drawn", lv)
+		}
+		ratio := float64(counts[lv-1]) / float64(counts[lv])
+		if ratio < 1.5 || ratio > 2.7 {
+			t.Fatalf("level %d/%d ratio %.2f not ~2", lv-1, lv, ratio)
+		}
+	}
+}

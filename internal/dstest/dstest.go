@@ -1,0 +1,225 @@
+// Package dstest provides the shared correctness harness used by the tests
+// of every data structure: sequential model checking against a reference
+// map, and concurrent stress runs validated with the paper's
+// timestamp-replay technique (package validate).
+package dstest
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ebrrq/internal/epoch"
+	"ebrrq/internal/rqprov"
+	"ebrrq/internal/validate"
+)
+
+// Set is the common interface implemented by every data structure in
+// internal/ds.
+type Set interface {
+	Insert(t *rqprov.Thread, key, value int64) bool
+	Delete(t *rqprov.Thread, key int64) bool
+	Contains(t *rqprov.Thread, key int64) (int64, bool)
+	RangeQuery(t *rqprov.Thread, low, high int64) []epoch.KV
+}
+
+// Builder constructs a set attached to a provider.
+type Builder func(p *rqprov.Provider) Set
+
+// SequentialCfg parameterizes RunSequential.
+type SequentialCfg struct {
+	Ops      int   // number of random operations (default 20000)
+	KeySpace int64 // keys drawn from [0, KeySpace) (default 200)
+	Seed     int64
+}
+
+// RunSequential drives a single thread of random operations, checking every
+// result against a reference map and periodically cross-checking range
+// queries.
+func RunSequential(t *testing.T, mode rqprov.Mode, limboSorted bool, build Builder, cfg SequentialCfg) {
+	t.Helper()
+	if cfg.Ops == 0 {
+		cfg.Ops = 20000
+	}
+	if cfg.KeySpace == 0 {
+		cfg.KeySpace = 200
+	}
+	p := rqprov.New(rqprov.Config{MaxThreads: 2, Mode: mode, LimboSorted: limboSorted, MaxAnnounce: 64})
+	s := build(p)
+	th := p.Register()
+	model := map[int64]int64{}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	for i := 0; i < cfg.Ops; i++ {
+		k := rng.Int63n(cfg.KeySpace)
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			v := rng.Int63n(1 << 30)
+			want := false
+			if _, ok := model[k]; !ok {
+				model[k] = v
+				want = true
+			}
+			if got := s.Insert(th, k, v); got != want {
+				t.Fatalf("op %d: Insert(%d)=%v, want %v", i, k, got, want)
+			}
+		case 4, 5, 6:
+			_, want := model[k]
+			delete(model, k)
+			if got := s.Delete(th, k); got != want {
+				t.Fatalf("op %d: Delete(%d)=%v, want %v", i, k, got, want)
+			}
+		case 7, 8:
+			wantV, want := model[k]
+			gotV, got := s.Contains(th, k)
+			if got != want || (want && gotV != wantV) {
+				t.Fatalf("op %d: Contains(%d)=(%d,%v), want (%d,%v)", i, k, gotV, got, wantV, want)
+			}
+		default:
+			lo := rng.Int63n(cfg.KeySpace)
+			hi := lo + rng.Int63n(cfg.KeySpace/4+1)
+			got := s.RangeQuery(th, lo, hi)
+			checkRangeAgainstModel(t, i, model, lo, hi, got)
+		}
+	}
+	// Full iteration at the end.
+	got := s.RangeQuery(th, 0, cfg.KeySpace)
+	checkRangeAgainstModel(t, cfg.Ops, model, 0, cfg.KeySpace, got)
+}
+
+func checkRangeAgainstModel(t *testing.T, op int, model map[int64]int64, lo, hi int64, got []epoch.KV) {
+	t.Helper()
+	want := 0
+	for k := range model {
+		if lo <= k && k <= hi {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("op %d: RangeQuery(%d,%d) returned %d keys, want %d (got %v)", op, lo, hi, len(got), want, got)
+	}
+	for i, kv := range got {
+		if i > 0 && kv.Key <= got[i-1].Key {
+			t.Fatalf("op %d: RangeQuery(%d,%d) unsorted at index %d", op, lo, hi, i)
+		}
+		v, ok := model[kv.Key]
+		if !ok || kv.Key < lo || kv.Key > hi {
+			t.Fatalf("op %d: RangeQuery(%d,%d) returned spurious key %d", op, lo, hi, kv.Key)
+		}
+		if v != kv.Value {
+			t.Fatalf("op %d: RangeQuery(%d,%d) key %d value %d, want %d", op, lo, hi, kv.Key, kv.Value, v)
+		}
+	}
+}
+
+// StressCfg parameterizes RunValidated.
+type StressCfg struct {
+	Updaters  int           // threads doing 50% insert / 50% delete (default 4)
+	RQThreads int           // threads doing 100% range queries (default 2)
+	KeySpace  int64         // default 256
+	RQRange   int64         // range width (default 32; 0 ⇒ full key space)
+	Duration  time.Duration // default 300ms
+	Seed      int64
+	Prefill   bool // prefill to ~KeySpace/2 before the run (default via PrefillOn)
+}
+
+// RunValidated runs a concurrent mixed workload and validates every range
+// query with the timestamp-replay checker. Not applicable to ModeUnsafe
+// (whose queries are deliberately non-linearizable).
+func RunValidated(t *testing.T, mode rqprov.Mode, limboSorted bool, build Builder, cfg StressCfg) {
+	t.Helper()
+	if mode == rqprov.ModeUnsafe {
+		t.Fatal("dstest: RunValidated requires a linearizable mode")
+	}
+	if cfg.Updaters == 0 {
+		cfg.Updaters = 4
+	}
+	if cfg.RQThreads == 0 {
+		cfg.RQThreads = 2
+	}
+	if cfg.KeySpace == 0 {
+		cfg.KeySpace = 256
+	}
+	if cfg.RQRange == 0 {
+		cfg.RQRange = 32
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 300 * time.Millisecond
+	}
+	n := cfg.Updaters + cfg.RQThreads + 1
+	checker := validate.NewChecker(n)
+	p := rqprov.New(rqprov.Config{
+		MaxThreads:  n,
+		Mode:        mode,
+		LimboSorted: limboSorted,
+		MaxAnnounce: 64, // room for B-slack group compressions
+		Recorder:    checker,
+	})
+	s := build(p)
+
+	// Prefill.
+	pre := p.Register()
+	rng := rand.New(rand.NewSource(cfg.Seed + 99))
+	for inserted := int64(0); inserted < cfg.KeySpace/2; {
+		k := rng.Int63n(cfg.KeySpace)
+		if s.Insert(pre, k, k*10) {
+			inserted++
+		}
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Updaters; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			th := p.Register()
+			r := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				k := r.Int63n(cfg.KeySpace)
+				if r.Intn(2) == 0 {
+					s.Insert(th, k, r.Int63n(1<<30))
+				} else {
+					s.Delete(th, k)
+				}
+			}
+		}(cfg.Seed + int64(w))
+	}
+	for w := 0; w < cfg.RQThreads; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			th := p.Register()
+			r := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				width := cfg.RQRange
+				lo := int64(0)
+				if width >= cfg.KeySpace {
+					width = cfg.KeySpace
+				} else {
+					lo = r.Int63n(cfg.KeySpace - width)
+				}
+				res := s.RangeQuery(th, lo, lo+width-1)
+				checker.AddRQ(th.ID(), th.LastRQTS(), lo, lo+width-1, res)
+			}
+		}(cfg.Seed + 1000 + int64(w))
+	}
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+
+	if checker.RQs() == 0 {
+		t.Fatal("dstest: no range queries executed")
+	}
+	if err := checker.Check(); err != nil {
+		t.Fatalf("validation failed after %d events / %d rqs: %v", checker.Events(), checker.RQs(), err)
+	}
+}
+
+// Modes lists the three linearizable provider modes for table-driven tests.
+var Modes = []rqprov.Mode{rqprov.ModeLock, rqprov.ModeHTM, rqprov.ModeLockFree}
+
+// AllModes additionally includes ModeUnsafe (sequential tests only).
+var AllModes = []rqprov.Mode{rqprov.ModeUnsafe, rqprov.ModeLock, rqprov.ModeHTM, rqprov.ModeLockFree}

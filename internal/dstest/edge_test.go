@@ -1,0 +1,204 @@
+package dstest_test
+
+import (
+	"testing"
+
+	"ebrrq"
+)
+
+// Edge-case behaviour that every structure × technique pair must share.
+
+func pairs() [][2]any {
+	var out [][2]any
+	for _, d := range []ebrrq.DataStructure{ebrrq.LFList, ebrrq.LazyList,
+		ebrrq.SkipList, ebrrq.LFBST, ebrrq.Citrus, ebrrq.ABTree, ebrrq.BSlack} {
+		for _, t := range []ebrrq.Technique{ebrrq.Unsafe, ebrrq.Lock,
+			ebrrq.HTM, ebrrq.LockFree, ebrrq.Snap, ebrrq.RLU} {
+			if ebrrq.Supported(d, t) {
+				out = append(out, [2]any{d, t})
+			}
+		}
+	}
+	return out
+}
+
+func TestEmptySetBehaviour(t *testing.T) {
+	for _, p := range pairs() {
+		d, tech := p[0].(ebrrq.DataStructure), p[1].(ebrrq.Technique)
+		t.Run(d.String()+"/"+tech.String(), func(t *testing.T) {
+			s, err := ebrrq.New(d, tech, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			th := s.NewThread()
+			if _, ok := th.Contains(5); ok {
+				t.Fatal("empty set contains 5")
+			}
+			if th.Delete(5) {
+				t.Fatal("delete from empty set succeeded")
+			}
+			if res := th.RangeQuery(0, 1000); len(res) != 0 {
+				t.Fatalf("empty set RQ returned %v", res)
+			}
+			if res := th.RangeQuery(ebrrq.MinKey, ebrrq.MaxKey); len(res) != 0 {
+				t.Fatalf("empty full-range RQ returned %v", res)
+			}
+		})
+	}
+}
+
+func TestSingletonRanges(t *testing.T) {
+	for _, p := range pairs() {
+		d, tech := p[0].(ebrrq.DataStructure), p[1].(ebrrq.Technique)
+		t.Run(d.String()+"/"+tech.String(), func(t *testing.T) {
+			s, err := ebrrq.New(d, tech, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			th := s.NewThread()
+			th.Insert(10, 100)
+			// Exact-point range.
+			if res := th.RangeQuery(10, 10); len(res) != 1 || res[0].Key != 10 || res[0].Value != 100 {
+				t.Fatalf("point RQ = %v", res)
+			}
+			// Adjacent empty ranges.
+			if res := th.RangeQuery(11, 11); len(res) != 0 {
+				t.Fatalf("RQ(11,11) = %v", res)
+			}
+			if res := th.RangeQuery(9, 9); len(res) != 0 {
+				t.Fatalf("RQ(9,9) = %v", res)
+			}
+			// Inverted range is empty.
+			if res := th.RangeQuery(20, 10); len(res) != 0 {
+				t.Fatalf("inverted RQ = %v", res)
+			}
+		})
+	}
+}
+
+func TestBoundaryKeys(t *testing.T) {
+	for _, p := range pairs() {
+		d, tech := p[0].(ebrrq.DataStructure), p[1].(ebrrq.Technique)
+		t.Run(d.String()+"/"+tech.String(), func(t *testing.T) {
+			s, err := ebrrq.New(d, tech, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			th := s.NewThread()
+			for _, k := range []int64{ebrrq.MinKey, 0, -1, ebrrq.MaxKey} {
+				if !th.Insert(k, k) {
+					t.Fatalf("insert boundary key %d failed", k)
+				}
+				if v, ok := th.Contains(k); !ok || v != k {
+					t.Fatalf("contains boundary key %d = (%d,%v)", k, v, ok)
+				}
+			}
+			res := th.RangeQuery(ebrrq.MinKey, ebrrq.MaxKey)
+			if len(res) != 4 {
+				t.Fatalf("full RQ over boundary keys = %v", res)
+			}
+			for _, k := range []int64{ebrrq.MinKey, 0, -1, ebrrq.MaxKey} {
+				if !th.Delete(k) {
+					t.Fatalf("delete boundary key %d failed", k)
+				}
+			}
+		})
+	}
+}
+
+// TestReinsertionCycles exercises recycling: the same key churns through
+// enough insert/delete cycles to flow nodes through the limbo lists and
+// back out of the per-thread pools.
+func TestReinsertionCycles(t *testing.T) {
+	for _, p := range pairs() {
+		d, tech := p[0].(ebrrq.DataStructure), p[1].(ebrrq.Technique)
+		t.Run(d.String()+"/"+tech.String(), func(t *testing.T) {
+			s, err := ebrrq.New(d, tech, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			th := s.NewThread()
+			for cycle := int64(0); cycle < 2000; cycle++ {
+				k := cycle % 8
+				if !th.Insert(k, cycle) {
+					t.Fatalf("cycle %d: insert failed", cycle)
+				}
+				if v, ok := th.Contains(k); !ok || v != cycle {
+					t.Fatalf("cycle %d: contains = (%d,%v)", cycle, v, ok)
+				}
+				if !th.Delete(k) {
+					t.Fatalf("cycle %d: delete failed", cycle)
+				}
+			}
+			if res := th.RangeQuery(0, 100); len(res) != 0 {
+				t.Fatalf("leftover keys after churn: %v", res)
+			}
+		})
+	}
+}
+
+// TestInsertDoesNotOverwrite pins down the no-overwrite contract.
+func TestInsertDoesNotOverwrite(t *testing.T) {
+	for _, p := range pairs() {
+		d, tech := p[0].(ebrrq.DataStructure), p[1].(ebrrq.Technique)
+		t.Run(d.String()+"/"+tech.String(), func(t *testing.T) {
+			s, err := ebrrq.New(d, tech, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			th := s.NewThread()
+			th.Insert(1, 111)
+			if th.Insert(1, 222) {
+				t.Fatal("second insert succeeded")
+			}
+			if v, _ := th.Contains(1); v != 111 {
+				t.Fatalf("value overwritten: %d", v)
+			}
+			res := th.RangeQuery(1, 1)
+			if len(res) != 1 || res[0].Value != 111 {
+				t.Fatalf("RQ sees overwritten value: %v", res)
+			}
+		})
+	}
+}
+
+// TestMonotonicInsertThenReverseDelete builds an adversarial (sorted)
+// insertion order — the worst case for the unbalanced BSTs — and drains in
+// reverse, checking full-range queries along the way.
+func TestMonotonicInsertThenReverseDelete(t *testing.T) {
+	const n = 800
+	for _, p := range pairs() {
+		d, tech := p[0].(ebrrq.DataStructure), p[1].(ebrrq.Technique)
+		t.Run(d.String()+"/"+tech.String(), func(t *testing.T) {
+			s, err := ebrrq.New(d, tech, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			th := s.NewThread()
+			for i := int64(0); i < n; i++ {
+				if !th.Insert(i, i) {
+					t.Fatalf("insert %d", i)
+				}
+			}
+			res := th.RangeQuery(0, n)
+			if len(res) != n {
+				t.Fatalf("full RQ = %d keys, want %d", len(res), n)
+			}
+			for i := 0; i < n; i++ {
+				if res[i].Key != int64(i) {
+					t.Fatalf("order broken at %d: %d", i, res[i].Key)
+				}
+			}
+			for i := int64(n - 1); i >= 0; i-- {
+				if !th.Delete(i) {
+					t.Fatalf("delete %d", i)
+				}
+				if i%97 == 0 {
+					if got := len(th.RangeQuery(0, n)); got != int(i) {
+						t.Fatalf("after deleting down to %d: %d keys", i, got)
+					}
+				}
+			}
+		})
+	}
+}

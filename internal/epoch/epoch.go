@@ -1,0 +1,404 @@
+// Package epoch implements DEBRA-style epoch-based memory reclamation (EBR)
+// with the extension required by the PPoPP'18 range-query technique of
+// Arbel-Raviv and Brown: per-thread limbo lists that remain traversable by
+// concurrent operations, plus the GetLimboLists operation (exposed here as
+// ForEachLimboList) that returns every limbo list which may contain nodes
+// retired during the calling thread's current operation.
+//
+// The EBR ADT of the paper provides StartOp, EndOp, Retire and GetLimboLists.
+// Retire(node) places node at the head of the retiring thread's current limbo
+// list, so each list is sorted in descending order of deletion time — the
+// property the provider's early-exit optimization relies on.
+//
+// Reclamation in Go: the garbage collector makes use-after-free impossible,
+// but the paper's algorithm depends on nodes not being *reused* while a
+// concurrent operation may still hold a reference (otherwise ABA on data
+// structure pointers and bogus itime/dtime values would corrupt range
+// queries). This package therefore performs real reclamation: when a limbo
+// bag becomes reclaimable (two epoch advances after it was sealed), its nodes
+// are handed to a free function that returns them to per-thread pools for
+// reuse. Premature hand-off would be an observable bug, so the epoch
+// discipline is exercised exactly as in a manually-managed language.
+package epoch
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// KV is a key-value pair stored in a multi-key node.
+type KV struct {
+	Key   int64
+	Value int64
+}
+
+// Node is the header embedded (as the first field) in every data-structure
+// node managed by EBR and the range-query provider. It carries the insertion
+// and deletion timestamps of §4 of the paper, a mirror of the node's key(s)
+// so that limbo-list and announcement sweeps never need to know the concrete
+// node layout, and the limbo-list link.
+//
+// Timestamp encoding: 0 represents ⊥ (not yet set); the provider's global
+// timestamp starts at 1.
+type Node struct {
+	itime     atomic.Uint64
+	dtime     atomic.Uint64
+	key       int64
+	value     int64
+	multi     []KV // key-value pairs of a multi-key node (may be empty)
+	isMulti   bool // true for multi-key nodes (even when multi is empty)
+	routing   bool // true for internal router nodes that hold no set keys
+	limboNext atomic.Pointer[Node]
+
+	// gen counts how many times this node has been recycled. Debug
+	// assertions use it to detect reuse of a node that an operation still
+	// holds; it is also handy when diagnosing ABA bugs.
+	gen atomic.Uint64
+}
+
+// InitKey prepares a (new or recycled) single-key node for insertion.
+func (n *Node) InitKey(key, value int64) {
+	n.key = key
+	n.value = value
+	n.multi = nil
+	n.isMulti = false
+	n.routing = false
+	n.itime.Store(0)
+	n.dtime.Store(0)
+	n.limboNext.Store(nil)
+}
+
+// InitRouting prepares a router node: it participates in traversals (key is
+// its routing key) and in EBR reclamation, but holds no set keys — range
+// queries and the validation recorder ignore it entirely.
+func (n *Node) InitRouting(key int64) {
+	n.key = key
+	n.value = 0
+	n.multi = nil
+	n.isMulti = false
+	n.routing = true
+	n.itime.Store(0)
+	n.dtime.Store(0)
+	n.limboNext.Store(nil)
+}
+
+// Routing reports whether this is a router node (no set keys).
+func (n *Node) Routing() bool { return n.routing }
+
+// InitMulti prepares a (new or recycled) multi-key node for insertion. The
+// slice must not be mutated after the node becomes reachable.
+func (n *Node) InitMulti(kvs []KV) {
+	n.key = 0
+	n.value = 0
+	n.multi = kvs
+	n.isMulti = true
+	n.routing = false
+	n.itime.Store(0)
+	n.dtime.Store(0)
+	n.limboNext.Store(nil)
+}
+
+// Key returns the node's single key. For multi-key nodes use Each.
+func (n *Node) Key() int64 { return n.key }
+
+// Value returns the node's single value.
+func (n *Node) Value() int64 { return n.value }
+
+// Multi returns a multi-key node's key-value pairs (nil or empty for an
+// empty leaf; meaningless for single-key nodes).
+func (n *Node) Multi() []KV { return n.multi }
+
+// IsMulti reports whether the node is a multi-key node.
+func (n *Node) IsMulti() bool { return n.isMulti }
+
+// Each invokes f for every key-value pair held by the node.
+func (n *Node) Each(f func(k, v int64)) {
+	if n.isMulti {
+		for _, kv := range n.multi {
+			f(kv.Key, kv.Value)
+		}
+		return
+	}
+	f(n.key, n.value)
+}
+
+// ContainsInRange reports whether any key of the node lies in [low, high].
+func (n *Node) ContainsInRange(low, high int64) bool {
+	if n.isMulti {
+		for _, kv := range n.multi {
+			if low <= kv.Key && kv.Key <= high {
+				return true
+			}
+		}
+		return false
+	}
+	return low <= n.key && n.key <= high
+}
+
+// ITime returns the node's insertion timestamp (0 = ⊥).
+func (n *Node) ITime() uint64 { return n.itime.Load() }
+
+// DTime returns the node's deletion timestamp (0 = ⊥).
+func (n *Node) DTime() uint64 { return n.dtime.Load() }
+
+// SetITime publishes the node's insertion timestamp. It is idempotent in the
+// lock-free provider (helpers may store the same value concurrently).
+func (n *Node) SetITime(ts uint64) { n.itime.Store(ts) }
+
+// SetDTime publishes the node's deletion timestamp.
+func (n *Node) SetDTime(ts uint64) { n.dtime.Store(ts) }
+
+// LimboNext returns the next node in the limbo list this node belongs to.
+func (n *Node) LimboNext() *Node { return n.limboNext.Load() }
+
+// Gen returns the node's recycling generation.
+func (n *Node) Gen() uint64 { return n.gen.Load() }
+
+// numBags is the number of limbo bags per thread. A bag sealed at epoch e is
+// reclaimable once the global epoch reaches e+2, so three bags (current,
+// previous, reclaimable) suffice.
+const numBags = 3
+
+// scanInterval is the number of operations a thread performs between attempts
+// to advance the global epoch (DEBRA's amortization).
+const scanInterval = 32
+
+type bag struct {
+	epoch atomic.Uint64
+	head  atomic.Pointer[Node]
+	count int // owner-only approximate count
+}
+
+// FreeFunc receives nodes whose reclamation is safe. Implementations
+// typically push the node into a per-thread pool keyed by tid for reuse.
+type FreeFunc func(tid int, n *Node)
+
+// Domain is an EBR domain shared by all threads operating on one (or more)
+// data structures.
+type Domain struct {
+	global     atomic.Uint64
+	threads    []atomic.Pointer[Thread]
+	registered atomic.Int32
+	free       FreeFunc
+
+	// Stats.
+	reclaimed atomic.Uint64
+	advances  atomic.Uint64
+}
+
+// NewDomain creates an EBR domain supporting up to maxThreads registered
+// threads. The global epoch starts at numBags so bag-age arithmetic never
+// underflows.
+func NewDomain(maxThreads int) *Domain {
+	if maxThreads <= 0 {
+		panic("epoch: maxThreads must be positive")
+	}
+	d := &Domain{threads: make([]atomic.Pointer[Thread], maxThreads)}
+	d.global.Store(numBags)
+	return d
+}
+
+// SetFreeFunc installs the reclamation callback. Must be called before any
+// operations run. When unset, reclaimable nodes are simply dropped (the Go GC
+// collects them), which still exercises the full epoch discipline.
+func (d *Domain) SetFreeFunc(f FreeFunc) { d.free = f }
+
+// Register allocates a thread slot in the domain. It is safe to call
+// concurrently. The returned Thread must only be used by a single goroutine.
+func (d *Domain) Register() *Thread {
+	id := int(d.registered.Add(1)) - 1
+	if id >= len(d.threads) {
+		panic(fmt.Sprintf("epoch: more than %d threads registered", len(d.threads)))
+	}
+	t := &Thread{dom: d, id: id}
+	t.ann.Store(quiescentBit) // quiescent
+	e := d.global.Load()
+	// Slot s always holds the most recent epoch ≡ s (mod numBags): tag the
+	// slots for epochs e, e-1, e-2 so rotation arithmetic holds from the
+	// first operation. The global epoch starts at numBags, so no underflow.
+	for k := uint64(0); k < numBags; k++ {
+		t.bags[(e-k)%numBags].epoch.Store(e - k)
+	}
+	t.localEpoch = e
+	d.threads[id].Store(t)
+	return t
+}
+
+// GlobalEpoch returns the current global epoch (useful for stats/tests).
+func (d *Domain) GlobalEpoch() uint64 { return d.global.Load() }
+
+// Advances returns how many times the global epoch has advanced.
+func (d *Domain) Advances() uint64 { return d.advances.Load() }
+
+// Reclaimed returns the total number of nodes handed to the free function.
+func (d *Domain) Reclaimed() uint64 { return d.reclaimed.Load() }
+
+// LimboSize returns the total number of nodes currently in limbo across all
+// threads (approximate; owner-maintained counts).
+func (d *Domain) LimboSize() int {
+	total := 0
+	n := int(d.registered.Load())
+	for i := 0; i < n; i++ {
+		t := d.threads[i].Load()
+		if t == nil {
+			continue
+		}
+		for b := range t.bags {
+			total += t.bags[b].count
+		}
+	}
+	return total
+}
+
+const quiescentBit = 1
+
+// Thread is a per-goroutine EBR handle.
+type Thread struct {
+	dom *Domain
+	id  int
+
+	// ann is (epoch<<1) | quiescentBit. Written by the owner, read by all.
+	ann atomic.Uint64
+
+	bags       [numBags]bag
+	localEpoch uint64
+	opCount    int
+	inOp       bool
+}
+
+// ID returns the thread's slot index within its domain.
+func (t *Thread) ID() int { return t.id }
+
+// Domain returns the domain this thread is registered with.
+func (t *Thread) Domain() *Domain { return t.dom }
+
+// StartOp announces the beginning of a data-structure operation. Every
+// operation (update, search, or range query) must be bracketed by
+// StartOp/EndOp. Operations must not nest.
+func (t *Thread) StartOp() {
+	if t.inOp {
+		panic("epoch: nested StartOp")
+	}
+	t.inOp = true
+	e := t.dom.global.Load()
+	if e != t.localEpoch {
+		t.rotate(e)
+		t.localEpoch = e
+	}
+	t.ann.Store(e << 1)
+	t.opCount++
+	if t.opCount%scanInterval == 0 {
+		t.tryAdvance()
+	}
+}
+
+// EndOp announces the end of the current operation. After EndOp the thread is
+// quiescent and does not block epoch advancement.
+func (t *Thread) EndOp() {
+	if !t.inOp {
+		panic("epoch: EndOp without StartOp")
+	}
+	t.inOp = false
+	t.ann.Store(t.ann.Load() | quiescentBit)
+}
+
+// CurrentEpoch returns the epoch announced by the thread's current operation.
+func (t *Thread) CurrentEpoch() uint64 { return t.localEpoch }
+
+// Retire places a node, already physically removed from the data structure,
+// at the head of the thread's current limbo list. The node will be handed to
+// the domain's free function only after every concurrently running operation
+// has completed.
+func (t *Thread) Retire(n *Node) {
+	if !t.inOp {
+		panic("epoch: Retire outside operation")
+	}
+	b := &t.bags[t.localEpoch%numBags]
+	n.limboNext.Store(b.head.Load())
+	b.head.Store(n) // single producer; readers snapshot head and walk links
+	b.count++
+}
+
+// rotate is called by the owner when its local epoch changes to e: the bag
+// slot for e is reclaimed (its contents are at least numBags-1 epochs old)
+// and re-tagged. Ordering matters for concurrent limbo readers: the head is
+// cleared before the epoch tag is updated, so a reader that observes the new
+// epoch observes the emptied (or newly refilled) list.
+func (t *Thread) rotate(e uint64) {
+	b := &t.bags[e%numBags]
+	old := b.head.Load()
+	if b.epoch.Load()+2 > e {
+		// Cannot happen given the slot arithmetic (slot e%numBags last
+		// held epoch e-numBags), but guard against silent corruption.
+		panic("epoch: rotating a bag that is too young")
+	}
+	b.head.Store(nil)
+	b.epoch.Store(e)
+	n := 0
+	for old != nil {
+		next := old.limboNext.Load()
+		old.gen.Add(1)
+		if t.dom.free != nil {
+			t.dom.free(t.id, old)
+		}
+		old = next
+		n++
+	}
+	b.count = 0
+	if n > 0 {
+		t.dom.reclaimed.Add(uint64(n))
+	}
+}
+
+// tryAdvance attempts to advance the global epoch: it succeeds if every
+// registered thread is either quiescent or has announced the current epoch.
+func (t *Thread) tryAdvance() {
+	d := t.dom
+	e := d.global.Load()
+	n := int(d.registered.Load())
+	for i := 0; i < n; i++ {
+		other := d.threads[i].Load()
+		if other == nil {
+			continue
+		}
+		a := other.ann.Load()
+		if a&quiescentBit == 0 && a>>1 != e {
+			return // other thread still active in an older epoch
+		}
+	}
+	if d.global.CompareAndSwap(e, e+1) {
+		d.advances.Add(1)
+	}
+}
+
+// ForEachLimboList implements GetLimboLists from the paper's EBR ADT: it
+// invokes f with the head of every limbo list that may contain nodes retired
+// during the calling thread's current operation (i.e. every bag whose epoch
+// is at least the caller's announced epoch minus one — older bags can only
+// hold nodes retired strictly before the operation began, and may be
+// reclaimed concurrently). f walks the list via Node.LimboNext; the portion
+// of the chain reachable from the returned head is immutable while the
+// caller remains in its operation.
+func (t *Thread) ForEachLimboList(f func(head *Node)) {
+	if !t.inOp {
+		panic("epoch: ForEachLimboList outside operation")
+	}
+	min := t.localEpoch - 1
+	d := t.dom
+	n := int(d.registered.Load())
+	for i := 0; i < n; i++ {
+		other := d.threads[i].Load()
+		if other == nil {
+			continue
+		}
+		for b := range other.bags {
+			bg := &other.bags[b]
+			if bg.epoch.Load() < min {
+				continue
+			}
+			if head := bg.head.Load(); head != nil {
+				f(head)
+			}
+		}
+	}
+}

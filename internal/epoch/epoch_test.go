@@ -1,0 +1,253 @@
+package epoch
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNodeInit(t *testing.T) {
+	var n Node
+	n.InitKey(7, 70)
+	if n.Key() != 7 || n.Value() != 70 || n.IsMulti() || n.Routing() {
+		t.Fatal("InitKey state wrong")
+	}
+	if n.ITime() != 0 || n.DTime() != 0 {
+		t.Fatal("timestamps must start at ⊥")
+	}
+	n.SetITime(3)
+	n.SetDTime(9)
+	if n.ITime() != 3 || n.DTime() != 9 {
+		t.Fatal("timestamp accessors broken")
+	}
+	n.InitMulti([]KV{{1, 10}, {2, 20}})
+	if !n.IsMulti() || n.Routing() {
+		t.Fatal("InitMulti state wrong")
+	}
+	if n.ITime() != 0 || n.DTime() != 0 {
+		t.Fatal("InitMulti must reset timestamps")
+	}
+	var got []int64
+	n.Each(func(k, v int64) { got = append(got, k, v) })
+	if len(got) != 4 || got[0] != 1 || got[3] != 20 {
+		t.Fatalf("Each over multi = %v", got)
+	}
+	n.InitMulti(nil)
+	count := 0
+	n.Each(func(k, v int64) { count++ })
+	if count != 0 {
+		t.Fatal("empty multi node must enumerate no keys")
+	}
+	n.InitRouting(5)
+	if !n.Routing() || n.IsMulti() || n.Key() != 5 {
+		t.Fatal("InitRouting state wrong")
+	}
+}
+
+func TestContainsInRangeProperty(t *testing.T) {
+	f := func(key, lo, span int64) bool {
+		if span < 0 {
+			span = -span
+		}
+		hi := lo + span%1000
+		var n Node
+		n.InitKey(key, 0)
+		return n.ContainsInRange(lo, hi) == (lo <= key && key <= hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEpochAdvances(t *testing.T) {
+	d := NewDomain(2)
+	t1 := d.Register()
+	start := d.GlobalEpoch()
+	for i := 0; i < 10*scanInterval; i++ {
+		t1.StartOp()
+		t1.EndOp()
+	}
+	if d.GlobalEpoch() <= start {
+		t.Fatalf("epoch did not advance: %d -> %d", start, d.GlobalEpoch())
+	}
+}
+
+func TestActiveThreadBlocksAdvance(t *testing.T) {
+	d := NewDomain(2)
+	t1 := d.Register()
+	t2 := d.Register()
+	t2.StartOp() // t2 stays active at the current epoch
+	e := d.GlobalEpoch()
+	for i := 0; i < 5*scanInterval; i++ {
+		t1.StartOp()
+		t1.EndOp()
+	}
+	// t1 may advance once past t2's announcement but not twice.
+	if g := d.GlobalEpoch(); g > e+1 {
+		t.Fatalf("epoch advanced %d -> %d despite active thread", e, g)
+	}
+	t2.EndOp()
+	for i := 0; i < 5*scanInterval; i++ {
+		t1.StartOp()
+		t1.EndOp()
+	}
+	if g := d.GlobalEpoch(); g <= e+1 {
+		t.Fatalf("epoch stuck at %d after thread quiesced", g)
+	}
+}
+
+func TestRetireReclaimAfterGracePeriod(t *testing.T) {
+	d := NewDomain(1)
+	var freed []int64
+	d.SetFreeFunc(func(tid int, n *Node) { freed = append(freed, n.Key()) })
+	th := d.Register()
+	th.StartOp()
+	n := &Node{}
+	n.InitKey(42, 0)
+	th.Retire(n)
+	th.EndOp()
+	if len(freed) != 0 {
+		t.Fatal("node freed immediately")
+	}
+	for i := 0; i < 10*scanInterval && len(freed) == 0; i++ {
+		th.StartOp()
+		th.EndOp()
+	}
+	if len(freed) != 1 || freed[0] != 42 {
+		t.Fatalf("freed = %v, want [42]", freed)
+	}
+	if d.Reclaimed() != 1 {
+		t.Fatalf("Reclaimed = %d", d.Reclaimed())
+	}
+}
+
+func TestLimboListOrderAndVisibility(t *testing.T) {
+	d := NewDomain(2)
+	th := d.Register()
+	rq := d.Register()
+	rq.StartOp() // pin the epoch so nothing is reclaimed
+	th.StartOp()
+	var nodes []*Node
+	for i := int64(0); i < 10; i++ {
+		n := &Node{}
+		n.InitKey(i, 0)
+		n.SetDTime(uint64(i + 1))
+		th.Retire(n)
+		nodes = append(nodes, n)
+	}
+	seen := map[int64]bool{}
+	var order []int64
+	rq.ForEachLimboList(func(head *Node) {
+		for n := head; n != nil; n = n.LimboNext() {
+			seen[n.Key()] = true
+			order = append(order, n.Key())
+		}
+	})
+	for i := int64(0); i < 10; i++ {
+		if !seen[i] {
+			t.Fatalf("node %d not visible in limbo lists", i)
+		}
+	}
+	// Head insertion ⇒ descending retire order.
+	for i := 1; i < len(order); i++ {
+		if order[i-1] < order[i] {
+			t.Fatalf("limbo list not in reverse retire order: %v", order)
+		}
+	}
+	th.EndOp()
+	rq.EndOp()
+	if d.LimboSize() != 10 {
+		t.Fatalf("LimboSize = %d", d.LimboSize())
+	}
+}
+
+// TestNoPrematureReclaim hammers retire/reclaim with concurrent "readers"
+// that pin nodes they can still reach and verify their generation counters
+// never change while pinned.
+func TestNoPrematureReclaim(t *testing.T) {
+	const nThreads = 4
+	d := NewDomain(nThreads)
+	var freeCount atomic.Int64
+	d.SetFreeFunc(func(tid int, n *Node) { freeCount.Add(1) })
+
+	// Shared "data structure": a single atomic slot holding one node.
+	var slot atomic.Pointer[Node]
+	first := &Node{}
+	first.InitKey(0, 0)
+	slot.Store(first)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var violations atomic.Int64
+	for w := 0; w < nThreads; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			th := d.Register()
+			r := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				th.StartOp()
+				if r.Intn(2) == 0 {
+					// Replace the node, retiring the old one.
+					n := &Node{}
+					n.InitKey(r.Int63(), 0)
+					old := slot.Swap(n)
+					th.Retire(old)
+				} else {
+					// Read and hold across the op: gen must not move.
+					n := slot.Load()
+					g := n.Gen()
+					for i := 0; i < 50; i++ {
+						if n.Gen() != g {
+							violations.Add(1)
+						}
+					}
+				}
+				th.EndOp()
+			}
+		}(int64(w))
+	}
+	time.Sleep(300 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	if violations.Load() != 0 {
+		t.Fatalf("%d premature reclamations detected", violations.Load())
+	}
+	if freeCount.Load() == 0 {
+		t.Fatal("nothing was ever reclaimed; grace-period logic suspicious")
+	}
+}
+
+func TestRegisterPanicsBeyondCapacity(t *testing.T) {
+	d := NewDomain(1)
+	d.Register()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on over-registration")
+		}
+	}()
+	d.Register()
+}
+
+func TestMisusePanics(t *testing.T) {
+	d := NewDomain(1)
+	th := d.Register()
+	mustPanic(t, "nested StartOp", func() { th.StartOp(); th.StartOp() })
+	th.EndOp()
+	mustPanic(t, "EndOp when quiescent", func() { th.EndOp() })
+	mustPanic(t, "Retire outside op", func() { th.Retire(&Node{}) })
+	mustPanic(t, "ForEachLimboList outside op", func() { th.ForEachLimboList(func(*Node) {}) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

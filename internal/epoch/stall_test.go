@@ -1,0 +1,93 @@
+package epoch
+
+import (
+	"testing"
+)
+
+// TestStalledThreadBlocksReclamationNotProgress injects the classic EBR
+// failure mode: one thread enters an operation and stalls indefinitely.
+// Other threads must keep operating correctly; reclamation must stop (the
+// stalled thread pins the epoch, so limbo grows); and once the thread
+// resumes, reclamation must catch up.
+func TestStalledThreadBlocksReclamationNotProgress(t *testing.T) {
+	d := NewDomain(2)
+	freed := 0
+	d.SetFreeFunc(func(tid int, n *Node) { freed++ })
+	worker := d.Register()
+	staller := d.Register()
+
+	staller.StartOp() // stalls here, pinning the current epoch
+
+	// The worker churns: retire many nodes across many operations.
+	for i := 0; i < 20*scanInterval; i++ {
+		worker.StartOp()
+		n := &Node{}
+		n.InitKey(int64(i), 0)
+		worker.Retire(n)
+		worker.EndOp()
+	}
+	// The global epoch can advance at most once past the staller's
+	// announcement, so at most one bag generation was reclaimed.
+	if freed > scanInterval*2 {
+		t.Fatalf("reclaimed %d nodes despite a stalled thread", freed)
+	}
+	pinned := d.LimboSize()
+	if pinned < 19*scanInterval {
+		t.Fatalf("limbo should hold nearly all retired nodes, has %d", pinned)
+	}
+
+	// Resume: reclamation catches up within a few epochs.
+	staller.EndOp()
+	for i := 0; i < 10*scanInterval; i++ {
+		worker.StartOp()
+		worker.EndOp()
+	}
+	if d.LimboSize() >= pinned {
+		t.Fatalf("limbo did not drain after the stall: %d -> %d", pinned, d.LimboSize())
+	}
+	if freed == 0 {
+		t.Fatal("nothing reclaimed after resume")
+	}
+}
+
+// TestStalledReaderPreservesLimboVisibility: nodes retired while a reader
+// is mid-operation stay reachable through its limbo view for the whole
+// operation, no matter how many epochs the other thread would like to
+// advance.
+func TestStalledReaderPreservesLimboVisibility(t *testing.T) {
+	d := NewDomain(2)
+	d.SetFreeFunc(func(tid int, n *Node) {
+		n.InitKey(-999, 0) // poison: visible if reclaimed while referenced
+	})
+	worker := d.Register()
+	reader := d.Register()
+
+	reader.StartOp()
+	// Worker retires nodes during the reader's operation.
+	var retired []*Node
+	for i := 0; i < 5*scanInterval; i++ {
+		worker.StartOp()
+		n := &Node{}
+		n.InitKey(int64(i + 1), 0)
+		n.SetDTime(uint64(i + 1))
+		worker.Retire(n)
+		retired = append(retired, n)
+		worker.EndOp()
+	}
+	// All of them must appear in the reader's limbo view, unpoisoned.
+	seen := map[int64]bool{}
+	reader.ForEachLimboList(func(head *Node) {
+		for n := head; n != nil; n = n.LimboNext() {
+			if n.Key() == -999 {
+				t.Fatal("reader observed a reclaimed (poisoned) node")
+			}
+			seen[n.Key()] = true
+		}
+	})
+	for _, n := range retired {
+		if !seen[n.Key()] {
+			t.Fatalf("node %d retired during the reader's op is invisible", n.Key())
+		}
+	}
+	reader.EndOp()
+}

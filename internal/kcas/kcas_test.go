@@ -1,0 +1,174 @@
+package kcas
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func words(vals ...uint64) []*Word {
+	ws := make([]*Word, len(vals))
+	for i, v := range vals {
+		ws[i] = &Word{}
+		ws[i].Store(NewBox(v))
+	}
+	return ws
+}
+
+func TestKCASBasic(t *testing.T) {
+	ws := words(1, 2, 3)
+	olds := []*Box{ws[0].Read(), ws[1].Read(), ws[2].Read()}
+	news := []*Box{NewBox(10), NewBox(20), NewBox(30)}
+	ok := KCAS([]Entry{
+		{W: ws[0], Old: olds[0], New: news[0]},
+		{W: ws[1], Old: olds[1], New: news[1]},
+		{W: ws[2], Old: olds[2], New: news[2]},
+	})
+	if !ok {
+		t.Fatal("k-CAS failed")
+	}
+	for i, want := range []uint64{10, 20, 30} {
+		if got := ws[i].Value(); got != want {
+			t.Fatalf("word %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestKCASFailsOnMismatch(t *testing.T) {
+	ws := words(1, 2)
+	o0, o1 := ws[0].Read(), ws[1].Read()
+	// Invalidate the second expectation.
+	ws[1].Store(NewBox(99))
+	ok := KCAS([]Entry{
+		{W: ws[0], Old: o0, New: NewBox(10)},
+		{W: ws[1], Old: o1, New: NewBox(20)},
+	})
+	if ok {
+		t.Fatal("k-CAS succeeded despite mismatch")
+	}
+	if ws[0].Value() != 1 || ws[1].Value() != 99 {
+		t.Fatalf("failed k-CAS mutated words: %d %d", ws[0].Value(), ws[1].Value())
+	}
+}
+
+func TestKCASReadOnlyMember(t *testing.T) {
+	// Old == New expresses "verify unchanged" (the paper's TS check).
+	ws := words(7, 1)
+	guard := ws[0].Read()
+	old1 := ws[1].Read()
+	if !KCAS([]Entry{
+		{W: ws[0], Old: guard, New: guard},
+		{W: ws[1], Old: old1, New: NewBox(2)},
+	}) {
+		t.Fatal("guarded k-CAS failed")
+	}
+	if ws[0].Value() != 7 || ws[1].Value() != 2 {
+		t.Fatal("guard semantics broken")
+	}
+	// Change the guard; the next guarded k-CAS must fail.
+	ws[0].Store(NewBox(8))
+	old1 = ws[1].Read()
+	if KCAS([]Entry{
+		{W: ws[0], Old: guard, New: guard},
+		{W: ws[1], Old: old1, New: NewBox(3)},
+	}) {
+		t.Fatal("guarded k-CAS ignored guard change")
+	}
+}
+
+// TestKCASAtomicityUnderContention: concurrent 4-word "transfers" preserve
+// a global invariant only if each k-CAS is atomic.
+func TestKCASAtomicityUnderContention(t *testing.T) {
+	const nWords = 8
+	const workers = 6
+	const iters = 3000
+	ws := make([]*Word, nWords)
+	total := uint64(0)
+	for i := range ws {
+		ws[i] = &Word{}
+		ws[i].Store(NewBox(1000))
+		total += 1000
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				a, b := r.Intn(nWords), r.Intn(nWords)
+				if a == b {
+					continue
+				}
+				if a > b {
+					a, b = b, a // consistent order
+				}
+				oa, ob := ws[a].Read(), ws[b].Read()
+				if oa.V == 0 {
+					continue
+				}
+				// Move one unit from a to b, atomically.
+				KCAS([]Entry{
+					{W: ws[a], Old: oa, New: NewBox(oa.V - 1)},
+					{W: ws[b], Old: ob, New: NewBox(ob.V + 1)},
+				})
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	var sum uint64
+	for _, w := range ws {
+		sum += w.Value()
+	}
+	if sum != total {
+		t.Fatalf("sum = %d, want %d: k-CAS tore", sum, total)
+	}
+}
+
+// TestKCASOverlappingSets stresses operations whose word sets overlap
+// partially, which exercises cross-descriptor helping.
+func TestKCASOverlappingSets(t *testing.T) {
+	const n = 6
+	ws := make([]*Word, n)
+	for i := range ws {
+		ws[i] = &Word{}
+		ws[i].Store(NewBox(0))
+	}
+	var wg sync.WaitGroup
+	var successes [n]uint64
+	var mu sync.Mutex
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			local := make([]uint64, n)
+			for i := 0; i < 4000; i++ {
+				// Increment a random window of 3 adjacent words.
+				s := r.Intn(n - 2)
+				olds := []*Box{ws[s].Read(), ws[s+1].Read(), ws[s+2].Read()}
+				ok := KCAS([]Entry{
+					{W: ws[s], Old: olds[0], New: NewBox(olds[0].V + 1)},
+					{W: ws[s+1], Old: olds[1], New: NewBox(olds[1].V + 1)},
+					{W: ws[s+2], Old: olds[2], New: NewBox(olds[2].V + 1)},
+				})
+				if ok {
+					local[s]++
+					local[s+1]++
+					local[s+2]++
+				}
+			}
+			mu.Lock()
+			for i := range local {
+				successes[i] += local[i]
+			}
+			mu.Unlock()
+		}(int64(w))
+	}
+	wg.Wait()
+	for i := range ws {
+		if got := ws[i].Value(); got != successes[i] {
+			t.Fatalf("word %d = %d, want %d successful increments", i, got, successes[i])
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Package rcu implements a userspace read-copy-update domain in the style
+// of epoch-counter URCU, as required by the Citrus tree (Arbel and Attiya,
+// PODC '14). Readers bracket traversals with ReadLock/ReadUnlock; writers
+// call Synchronize to wait for every reader whose critical section began
+// before the call.
+package rcu
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+type slot struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Domain is an RCU domain for a fixed set of thread ids.
+type Domain struct {
+	clock atomic.Uint64
+	slots []slot
+}
+
+// NewDomain creates a domain supporting thread ids in [0, maxThreads).
+func NewDomain(maxThreads int) *Domain {
+	d := &Domain{slots: make([]slot, maxThreads)}
+	d.clock.Store(1)
+	return d
+}
+
+// ReadLock enters a read-side critical section for thread tid. Critical
+// sections must not nest.
+func (d *Domain) ReadLock(tid int) {
+	d.slots[tid].v.Store(d.clock.Load())
+}
+
+// ReadUnlock leaves the read-side critical section.
+func (d *Domain) ReadUnlock(tid int) {
+	d.slots[tid].v.Store(0)
+}
+
+// Synchronize blocks until every read-side critical section that was in
+// progress when Synchronize was called has completed.
+func (d *Domain) Synchronize() {
+	epoch := d.clock.Add(1)
+	for i := range d.slots {
+		s := &d.slots[i].v
+		for j := 0; ; j++ {
+			v := s.Load()
+			if v == 0 || v >= epoch {
+				break
+			}
+			if j > 8 {
+				runtime.Gosched()
+			}
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package rlu implements Read-Log-Update (Matveev, Shavit, Felber, Marlier;
+// SOSP '15), the synchronization baseline the PPoPP '18 paper compares
+// against. RLU gives readers a consistent snapshot of all objects (so range
+// queries are trivially linearizable at the read-section start), at the
+// cost of an RLUSync in every writer's commit: the writer waits for all
+// concurrent read-side sections before writing its log back.
+//
+// Design notes (mirroring the original, adapted to Go):
+//
+//   - Every shared object is a *Node[T] whose mutable state lives in Body.
+//     Writers never mutate an original in place: TryLock installs a copy,
+//     the writer mutates the copy, and commit (WriterUnlock) writes the
+//     copy back after synchronizing.
+//   - Readers dereference through Deref: if an object has a copy whose
+//     owner committed with write-clock ≤ the reader's local clock, the
+//     reader *steals* the copy; otherwise it reads the original.
+//   - Synchronize skips threads that are themselves committing: a
+//     committing thread performs no further snapshot reads, and write sets
+//     are disjoint (TryLock conflicts force aborts), so skipping cannot
+//     expose a torn snapshot — this breaks the commit/commit deadlock.
+//
+// The deferred-sync variant of the paper (which batches RLUSync calls) is
+// deliberately not used: as the PPoPP '18 paper notes, it is not
+// linearizable.
+package rlu
+
+import (
+	"math"
+	"runtime"
+	"sync/atomic"
+)
+
+const inactiveWClock = uint64(math.MaxUint64)
+
+// Node wraps a shared object with the RLU header. Body holds all mutable
+// state; pointer fields inside Body must point to original Nodes (use Orig
+// when copying pointers out of a locked copy).
+type Node[T any] struct {
+	copy   atomic.Pointer[Node[T]]
+	copyOf *Node[T] // non-nil iff this node is a copy
+	owner  *Thread[T]
+	Body   T
+}
+
+// NewNode allocates an original node with the given body.
+func NewNode[T any](body T) *Node[T] {
+	return &Node[T]{Body: body}
+}
+
+// Orig returns the original object for n (n itself if it is not a copy).
+func Orig[T any](n *Node[T]) *Node[T] {
+	if n == nil || n.copyOf == nil {
+		return n
+	}
+	return n.copyOf
+}
+
+// Domain is an RLU clock domain over nodes with body type T.
+type Domain[T any] struct {
+	gClock  atomic.Uint64
+	threads []atomic.Pointer[Thread[T]]
+	nreg    atomic.Int32
+}
+
+// NewDomain creates a domain for up to maxThreads threads.
+func NewDomain[T any](maxThreads int) *Domain[T] {
+	d := &Domain[T]{threads: make([]atomic.Pointer[Thread[T]], maxThreads)}
+	d.gClock.Store(1)
+	return d
+}
+
+// Register allocates a thread context.
+func (d *Domain[T]) Register() *Thread[T] {
+	id := int(d.nreg.Add(1)) - 1
+	if id >= len(d.threads) {
+		panic("rlu: too many threads")
+	}
+	t := &Thread[T]{dom: d, id: id}
+	t.wClock.Store(inactiveWClock)
+	d.threads[id].Store(t)
+	return t
+}
+
+// Thread is a per-goroutine RLU context.
+type Thread[T any] struct {
+	dom    *Domain[T]
+	id     int
+	runCnt atomic.Uint64 // odd = inside a section
+	lClock atomic.Uint64
+	wClock atomic.Uint64 // inactiveWClock when not committing
+	log    []*Node[T]    // originals locked by this thread
+	_      [32]byte
+}
+
+// ReaderLock enters a read-side (or writer) section.
+func (t *Thread[T]) ReaderLock() {
+	t.runCnt.Add(1) // odd: active
+	t.lClock.Store(t.dom.gClock.Load())
+}
+
+// ReaderUnlock leaves the section. If the thread locked any objects it
+// commits them: advance the clock, synchronize, write back, release.
+func (t *Thread[T]) ReaderUnlock() {
+	if len(t.log) != 0 {
+		t.commit()
+	}
+	t.runCnt.Add(1) // even: quiescent
+}
+
+// Abort discards all locked copies and leaves the section; the caller
+// retries its operation.
+func (t *Thread[T]) Abort() {
+	for _, obj := range t.log {
+		obj.copy.Store(nil)
+	}
+	t.log = t.log[:0]
+	t.runCnt.Add(1)
+}
+
+// InSectionClock returns the thread's snapshot clock (for tests).
+func (t *Thread[T]) InSectionClock() uint64 { return t.lClock.Load() }
+
+// Deref resolves an object reference inside a section, returning the copy
+// when RLU's protocol dictates (own locks; committed copies within the
+// snapshot) and the original otherwise.
+func (t *Thread[T]) Deref(obj *Node[T]) *Node[T] {
+	if obj == nil {
+		return nil
+	}
+	if obj.copyOf != nil {
+		return obj // already a copy (the caller owns it)
+	}
+	c := obj.copy.Load()
+	if c == nil {
+		return obj
+	}
+	if c.owner == t {
+		return c
+	}
+	if c.owner.wClock.Load() <= t.lClock.Load() {
+		return c // steal: committed within our snapshot
+	}
+	return obj
+}
+
+// TryLock acquires obj for writing and returns the mutable copy. A false
+// return means a conflicting writer holds the object: the caller must
+// Abort and retry.
+func (t *Thread[T]) TryLock(obj *Node[T]) (*Node[T], bool) {
+	obj = Orig(obj)
+	if c := obj.copy.Load(); c != nil {
+		if c.owner == t {
+			return c, true
+		}
+		return nil, false
+	}
+	nc := &Node[T]{copyOf: obj, owner: t, Body: obj.Body}
+	if obj.copy.CompareAndSwap(nil, nc) {
+		t.log = append(t.log, obj)
+		return nc, true
+	}
+	return nil, false
+}
+
+// commit implements rlu_commit: publish the write clock, advance the global
+// clock, wait for concurrent readers (RLUSync), write the log back and
+// release the locks.
+func (t *Thread[T]) commit() {
+	wc := t.dom.gClock.Load() + 1
+	t.wClock.Store(wc)
+	t.dom.gClock.Add(1)
+	t.synchronize(wc)
+	for _, obj := range t.log {
+		c := obj.copy.Load()
+		obj.Body = c.Body // write back
+	}
+	for _, obj := range t.log {
+		obj.copy.Store(nil)
+	}
+	t.log = t.log[:0]
+	t.wClock.Store(inactiveWClock)
+}
+
+// synchronize waits for every thread whose active section began before wc
+// (and which is not itself committing — see package comment).
+func (t *Thread[T]) synchronize(wc uint64) {
+	d := t.dom
+	n := int(d.nreg.Load())
+	for i := 0; i < n; i++ {
+		u := d.threads[i].Load()
+		if u == nil || u == t {
+			continue
+		}
+		snap := u.runCnt.Load()
+		if snap%2 == 0 {
+			continue // quiescent
+		}
+		for j := 0; ; j++ {
+			if u.runCnt.Load() != snap {
+				break // started a new section (or quiesced)
+			}
+			if u.lClock.Load() >= wc {
+				break // snapshot already includes this commit
+			}
+			if u.wClock.Load() != inactiveWClock {
+				break // committing: performs no further snapshot reads
+			}
+			if j > 8 {
+				runtime.Gosched()
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package rlu
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+type payload struct {
+	a, b int64
+}
+
+func TestTryLockConflict(t *testing.T) {
+	d := NewDomain[payload](2)
+	t1, t2 := d.Register(), d.Register()
+	obj := NewNode(payload{1, 1})
+	t1.ReaderLock()
+	c1, ok := t1.TryLock(obj)
+	if !ok {
+		t.Fatal("first TryLock failed")
+	}
+	if _, ok = t1.TryLock(obj); !ok {
+		t.Fatal("re-lock by owner failed")
+	}
+	t2.ReaderLock()
+	if _, ok := t2.TryLock(obj); ok {
+		t.Fatal("conflicting TryLock succeeded")
+	}
+	t2.Abort()
+	c1.Body.a = 42
+	t1.ReaderUnlock() // commit
+	if obj.Body.a != 42 {
+		t.Fatal("write-back missing")
+	}
+}
+
+func TestAbortDiscards(t *testing.T) {
+	d := NewDomain[payload](1)
+	t1 := d.Register()
+	obj := NewNode(payload{1, 1})
+	t1.ReaderLock()
+	c, _ := t1.TryLock(obj)
+	c.Body.a = 99
+	t1.Abort()
+	if obj.Body.a != 1 {
+		t.Fatal("abort leaked a write")
+	}
+	if obj.copy.Load() != nil {
+		t.Fatal("abort left the object locked")
+	}
+}
+
+func TestDerefOwnCopy(t *testing.T) {
+	d := NewDomain[payload](1)
+	t1 := d.Register()
+	obj := NewNode(payload{1, 1})
+	t1.ReaderLock()
+	c, _ := t1.TryLock(obj)
+	c.Body.a = 7
+	if got := t1.Deref(obj); got != c {
+		t.Fatal("owner must deref to its own copy")
+	}
+	t1.ReaderUnlock()
+}
+
+// TestSnapshotIsolation: a reader whose section started before a commit
+// must keep seeing the old value; a reader starting after sees the new one.
+func TestSnapshotIsolation(t *testing.T) {
+	d := NewDomain[payload](3)
+	writer, early, late := d.Register(), d.Register(), d.Register()
+	obj := NewNode(payload{1, 0})
+
+	early.ReaderLock()
+	if v := early.Deref(obj).Body.a; v != 1 {
+		t.Fatalf("early reader sees %d", v)
+	}
+
+	committed := make(chan struct{})
+	go func() {
+		writer.ReaderLock()
+		c, ok := writer.TryLock(obj)
+		if !ok {
+			t.Error("writer TryLock failed")
+		}
+		c.Body.a = 2
+		writer.ReaderUnlock() // commit: blocks until early's section ends
+		close(committed)
+	}()
+
+	// The commit must wait for the early reader.
+	select {
+	case <-committed:
+		t.Fatal("commit did not wait for prior reader")
+	case <-time.After(100 * time.Millisecond):
+	}
+	// While waiting, the copy is visible but NOT stealable by early
+	// (wClock > early's lClock), so early still reads the original.
+	if v := early.Deref(obj).Body.a; v != 1 {
+		t.Fatalf("early reader's snapshot broken: saw %d", v)
+	}
+	early.ReaderUnlock()
+	select {
+	case <-committed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("commit stuck after reader finished")
+	}
+
+	late.ReaderLock()
+	if v := late.Deref(obj).Body.a; v != 2 {
+		t.Fatalf("late reader sees %d, want 2", v)
+	}
+	late.ReaderUnlock()
+}
+
+// TestStealCommittedCopy: a reader that starts while a commit is writing
+// back must steal the copy rather than read a half-written original.
+func TestStealCommittedCopy(t *testing.T) {
+	d := NewDomain[payload](2)
+	writer, reader := d.Register(), d.Register()
+	obj := NewNode(payload{1, 1})
+	writer.ReaderLock()
+	c, _ := writer.TryLock(obj)
+	c.Body = payload{2, 2}
+	// Simulate mid-commit: publish the write clock and advance the global
+	// clock, but don't write back yet.
+	wc := d.gClock.Load() + 1
+	writer.wClock.Store(wc)
+	d.gClock.Add(1)
+
+	reader.ReaderLock()
+	got := reader.Deref(obj)
+	if got != c {
+		t.Fatal("reader did not steal the committed copy")
+	}
+	reader.ReaderUnlock()
+
+	// Finish the commit manually.
+	obj.Body = c.Body
+	obj.copy.Store(nil)
+	writer.wClock.Store(inactiveWClock)
+	writer.log = writer.log[:0]
+	writer.runCnt.Add(1)
+}
+
+// TestConcurrentCommitsNoDeadlock: many writers committing concurrently on
+// disjoint objects must not deadlock in synchronize.
+func TestConcurrentCommitsNoDeadlock(t *testing.T) {
+	const n = 6
+	d := NewDomain[payload](n)
+	objs := make([]*Node[payload], n)
+	for i := range objs {
+		objs[i] = NewNode(payload{0, 0})
+	}
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := d.Register()
+			for i := 0; i < 500; i++ {
+				th.ReaderLock()
+				c, ok := th.TryLock(objs[id])
+				if !ok {
+					th.Abort()
+					continue
+				}
+				c.Body.a++
+				th.ReaderUnlock()
+				total.Add(1)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("deadlock in concurrent commits")
+	}
+	var sum int64
+	for _, o := range objs {
+		sum += o.Body.a
+	}
+	if sum != total.Load() {
+		t.Fatalf("lost updates: sum %d, committed %d", sum, total.Load())
+	}
+}

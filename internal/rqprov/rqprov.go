@@ -1,0 +1,726 @@
+// Package rqprov implements the RQ Provider abstract data type of
+// Arbel-Raviv and Brown, "Harnessing Epoch-based Reclamation for Efficient
+// Range Queries" (PPoPP '18), §4.
+//
+// A provider adds linearizable range queries to any concurrent set that
+// (1) has a traversal satisfying the COLLECT property and (2) linearizes
+// every key-set change at a single write or CAS. All processes share one
+// provider; range queries use it to collect the keys they return, and
+// updates route their linearizing CAS through it so the provider can record
+// insertion/deletion timestamps.
+//
+// The ADT operations are TraversalStart(low, high), Visit(node),
+// TraversalEnd(), UpdateWrite(...) and UpdateCAS(...). Four implementations
+// are selected by Mode:
+//
+//   - ModeLock: the lock-based provider of §4.3 (global fetch-and-add r/w
+//     lock protecting the timestamp).
+//   - ModeHTM: the HTM-based provider of §4.4, emulated with a distributed
+//     reader-indicator lock (see package rwlock for the substitution
+//     rationale — Go exposes no TSX intrinsics).
+//   - ModeLockFree: the lock-free provider of §4.5 built on DCSS; range
+//     queries never wait for itime/dtime, they help the announced DCSS and
+//     learn timestamps from its descriptor payload.
+//   - ModeUnsafe: the paper's non-linearizable baseline that simply
+//     traverses the structure once and returns the keys it sees.
+//
+// A range query is linearized at its increment of the global timestamp TS.
+// Each node records itime/dtime — the value of TS at the exact moment the
+// update that inserted/deleted it linearized — so a query with timestamp ts
+// returns exactly the keys of nodes with itime < ts && (dtime = ⊥ || dtime
+// >= ts). Nodes missed by the traversal because of concurrent deletion are
+// recovered from per-thread deletion announcements and from the EBR limbo
+// lists (package epoch).
+package rqprov
+
+import (
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"unsafe"
+
+	"ebrrq/internal/dcss"
+	"ebrrq/internal/epoch"
+	"ebrrq/internal/rwlock"
+)
+
+// Mode selects one of the provider implementations.
+type Mode int
+
+const (
+	// ModeUnsafe is the non-linearizable single-traversal baseline.
+	ModeUnsafe Mode = iota
+	// ModeLock is the lock-based provider (§4.3).
+	ModeLock
+	// ModeHTM is the HTM-based provider (§4.4), emulated in software.
+	ModeHTM
+	// ModeLockFree is the DCSS-based lock-free provider (§4.5).
+	ModeLockFree
+)
+
+// String returns the mode's display name as used in the paper's figures.
+func (m Mode) String() string {
+	switch m {
+	case ModeUnsafe:
+		return "Unsafe"
+	case ModeLock:
+		return "Lock"
+	case ModeHTM:
+		return "HTM"
+	case ModeLockFree:
+		return "Lock-free"
+	}
+	return "?"
+}
+
+// Config configures a Provider.
+type Config struct {
+	// MaxThreads is the maximum number of registered threads.
+	MaxThreads int
+	// Mode selects the provider implementation.
+	Mode Mode
+	// MaxAnnounce is the per-thread deletion-announcement capacity: the
+	// largest number of nodes a single update may delete. Group updates
+	// ((a,b)-tree rebalancing) delete several nodes at once. Default 16.
+	MaxAnnounce int
+	// LimboSorted declares that each per-thread limbo list is sorted in
+	// descending dtime order, enabling the early-exit optimization of
+	// §4.3. It holds when nodes are always retired by the thread whose
+	// update deleted them (lazy list, skip list, Citrus, (a,b)-tree) but
+	// not when helpers may physically unlink other threads' victims
+	// (Harris list, external BST).
+	LimboSorted bool
+	// Recorder, if non-nil, observes every successful timestamped update;
+	// used by the validation harness. Must be safe for concurrent use.
+	Recorder Recorder
+}
+
+// Recorder observes timestamped updates for offline validation.
+type Recorder interface {
+	// RecordUpdate is called after an update linearizes with timestamp ts,
+	// inserting inodes and deleting dnodes. Called on the updater's
+	// goroutine after the timestamps have been published.
+	RecordUpdate(tid int, ts uint64, inodes, dnodes []*epoch.Node)
+}
+
+// Provider is a shared RQ provider plus the EBR domain it harnesses.
+type Provider struct {
+	mode Mode
+	ts   atomic.Uint64
+
+	lock rwlock.FetchAddRW // ModeLock
+	dist *rwlock.DistRW    // ModeHTM
+
+	dom         *epoch.Domain
+	threads     []atomic.Pointer[Thread]
+	registered  atomic.Int32
+	maxAnnounce int
+	limboSorted bool
+	recorder    Recorder
+}
+
+// New creates a provider (and its EBR domain) from cfg.
+func New(cfg Config) *Provider {
+	if cfg.MaxThreads <= 0 {
+		panic("rqprov: MaxThreads must be positive")
+	}
+	if cfg.MaxAnnounce <= 0 {
+		// Default: large enough for the biggest group update any of the
+		// bundled structures performs — the external BST can splice a
+		// chain of up to one pending deletion per thread (two nodes
+		// each) in a single CAS.
+		cfg.MaxAnnounce = 2*cfg.MaxThreads + 8
+		if cfg.MaxAnnounce < 16 {
+			cfg.MaxAnnounce = 16
+		}
+	}
+	p := &Provider{
+		mode:        cfg.Mode,
+		dom:         epoch.NewDomain(cfg.MaxThreads),
+		threads:     make([]atomic.Pointer[Thread], cfg.MaxThreads),
+		maxAnnounce: cfg.MaxAnnounce,
+		limboSorted: cfg.LimboSorted,
+		recorder:    cfg.Recorder,
+	}
+	p.ts.Store(1) // 0 is reserved for ⊥ in itime/dtime
+	if cfg.Mode == ModeHTM {
+		p.dist = rwlock.NewDistRW(cfg.MaxThreads)
+	}
+	return p
+}
+
+// Mode returns the provider's mode.
+func (p *Provider) Mode() Mode { return p.mode }
+
+// MaxThreads returns the provider's registration capacity.
+func (p *Provider) MaxThreads() int { return len(p.threads) }
+
+// MaxAnnounce returns the per-thread deletion-announcement capacity (the
+// largest dnodes slice an update may pass to UpdateCAS).
+func (p *Provider) MaxAnnounce() int { return p.maxAnnounce }
+
+// Domain returns the provider's EBR domain (for configuring reclamation).
+func (p *Provider) Domain() *epoch.Domain { return p.dom }
+
+// Timestamp returns the current global timestamp (for tests and stats).
+func (p *Provider) Timestamp() uint64 { return p.ts.Load() }
+
+// HTMAborts returns the emulated-HTM abort count (ModeHTM only).
+func (p *Provider) HTMAborts() uint64 {
+	if p.dist == nil {
+		return 0
+	}
+	return p.dist.Aborts.Load()
+}
+
+// Register allocates a provider thread handle. Each goroutine operating on
+// the data structure must register exactly once and use its own handle.
+func (p *Provider) Register() *Thread {
+	id := int(p.registered.Add(1)) - 1
+	if id >= len(p.threads) {
+		panic("rqprov: too many threads registered")
+	}
+	t := &Thread{
+		prov:     p,
+		ep:       p.dom.Register(),
+		id:       id,
+		announce: make([]atomic.Pointer[epoch.Node], p.maxAnnounce),
+	}
+	if t.ep.ID() != id {
+		panic("rqprov: thread id mismatch with epoch domain")
+	}
+	p.threads[id].Store(t)
+	return t
+}
+
+// Thread is a per-goroutine provider handle. It embeds the EBR thread: data
+// structure operations are bracketed by StartOp/EndOp.
+type Thread struct {
+	prov *Provider
+	ep   *epoch.Thread
+	id   int
+
+	// announce holds pointers to nodes this thread is about to delete
+	// (single-writer, multi-reader), per §4.3.
+	announce []atomic.Pointer[epoch.Node]
+
+	// desc is the announced DCSS descriptor of the thread's in-flight
+	// update (ModeLockFree), carrying the timestamp payload for helpers.
+	desc atomic.Pointer[dcss.Descriptor]
+
+	// Range-query state (private to the owner).
+	ts        uint64
+	low, high int64
+	result    []epoch.KV
+	rqActive  bool
+
+	lastUpdateTS uint64
+
+	// Stats.
+	limboVisitedLast  uint64
+	limboVisitedTotal uint64
+	rqCount           uint64
+	annScratch        []annRef
+}
+
+type annRef struct {
+	node *epoch.Node
+	slot *atomic.Pointer[epoch.Node]
+}
+
+// ID returns the thread's registration index.
+func (t *Thread) ID() int { return t.id }
+
+// Provider returns the owning provider.
+func (t *Thread) Provider() *Provider { return t.prov }
+
+// Epoch returns the underlying EBR thread handle.
+func (t *Thread) Epoch() *epoch.Thread { return t.ep }
+
+// StartOp begins a data-structure operation (EBR announcement).
+func (t *Thread) StartOp() { t.ep.StartOp() }
+
+// EndOp ends the current data-structure operation.
+func (t *Thread) EndOp() { t.ep.EndOp() }
+
+// LastUpdateTS returns the timestamp of this thread's most recent successful
+// timestamped update (validation support).
+func (t *Thread) LastUpdateTS() uint64 { return t.lastUpdateTS }
+
+// LastRQTS returns the linearization timestamp of the most recent range
+// query performed by this thread.
+func (t *Thread) LastRQTS() uint64 { return t.ts }
+
+// LimboVisitedLast returns how many limbo-list nodes the most recent range
+// query visited (Experiment 1b statistic).
+func (t *Thread) LimboVisitedLast() uint64 { return t.limboVisitedLast }
+
+// LimboVisitedTotal returns the cumulative limbo-list nodes visited by this
+// thread's range queries.
+func (t *Thread) LimboVisitedTotal() uint64 { return t.limboVisitedTotal }
+
+// RQCount returns the number of range queries this thread has completed.
+func (t *Thread) RQCount() uint64 { return t.rqCount }
+
+// ---------------------------------------------------------------------------
+// Update path
+// ---------------------------------------------------------------------------
+
+func (t *Thread) announceAll(dnodes []*epoch.Node) {
+	if len(dnodes) > len(t.announce) {
+		panic("rqprov: update deletes more nodes than MaxAnnounce")
+	}
+	for i, d := range dnodes {
+		t.announce[i].Store(d)
+	}
+}
+
+func (t *Thread) unannounceAll(n int) {
+	for i := 0; i < n; i++ {
+		t.announce[i].Store(nil)
+	}
+}
+
+// UpdateCAS replaces the write/CAS at which an update that changes the key
+// set linearizes (§4.1). slot must be read by all parties via dcss.Slot
+// methods. inodes (dnodes) are the nodes inserted (deleted) by the update.
+// If retireDeleted is true, successfully deleted nodes are retired to the
+// EBR limbo list immediately (structures that physically delete at the
+// linearization point); structures with separate logical deletion pass
+// false and later call PhysicalDelete.
+//
+// On success the provider publishes itime on inodes and dtime on dnodes with
+// the exact value TS held when the CAS took effect.
+func (t *Thread) UpdateCAS(slot *dcss.Slot, old, new unsafe.Pointer, inodes, dnodes []*epoch.Node, retireDeleted bool) bool {
+	p := t.prov
+	switch p.mode {
+	case ModeUnsafe:
+		if !slot.CAS(old, new) {
+			return false
+		}
+		if retireDeleted {
+			for _, d := range dnodes {
+				t.ep.Retire(d)
+			}
+		}
+		return true
+
+	case ModeLock:
+		t.announceAll(dnodes)
+		p.lock.AcquireShared()
+		ts := p.ts.Load()
+		ok := slot.CAS(old, new)
+		p.lock.ReleaseShared()
+		t.finishUpdate(ok, ts, inodes, dnodes, retireDeleted)
+		return ok
+
+	case ModeHTM:
+		t.announceAll(dnodes)
+		// Software emulation of: XBEGIN; abort if L exclusively held;
+		// read TS; CAS; XEND. AcquireShared touches only this thread's
+		// slot and validates the writer bit, retrying on "abort".
+		p.dist.AcquireShared(t.id)
+		ts := p.ts.Load()
+		ok := slot.CAS(old, new)
+		p.dist.ReleaseShared(t.id)
+		t.finishUpdate(ok, ts, inodes, dnodes, retireDeleted)
+		return ok
+
+	case ModeLockFree:
+		t.announceAll(dnodes)
+		for {
+			ts := p.ts.Load()
+			d := &dcss.Descriptor{
+				A1: &p.ts, Exp1: ts,
+				S: slot, Old: old, New: new,
+				INodes: inodes, DNodes: dnodes,
+			}
+			t.desc.Store(d)
+			st := d.Exec()
+			if st == dcss.Succeeded {
+				t.finishUpdate(true, ts, inodes, dnodes, retireDeleted)
+				t.desc.Store(nil)
+				return true
+			}
+			if st == dcss.FailedValue {
+				t.finishUpdate(false, 0, nil, dnodes, false)
+				t.desc.Store(nil)
+				return false
+			}
+			// FailedA1: TS changed under us; retry with a fresh read.
+		}
+	}
+	panic("rqprov: unknown mode")
+}
+
+// finishUpdate publishes timestamps, retires deleted nodes and clears the
+// announcements after a (possibly failed) linearizing CAS.
+func (t *Thread) finishUpdate(ok bool, ts uint64, inodes, dnodes []*epoch.Node, retireDeleted bool) {
+	if ok {
+		for _, n := range inodes {
+			n.SetITime(ts)
+		}
+		for _, d := range dnodes {
+			d.SetDTime(ts)
+		}
+		if retireDeleted {
+			for _, d := range dnodes {
+				t.ep.Retire(d)
+			}
+		}
+		t.lastUpdateTS = ts
+		if r := t.prov.recorder; r != nil {
+			r.RecordUpdate(t.id, ts, inodes, dnodes)
+		}
+	}
+	t.unannounceAll(len(dnodes))
+}
+
+// UpdateWrite replaces a linearizing *write* (as opposed to CAS): the new
+// value is installed unconditionally. Used by lock-based structures whose
+// linearization point is a store performed under a lock.
+func (t *Thread) UpdateWrite(slot *dcss.Slot, new unsafe.Pointer, inodes, dnodes []*epoch.Node, retireDeleted bool) {
+	for {
+		old := slot.Load()
+		if t.UpdateCAS(slot, old, new, inodes, dnodes, retireDeleted) {
+			return
+		}
+	}
+}
+
+// PhysicalDelete supports structures with separate logical deletion (§4.3,
+// "Supporting logical deletion"): the caller announces the nodes it is about
+// to physically unlink, performs the unlink (which must not change the key
+// set — the nodes are already logically deleted and carry dtime), retires
+// the nodes it unlinked, and removes the announcements. unlink reports
+// whether this thread performed the removal.
+func (t *Thread) PhysicalDelete(dnodes []*epoch.Node, unlink func() bool) bool {
+	if t.prov.mode == ModeUnsafe {
+		ok := unlink()
+		if ok {
+			for _, d := range dnodes {
+				t.ep.Retire(d)
+			}
+		}
+		return ok
+	}
+	t.announceAll(dnodes)
+	ok := unlink()
+	if ok {
+		for _, d := range dnodes {
+			t.ep.Retire(d)
+		}
+	}
+	t.unannounceAll(len(dnodes))
+	return ok
+}
+
+// Retire forwards to the EBR thread (for removals outside the update path).
+func (t *Thread) Retire(n *epoch.Node) { t.ep.Retire(n) }
+
+// ---------------------------------------------------------------------------
+// Range-query path
+// ---------------------------------------------------------------------------
+
+// TraversalStart begins a range query over [low, high] and linearizes it:
+// the query's timestamp is the incremented value of TS.
+func (t *Thread) TraversalStart(low, high int64) {
+	t.low, t.high = low, high
+	t.result = t.result[:0]
+	t.rqActive = true
+	p := t.prov
+	switch p.mode {
+	case ModeUnsafe:
+		t.ts = 0
+	case ModeLock:
+		p.lock.AcquireExclusive()
+		t.ts = p.ts.Add(1)
+		p.lock.ReleaseExclusive()
+	case ModeHTM:
+		p.dist.AcquireExclusive()
+		t.ts = p.ts.Add(1)
+		p.dist.ReleaseExclusive()
+	case ModeLockFree:
+		t.ts = p.ts.Add(1)
+	}
+}
+
+// Visit is invoked by the data structure's traversal for every node it
+// visits whose key range may intersect [low, high]; for structures without
+// logical deletion.
+func (t *Thread) Visit(n *epoch.Node) {
+	t.VisitMaybeMarked(n, false)
+}
+
+// VisitMaybeMarked is Visit for structures with logical deletion: marked
+// reports whether the node was observed logically deleted at visit time.
+func (t *Thread) VisitMaybeMarked(n *epoch.Node, marked bool) {
+	if t.prov.mode == ModeUnsafe {
+		if !marked {
+			t.addKeys(n)
+		}
+		return
+	}
+	itime := t.awaitITime(n)
+	if itime >= t.ts {
+		return // inserted after the RQ
+	}
+	if marked {
+		// Logically deleted: determine whether before or after the RQ.
+		dtime := t.awaitDTime(n)
+		if dtime < t.ts {
+			return
+		}
+	}
+	t.addKeys(n)
+}
+
+// TraversalEnd completes the range query: it sweeps other threads' deletion
+// announcements, then the EBR limbo lists, to recover keys whose nodes were
+// deleted during the query and missed by the traversal; it returns the
+// sorted, deduplicated result. The announcement sweep must precede the limbo
+// sweep (§4.3): updaters announce before deleting and retire after, so a
+// node deleted during the RQ is found in the structure, the announcements,
+// or the limbo lists.
+func (t *Thread) TraversalEnd() []epoch.KV {
+	if !t.rqActive {
+		panic("rqprov: TraversalEnd without TraversalStart")
+	}
+	t.rqActive = false
+	if t.prov.mode == ModeUnsafe {
+		return t.finishResult()
+	}
+
+	// Collect pointers to all announcement slots first, then process.
+	t.annScratch = t.annScratch[:0]
+	p := t.prov
+	nthreads := int(p.registered.Load())
+	for i := 0; i < nthreads; i++ {
+		u := p.threads[i].Load()
+		if u == nil || u == t {
+			continue
+		}
+		for s := range u.announce {
+			slot := &u.announce[s]
+			if n := slot.Load(); n != nil {
+				t.annScratch = append(t.annScratch, annRef{node: n, slot: slot})
+			}
+		}
+	}
+	for _, ar := range t.annScratch {
+		t.tryAddFromAnnouncement(ar.node, ar.slot)
+	}
+
+	// Optimization 2 (§4.3): nodes deleted after this point were either
+	// inserted after the RQ or already visited by the traversal.
+	endTS := p.ts.Load()
+	sorted := p.limboSorted
+	visited := uint64(0)
+	t.ep.ForEachLimboList(func(head *epoch.Node) {
+		for n := head; n != nil; n = n.LimboNext() {
+			visited++
+			dtime := n.DTime()
+			if dtime != 0 && dtime < t.ts {
+				if sorted {
+					// Optimization 1: the rest of this list was
+					// deleted before the RQ.
+					break
+				}
+				continue
+			}
+			if dtime != 0 && dtime > endTS {
+				continue
+			}
+			t.tryAddFromLimbo(n)
+		}
+	})
+	t.limboVisitedLast = visited
+	t.limboVisitedTotal += visited
+	t.rqCount++
+	return t.finishResult()
+}
+
+func (t *Thread) tryAddFromLimbo(n *epoch.Node) {
+	if n.Routing() {
+		return // router nodes hold no set keys
+	}
+	itime := t.awaitITime(n)
+	if itime >= t.ts {
+		return
+	}
+	dtime := t.awaitDTime(n) // node is in limbo: it was deleted
+	if dtime < t.ts {
+		return
+	}
+	t.addKeys(n)
+}
+
+// tryAddFromAnnouncement implements lines 48–57 of Figure 3: the announced
+// node may or may not end up deleted, so wait until either dtime is set or
+// the announcement is withdrawn, then decide.
+func (t *Thread) tryAddFromAnnouncement(n *epoch.Node, slot *atomic.Pointer[epoch.Node]) {
+	if n.Routing() {
+		return // router nodes hold no set keys
+	}
+	itime := t.awaitITime(n)
+	if itime >= t.ts {
+		return
+	}
+	var dtime uint64
+	for i := 0; ; i++ {
+		dtime = n.DTime()
+		if dtime != 0 || slot.Load() != n {
+			break
+		}
+		t.helpOrYield(n, i)
+	}
+	if dtime == 0 {
+		// The announcement was withdrawn. If the announcer deleted the
+		// node, it set dtime before withdrawing; reread.
+		dtime = n.DTime()
+	}
+	if dtime == 0 {
+		// The announcer did not delete the node. If another process
+		// deleted it, it appears in that process's announcements or in a
+		// limbo list; if nobody did, the traversal already visited it.
+		return
+	}
+	if dtime < t.ts {
+		return
+	}
+	t.addKeys(n)
+}
+
+// awaitITime returns the node's insertion timestamp, waiting (lock/HTM
+// modes) or helping the announced DCSS operations (lock-free mode) until it
+// is available.
+func (t *Thread) awaitITime(n *epoch.Node) uint64 {
+	if ts := n.ITime(); ts != 0 {
+		return ts
+	}
+	for i := 0; ; i++ {
+		if ts := n.ITime(); ts != 0 {
+			return ts
+		}
+		if ts, ok := t.timeFromDescriptors(n, true); ok {
+			n.SetITime(ts) // idempotent: helpers store the same value
+			return ts
+		}
+		if ts := n.ITime(); ts != 0 {
+			return ts
+		}
+		if i > 8 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// awaitDTime returns the node's deletion timestamp, for nodes known to have
+// been (or to be being) deleted.
+func (t *Thread) awaitDTime(n *epoch.Node) uint64 {
+	if ts := n.DTime(); ts != 0 {
+		return ts
+	}
+	for i := 0; ; i++ {
+		if ts := n.DTime(); ts != 0 {
+			return ts
+		}
+		if ts, ok := t.timeFromDescriptors(n, false); ok {
+			n.SetDTime(ts)
+			return ts
+		}
+		if ts := n.DTime(); ts != 0 {
+			return ts
+		}
+		if i > 8 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// helpOrYield makes progress while waiting on an announced node: in
+// lock-free mode it helps the in-flight DCSS operations and publishes the
+// deletion timestamp it derives (idempotent — every helper stores the same
+// value); otherwise it yields.
+func (t *Thread) helpOrYield(n *epoch.Node, i int) {
+	if t.prov.mode == ModeLockFree {
+		if ts, ok := t.timeFromDescriptors(n, false); ok {
+			n.SetDTime(ts)
+			return
+		}
+	}
+	if i > 8 {
+		runtime.Gosched()
+	}
+}
+
+// timeFromDescriptors scans the announced DCSS descriptors (lock-free mode)
+// for a successful operation that inserted (wantInsert) or deleted the node,
+// helping undecided operations, and returns its timestamp.
+func (t *Thread) timeFromDescriptors(n *epoch.Node, wantInsert bool) (uint64, bool) {
+	if t.prov.mode != ModeLockFree {
+		return 0, false
+	}
+	p := t.prov
+	nthreads := int(p.registered.Load())
+	for i := 0; i < nthreads; i++ {
+		u := p.threads[i].Load()
+		if u == nil {
+			continue
+		}
+		d := u.desc.Load()
+		if d == nil {
+			continue
+		}
+		nodes := d.DNodes
+		if wantInsert {
+			nodes = d.INodes
+		}
+		match := false
+		for _, x := range nodes {
+			if x == n {
+				match = true
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		if d.Help() == dcss.Succeeded {
+			return d.Exp1, true
+		}
+	}
+	return 0, false
+}
+
+// addKeys appends the node's keys lying in [low, high] to the result.
+func (t *Thread) addKeys(n *epoch.Node) {
+	if n.IsMulti() {
+		for _, kv := range n.Multi() {
+			if t.low <= kv.Key && kv.Key <= t.high {
+				t.result = append(t.result, kv)
+			}
+		}
+		return
+	}
+	k := n.Key()
+	if t.low <= k && k <= t.high {
+		t.result = append(t.result, epoch.KV{Key: k, Value: n.Value()})
+	}
+}
+
+// finishResult sorts the collected keys and removes duplicates (the same key
+// can legitimately be found both in the structure and in a limbo list, or —
+// in Citrus — at two nodes during a successor swap).
+func (t *Thread) finishResult() []epoch.KV {
+	r := t.result
+	sort.Slice(r, func(i, j int) bool { return r[i].Key < r[j].Key })
+	out := r[:0]
+	for i := range r {
+		if i == 0 || r[i].Key != r[i-1].Key {
+			out = append(out, r[i])
+		}
+	}
+	t.result = out
+	return out
+}

@@ -1,0 +1,374 @@
+package rqprov
+
+import (
+	"sync"
+	"testing"
+	"time"
+	"unsafe"
+
+	"ebrrq/internal/dcss"
+	"ebrrq/internal/epoch"
+)
+
+func newNode(key, value int64) *epoch.Node {
+	n := &epoch.Node{}
+	n.InitKey(key, value)
+	return n
+}
+
+func TestModeStrings(t *testing.T) {
+	want := map[Mode]string{ModeUnsafe: "Unsafe", ModeLock: "Lock",
+		ModeHTM: "HTM", ModeLockFree: "Lock-free"}
+	for m, s := range want {
+		if m.String() != s {
+			t.Fatalf("%v", m)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	p := New(Config{MaxThreads: 4, Mode: ModeLock})
+	if p.MaxThreads() != 4 {
+		t.Fatal("MaxThreads")
+	}
+	if p.MaxAnnounce() != 16 {
+		t.Fatalf("MaxAnnounce default = %d", p.MaxAnnounce())
+	}
+	big := New(Config{MaxThreads: 32, Mode: ModeLock})
+	if big.MaxAnnounce() != 2*32+8 {
+		t.Fatalf("MaxAnnounce for 32 threads = %d", big.MaxAnnounce())
+	}
+	if p.Timestamp() != 1 {
+		t.Fatal("TS must start at 1 (0 is ⊥)")
+	}
+}
+
+// TestUpdateCASStampsTimes checks that every mode records the exact TS at
+// linearization on inserted and deleted nodes, and retires when asked.
+func TestUpdateCASStampsTimes(t *testing.T) {
+	for _, mode := range []Mode{ModeLock, ModeHTM, ModeLockFree} {
+		t.Run(mode.String(), func(t *testing.T) {
+			p := New(Config{MaxThreads: 2, Mode: mode})
+			th := p.Register()
+			th.StartOp()
+			var slot dcss.Slot
+			ins := newNode(1, 10)
+			if !th.UpdateCAS(&slot, nil, unsafe.Pointer(ins), []*epoch.Node{ins}, nil, false) {
+				t.Fatal("insert CAS failed")
+			}
+			if ins.ITime() != 1 {
+				t.Fatalf("itime = %d, want 1", ins.ITime())
+			}
+			th.EndOp()
+
+			// An RQ bumps TS; subsequent updates must see the new value.
+			rq := p.Register()
+			rq.StartOp()
+			rq.TraversalStart(0, 100)
+			if rq.LastRQTS() != 2 {
+				t.Fatalf("rq ts = %d", rq.LastRQTS())
+			}
+			rq.Visit(ins)
+			res := rq.TraversalEnd()
+			if len(res) != 1 || res[0].Key != 1 {
+				t.Fatalf("res = %v", res)
+			}
+			rq.EndOp()
+
+			th.StartOp()
+			del := ins
+			if !th.UpdateCAS(&slot, unsafe.Pointer(del), nil, nil, []*epoch.Node{del}, true) {
+				t.Fatal("delete CAS failed")
+			}
+			if del.DTime() != 2 {
+				t.Fatalf("dtime = %d, want 2", del.DTime())
+			}
+			if th.LastUpdateTS() != 2 {
+				t.Fatalf("LastUpdateTS = %d", th.LastUpdateTS())
+			}
+			th.EndOp()
+		})
+	}
+}
+
+// TestUpdateCASFailureLeavesNoTrace: a failed CAS must not stamp times.
+func TestUpdateCASFailureLeavesNoTrace(t *testing.T) {
+	for _, mode := range []Mode{ModeLock, ModeHTM, ModeLockFree} {
+		p := New(Config{MaxThreads: 1, Mode: mode})
+		th := p.Register()
+		th.StartOp()
+		var slot dcss.Slot
+		other := newNode(9, 9)
+		slot.Store(unsafe.Pointer(other))
+		n := newNode(1, 1)
+		if th.UpdateCAS(&slot, nil, unsafe.Pointer(n), []*epoch.Node{n}, nil, false) {
+			t.Fatal("CAS should have failed")
+		}
+		if n.ITime() != 0 {
+			t.Fatalf("%v: failed CAS stamped itime", mode)
+		}
+		th.EndOp()
+	}
+}
+
+// TestVisitFiltering: nodes inserted after the RQ or deleted before it are
+// excluded; marked nodes deleted after it are included.
+func TestVisitFiltering(t *testing.T) {
+	p := New(Config{MaxThreads: 1, Mode: ModeLock})
+	th := p.Register()
+	th.StartOp()
+	th.TraversalStart(0, 100)
+	ts := th.LastRQTS()
+
+	before := newNode(1, 1)
+	before.SetITime(ts - 1)
+	after := newNode(2, 2)
+	after.SetITime(ts + 1)
+	delBefore := newNode(3, 3)
+	delBefore.SetITime(ts - 1)
+	delBefore.SetDTime(ts - 1)
+	delAfter := newNode(4, 4)
+	delAfter.SetITime(ts - 1)
+	delAfter.SetDTime(ts + 1)
+	outOfRange := newNode(500, 5)
+	outOfRange.SetITime(ts - 1)
+
+	th.Visit(before)
+	th.Visit(after)
+	th.VisitMaybeMarked(delBefore, true)
+	th.VisitMaybeMarked(delAfter, true)
+	th.Visit(outOfRange)
+	res := th.TraversalEnd()
+	th.EndOp()
+
+	if len(res) != 2 || res[0].Key != 1 || res[1].Key != 4 {
+		t.Fatalf("res = %v, want keys [1 4]", res)
+	}
+}
+
+// TestLimboRecovery: a node deleted and retired between TraversalStart and
+// TraversalEnd is recovered from the limbo lists even though the traversal
+// never visited it.
+func TestLimboRecovery(t *testing.T) {
+	p := New(Config{MaxThreads: 2, Mode: ModeLock, LimboSorted: true})
+	rq := p.Register()
+	up := p.Register()
+
+	rq.StartOp()
+	rq.TraversalStart(0, 100)
+	ts := rq.LastRQTS()
+
+	// Concurrent deleter: delete node (itime < ts) during the RQ.
+	up.StartOp()
+	victim := newNode(7, 70)
+	victim.SetITime(ts - 1)
+	var slot dcss.Slot
+	slot.Store(unsafe.Pointer(victim))
+	if !up.UpdateCAS(&slot, unsafe.Pointer(victim), nil, nil, []*epoch.Node{victim}, true) {
+		t.Fatal("delete failed")
+	}
+	up.EndOp()
+
+	// Traversal missed the node entirely; the sweep must find it.
+	res := rq.TraversalEnd()
+	rq.EndOp()
+	if len(res) != 1 || res[0].Key != 7 || res[0].Value != 70 {
+		t.Fatalf("res = %v, want [{7 70}]", res)
+	}
+}
+
+// TestLimboSkipsOldAndRouting: nodes deleted before the RQ and router nodes
+// in limbo must not appear.
+func TestLimboSkipsOldAndRouting(t *testing.T) {
+	p := New(Config{MaxThreads: 2, Mode: ModeLock, LimboSorted: false})
+	rq := p.Register()
+	up := p.Register()
+
+	up.StartOp()
+	old := newNode(5, 50)
+	old.SetITime(1)
+	var s1 dcss.Slot
+	s1.Store(unsafe.Pointer(old))
+	up.UpdateCAS(&s1, unsafe.Pointer(old), nil, nil, []*epoch.Node{old}, true) // dtime=1
+	up.EndOp()
+
+	rq.StartOp()
+	rq.TraversalStart(0, 100) // ts=2 > dtime: old was deleted before
+
+	up.StartOp()
+	router := &epoch.Node{}
+	router.InitRouting(42)
+	var s2 dcss.Slot
+	s2.Store(unsafe.Pointer(router))
+	up.UpdateCAS(&s2, unsafe.Pointer(router), nil, nil, []*epoch.Node{router}, true)
+	up.EndOp()
+
+	res := rq.TraversalEnd()
+	rq.EndOp()
+	if len(res) != 0 {
+		t.Fatalf("res = %v, want empty", res)
+	}
+}
+
+// TestAnnouncementRecovery: the RQ finds a node that has been announced for
+// deletion and physically removed, but not yet retired, via the
+// announcement array — the paper's subtle case.
+func TestAnnouncementRecovery(t *testing.T) {
+	p := New(Config{MaxThreads: 2, Mode: ModeLock})
+	rq := p.Register()
+	up := p.Register()
+
+	victim := newNode(3, 30)
+	victim.SetITime(1)
+	var slot dcss.Slot
+	slot.Store(unsafe.Pointer(victim))
+
+	rq.StartOp()
+	rq.TraversalStart(0, 100)
+
+	// Run the deletion in a goroutine that stalls inside PhysicalDelete's
+	// unlink, after announcing, so the RQ overlaps the announce window.
+	unlinkStarted := make(chan struct{})
+	finish := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		up.StartOp()
+		defer up.EndOp()
+		// Logical deletion path: mark via UpdateCAS (sets dtime)...
+		var mark dcss.Slot
+		sentinel := newNode(0, 0)
+		if !up.UpdateCAS(&mark, nil, unsafe.Pointer(sentinel), nil, []*epoch.Node{victim}, false) {
+			t.Error("mark failed")
+		}
+		// ...then physically delete with announcement, stalling mid-way.
+		up.PhysicalDelete([]*epoch.Node{victim}, func() bool {
+			close(unlinkStarted)
+			<-finish
+			return slot.CAS(unsafe.Pointer(victim), nil)
+		})
+	}()
+
+	<-unlinkStarted
+	// The node is announced and dtime is already set (marking precedes
+	// physical deletion); the sweep must pick it up from announcements.
+	resCh := make(chan []epoch.KV)
+	go func() { resCh <- rq.TraversalEnd() }()
+	var res []epoch.KV
+	select {
+	case res = <-resCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("TraversalEnd stuck on announcement")
+	}
+	close(finish)
+	<-done
+	rq.EndOp()
+	if len(res) != 1 || res[0].Key != 3 {
+		t.Fatalf("res = %v, want key 3", res)
+	}
+}
+
+// TestUpdateWrite drives the write variant.
+func TestUpdateWrite(t *testing.T) {
+	for _, mode := range []Mode{ModeLock, ModeHTM, ModeLockFree} {
+		p := New(Config{MaxThreads: 1, Mode: mode})
+		th := p.Register()
+		th.StartOp()
+		var slot dcss.Slot
+		n := newNode(1, 1)
+		th.UpdateWrite(&slot, unsafe.Pointer(n), []*epoch.Node{n}, nil, false)
+		if slot.Load() != unsafe.Pointer(n) || n.ITime() == 0 {
+			t.Fatalf("%v: UpdateWrite did not install/stamp", mode)
+		}
+		th.EndOp()
+	}
+}
+
+// TestRecorderSeesGroupUpdates verifies the Recorder hook receives inodes
+// and dnodes with the linearization timestamp.
+type capturingRecorder struct {
+	mu  sync.Mutex
+	got []uint64
+}
+
+func (c *capturingRecorder) RecordUpdate(tid int, ts uint64, inodes, dnodes []*epoch.Node) {
+	c.mu.Lock()
+	c.got = append(c.got, ts, uint64(len(inodes)), uint64(len(dnodes)))
+	c.mu.Unlock()
+}
+
+func TestRecorderSeesGroupUpdates(t *testing.T) {
+	rec := &capturingRecorder{}
+	p := New(Config{MaxThreads: 1, Mode: ModeLockFree, Recorder: rec})
+	th := p.Register()
+	th.StartOp()
+	var slot dcss.Slot
+	a, b, c := newNode(1, 1), newNode(2, 2), newNode(3, 3)
+	slot.Store(unsafe.Pointer(a))
+	if !th.UpdateCAS(&slot, unsafe.Pointer(a), unsafe.Pointer(b),
+		[]*epoch.Node{b, c}, []*epoch.Node{a}, true) {
+		t.Fatal("CAS failed")
+	}
+	th.EndOp()
+	if len(rec.got) != 3 || rec.got[0] != 1 || rec.got[1] != 2 || rec.got[2] != 1 {
+		t.Fatalf("recorder got %v", rec.got)
+	}
+}
+
+// TestUnsafeModeSkipsMachinery: Unsafe updates must not stamp times and
+// Unsafe RQs must not sweep.
+func TestUnsafeModeSkipsMachinery(t *testing.T) {
+	p := New(Config{MaxThreads: 1, Mode: ModeUnsafe})
+	th := p.Register()
+	th.StartOp()
+	var slot dcss.Slot
+	n := newNode(1, 1)
+	if !th.UpdateCAS(&slot, nil, unsafe.Pointer(n), []*epoch.Node{n}, nil, false) {
+		t.Fatal("CAS failed")
+	}
+	if n.ITime() != 0 {
+		t.Fatal("Unsafe mode stamped itime")
+	}
+	th.TraversalStart(0, 10)
+	th.Visit(n)
+	res := th.TraversalEnd()
+	if len(res) != 1 {
+		t.Fatalf("res = %v", res)
+	}
+	th.EndOp()
+}
+
+// TestAnnounceOverflowPanics documents the MaxAnnounce contract.
+func TestAnnounceOverflowPanics(t *testing.T) {
+	p := New(Config{MaxThreads: 1, Mode: ModeLock, MaxAnnounce: 2})
+	th := p.Register()
+	th.StartOp()
+	defer th.EndOp()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var slot dcss.Slot
+	dn := []*epoch.Node{newNode(1, 1), newNode(2, 2), newNode(3, 3)}
+	th.UpdateCAS(&slot, nil, nil, nil, dn, false)
+}
+
+// TestResultSortedDeduped exercises finishResult.
+func TestResultSortedDeduped(t *testing.T) {
+	p := New(Config{MaxThreads: 1, Mode: ModeLock})
+	th := p.Register()
+	th.StartOp()
+	th.TraversalStart(0, 100)
+	ts := th.LastRQTS()
+	for _, k := range []int64{5, 3, 5, 9, 3} {
+		n := newNode(k, k*10)
+		n.SetITime(ts - 1)
+		th.Visit(n)
+	}
+	res := th.TraversalEnd()
+	th.EndOp()
+	if len(res) != 3 || res[0].Key != 3 || res[1].Key != 5 || res[2].Key != 9 {
+		t.Fatalf("res = %v", res)
+	}
+}

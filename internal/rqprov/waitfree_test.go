@@ -1,0 +1,109 @@
+package rqprov
+
+import (
+	"testing"
+	"time"
+	"unsafe"
+
+	"ebrrq/internal/dcss"
+	"ebrrq/internal/epoch"
+)
+
+// TestHelpingDerivesITimeFromStalledUpdate reproduces §4.5's wait-free
+// TryAdd: a range query encounters a node whose inserting thread has
+// performed its DCSS but is stalled before publishing itime. The query
+// must derive the timestamp from the announced descriptor (helping)
+// instead of waiting for the stalled thread.
+func TestHelpingDerivesITimeFromStalledUpdate(t *testing.T) {
+	p := New(Config{MaxThreads: 2, Mode: ModeLockFree})
+	up := p.Register()
+	rq := p.Register()
+
+	n := newNode(5, 50)
+	var slot dcss.Slot
+
+	// Manually stage what UpdateCAS does, stopping right after the DCSS
+	// succeeds (simulating a thread preempted before finishUpdate).
+	up.StartOp()
+	ts := p.ts.Load()
+	d := &dcss.Descriptor{A1: &p.ts, Exp1: ts, S: &slot,
+		Old: nil, New: unsafe.Pointer(n), INodes: []*epoch.Node{n}}
+	up.desc.Store(d)
+	if d.Exec() != dcss.Succeeded {
+		t.Fatal("staged DCSS failed")
+	}
+	// itime is NOT set; the descriptor remains announced — exactly the
+	// stalled-updater window.
+
+	rq.StartOp()
+	rq.TraversalStart(0, 100)
+	done := make(chan []epoch.KV)
+	go func() {
+		rq.Visit(n)
+		done <- rq.TraversalEnd()
+	}()
+	select {
+	case res := <-done:
+		if len(res) != 1 || res[0].Key != 5 {
+			t.Fatalf("res = %v", res)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("RQ blocked on a stalled updater: helping failed")
+	}
+	if n.ITime() != ts {
+		t.Fatalf("helper published itime %d, want %d", n.ITime(), ts)
+	}
+	rq.EndOp()
+
+	// The stalled thread eventually resumes; its bookkeeping must not
+	// corrupt anything (idempotent stamp).
+	up.finishUpdate(true, ts, []*epoch.Node{n}, nil, false)
+	up.desc.Store(nil)
+	up.EndOp()
+	if n.ITime() != ts {
+		t.Fatal("resumed updater corrupted itime")
+	}
+}
+
+// TestHelpingDerivesDTimeFromStalledDelete is the deletion-side twin.
+func TestHelpingDerivesDTimeFromStalledDelete(t *testing.T) {
+	p := New(Config{MaxThreads: 2, Mode: ModeLockFree})
+	up := p.Register()
+	rq := p.Register()
+
+	n := newNode(7, 70)
+	n.SetITime(1)
+	var slot dcss.Slot
+	slot.Store(unsafe.Pointer(n))
+
+	rq.StartOp()
+	rq.TraversalStart(0, 100) // ts = 2
+
+	up.StartOp()
+	ts := p.ts.Load() // 2
+	d := &dcss.Descriptor{A1: &p.ts, Exp1: ts, S: &slot,
+		Old: unsafe.Pointer(n), New: nil, DNodes: []*epoch.Node{n}}
+	up.announce[0].Store(n) // announced for deletion
+	up.desc.Store(d)
+	if d.Exec() != dcss.Succeeded {
+		t.Fatal("staged DCSS failed")
+	}
+	// Stalled: dtime unset, node gone from the structure, not retired.
+
+	done := make(chan []epoch.KV)
+	go func() { done <- rq.TraversalEnd() }()
+	select {
+	case res := <-done:
+		// Deleted at ts=2, RQ at ts=2: dtime >= ts ⇒ key must be present.
+		if len(res) != 1 || res[0].Key != 7 {
+			t.Fatalf("res = %v", res)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("RQ blocked on a stalled deleter: helping failed")
+	}
+	rq.EndOp()
+
+	up.finishUpdate(true, ts, nil, []*epoch.Node{n}, true)
+	up.desc.Store(nil)
+	up.EndOp()
+}

@@ -1,0 +1,245 @@
+// Package snapc implements the Snap-collector of Petrank and Timnat
+// ("Lock-Free Data-Structure Iterators", DISC '13) — the main prior-work
+// baseline of the PPoPP '18 paper. A snapshot is built collaboratively: the
+// iterating thread(s) traverse the structure appending the unmarked nodes
+// they find (in ascending key order) to a shared node list, while every
+// concurrent update and search *reports* the insertions and deletions it
+// performs or observes. After the traversal the iterator blocks further
+// nodes, deactivates the collector, seals the report lists and reconstructs
+// the snapshot: a node belongs iff it was collected or insert-reported, and
+// was not delete-reported.
+//
+// As the paper's §2 details, this design (a) requires logical deletion,
+// (b) cannot express small range queries (every query snapshots the entire
+// structure), (c) burdens every update and search with reporting overhead
+// while a collector is active, and (d) allocates many auxiliary objects.
+// Those costs are exactly what the experiments measure. The original relies
+// on garbage collection for the auxiliary objects (the paper's C++ version
+// used DEBRA); here Go's GC plays that role.
+package snapc
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ebrrq/internal/epoch"
+)
+
+// ReportType distinguishes insert from delete reports.
+type ReportType uint8
+
+const (
+	// ReportInsert records that a node was inserted (or observed present).
+	ReportInsert ReportType = iota
+	// ReportDelete records that a node was deleted (or observed marked).
+	ReportDelete
+)
+
+// sealMarker is the report type of the sentinel that seals a report list.
+const sealMarker = ReportType(0xff)
+
+type report struct {
+	node *epoch.Node
+	key  int64
+	val  int64
+	typ  ReportType
+	next *report
+}
+
+type reportList struct {
+	head atomic.Pointer[report]
+	_    [56]byte
+}
+
+type snapNode struct {
+	key  int64
+	val  int64
+	node *epoch.Node
+	next atomic.Pointer[snapNode]
+}
+
+// Collector is one collaborative snapshot in progress (a Snap-collector
+// object).
+type Collector struct {
+	head    *snapNode
+	tail    atomic.Pointer[snapNode]
+	reports []reportList
+	active  atomic.Bool
+
+	reconstructOnce sync.Once
+	snapshot        []epoch.KV
+}
+
+// newCollector creates an active collector for maxThreads threads.
+func newCollector(maxThreads int) *Collector {
+	c := &Collector{
+		head:    &snapNode{key: math.MinInt64},
+		reports: make([]reportList, maxThreads),
+	}
+	c.tail.Store(c.head)
+	c.active.Store(true)
+	return c
+}
+
+// IsActive reports whether the collector still accepts nodes and reports.
+func (c *Collector) IsActive() bool { return c.active.Load() }
+
+// AddNode offers a node (with its key/value) found by an iterating thread's
+// traversal. Nodes must be offered in ascending key order; offers at or
+// below the current tail key are ignored (another iterator got there
+// first), which also makes AddNode a no-op once the collector is blocked.
+func (c *Collector) AddNode(n *epoch.Node, key, val int64) {
+	for {
+		t := c.tail.Load()
+		if t.key >= key {
+			return
+		}
+		if nx := t.next.Load(); nx != nil {
+			c.tail.CompareAndSwap(t, nx)
+			continue
+		}
+		nn := &snapNode{key: key, val: val, node: n}
+		if t.next.CompareAndSwap(nil, nn) {
+			c.tail.CompareAndSwap(t, nn)
+			return
+		}
+	}
+}
+
+// Report records an insertion/deletion of node n performed or observed by
+// thread tid. It is a no-op once the thread's report list is sealed.
+func (c *Collector) Report(tid int, n *epoch.Node, key, val int64, typ ReportType) {
+	rl := &c.reports[tid]
+	r := &report{node: n, key: key, val: val, typ: typ}
+	for {
+		h := rl.head.Load()
+		if h != nil && h.typ == sealMarker {
+			return
+		}
+		r.next = h
+		if rl.head.CompareAndSwap(h, r) {
+			return
+		}
+	}
+}
+
+// BlockFurtherNodes prevents any further AddNode from taking effect.
+func (c *Collector) BlockFurtherNodes() {
+	c.AddNode(nil, math.MaxInt64, 0)
+}
+
+// Deactivate stops updates from reporting to this collector.
+func (c *Collector) Deactivate() { c.active.Store(false) }
+
+// BlockFurtherReports seals every thread's report list by pushing a seal
+// sentinel; earlier reports stay reachable behind it.
+func (c *Collector) BlockFurtherReports() {
+	for i := range c.reports {
+		rl := &c.reports[i]
+		for {
+			h := rl.head.Load()
+			if h != nil && h.typ == sealMarker {
+				break
+			}
+			if rl.head.CompareAndSwap(h, &report{typ: sealMarker, next: h}) {
+				break
+			}
+		}
+	}
+}
+
+// Reconstruct computes (once) and returns the snapshot: sorted key-value
+// pairs of every node that was collected or insert-reported and not
+// delete-reported.
+func (c *Collector) Reconstruct() []epoch.KV {
+	c.reconstructOnce.Do(func() {
+		type entry struct {
+			kv      epoch.KV
+			deleted bool
+		}
+		members := make(map[*epoch.Node]*entry)
+		for sn := c.head.next.Load(); sn != nil; sn = sn.next.Load() {
+			if sn.node == nil {
+				continue // blocking sentinel
+			}
+			members[sn.node] = &entry{kv: epoch.KV{Key: sn.key, Value: sn.val}}
+		}
+		for i := range c.reports {
+			for r := c.reports[i].head.Load(); r != nil; r = r.next {
+				if r.typ == sealMarker || r.node == nil {
+					continue
+				}
+				e := members[r.node]
+				if e == nil {
+					e = &entry{kv: epoch.KV{Key: r.key, Value: r.val}}
+					members[r.node] = e
+				}
+				if r.typ == ReportDelete {
+					e.deleted = true
+				}
+			}
+		}
+		res := make([]epoch.KV, 0, len(members))
+		for _, e := range members {
+			if !e.deleted {
+				res = append(res, e.kv)
+			}
+		}
+		sort.Slice(res, func(i, j int) bool { return res[i].Key < res[j].Key })
+		// Defensive dedup (set semantics guarantee at most one live node
+		// per key, but reports may duplicate).
+		out := res[:0]
+		for i := range res {
+			if i == 0 || res[i].Key != res[i-1].Key {
+				out = append(out, res[i])
+			}
+		}
+		c.snapshot = out
+	})
+	return c.snapshot
+}
+
+// FilterRange returns the sub-slice of a sorted snapshot whose keys lie in
+// [low, high]. The result aliases the snapshot (read-only).
+func FilterRange(snap []epoch.KV, low, high int64) []epoch.KV {
+	lo := sort.Search(len(snap), func(i int) bool { return snap[i].Key >= low })
+	hi := sort.Search(len(snap), func(i int) bool { return snap[i].Key > high })
+	return snap[lo:hi]
+}
+
+// Registry publishes the active collector of one data structure.
+type Registry struct {
+	cur        atomic.Pointer[Collector]
+	maxThreads int
+}
+
+// NewRegistry creates a registry for maxThreads threads.
+func NewRegistry(maxThreads int) *Registry {
+	return &Registry{maxThreads: maxThreads}
+}
+
+// Acquire joins the active collector, or installs a fresh one.
+func (r *Registry) Acquire() *Collector {
+	for {
+		c := r.cur.Load()
+		if c != nil && c.IsActive() {
+			return c
+		}
+		n := newCollector(r.maxThreads)
+		if r.cur.CompareAndSwap(c, n) {
+			return n
+		}
+	}
+}
+
+// Active returns the active collector, or nil. Updates and searches call
+// this on every operation (the reporting overhead the paper measures).
+func (r *Registry) Active() *Collector {
+	c := r.cur.Load()
+	if c != nil && c.IsActive() {
+		return c
+	}
+	return nil
+}

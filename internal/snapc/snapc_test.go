@@ -1,0 +1,182 @@
+package snapc_test
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ebrrq/internal/ds/lazylist"
+	"ebrrq/internal/ds/lflist"
+	"ebrrq/internal/ds/skiplist"
+	"ebrrq/internal/dstest"
+	"ebrrq/internal/epoch"
+	"ebrrq/internal/rqprov"
+	"ebrrq/internal/snapc"
+)
+
+func TestCollectorBasics(t *testing.T) {
+	r := snapc.NewRegistry(2)
+	if r.Active() != nil {
+		t.Fatal("fresh registry has an active collector")
+	}
+	c := r.Acquire()
+	if !c.IsActive() || r.Active() != c {
+		t.Fatal("acquire did not activate")
+	}
+	n1, n2, n3 := &epoch.Node{}, &epoch.Node{}, &epoch.Node{}
+	c.AddNode(n1, 1, 10)
+	c.AddNode(n2, 5, 50)
+	c.AddNode(n3, 3, 30) // out of order: ignored (tail at 5)
+	c.Report(0, n3, 3, 30, snapc.ReportInsert)
+	c.Report(1, n2, 5, 50, snapc.ReportDelete)
+	c.BlockFurtherNodes()
+	c.Deactivate()
+	c.BlockFurtherReports()
+	c.Report(0, &epoch.Node{}, 9, 90, snapc.ReportInsert) // sealed: dropped
+	snap := c.Reconstruct()
+	want := []epoch.KV{{Key: 1, Value: 10}, {Key: 3, Value: 30}}
+	if len(snap) != len(want) || snap[0] != want[0] || snap[1] != want[1] {
+		t.Fatalf("snapshot = %v, want %v", snap, want)
+	}
+	if r.Active() != nil {
+		t.Fatal("deactivated collector still returned")
+	}
+	if c2 := r.Acquire(); c2 == c {
+		t.Fatal("acquire returned the dead collector")
+	}
+}
+
+func TestFilterRange(t *testing.T) {
+	snap := []epoch.KV{{Key: 1}, {Key: 3}, {Key: 5}, {Key: 7}}
+	got := snapc.FilterRange(snap, 2, 6)
+	if len(got) != 2 || got[0].Key != 3 || got[1].Key != 5 {
+		t.Fatalf("FilterRange = %v", got)
+	}
+	if len(snapc.FilterRange(snap, 8, 9)) != 0 || len(snapc.FilterRange(snap, 0, 0)) != 0 {
+		t.Fatal("empty filters wrong")
+	}
+	if len(snapc.FilterRange(snap, 0, 100)) != 4 {
+		t.Fatal("full filter wrong")
+	}
+}
+
+func snapBuilders() map[string]func(p *rqprov.Provider) dstest.Set {
+	return map[string]func(p *rqprov.Provider) dstest.Set{
+		"lflist":   func(p *rqprov.Provider) dstest.Set { return lflist.NewSnap(p) },
+		"lazylist": func(p *rqprov.Provider) dstest.Set { return lazylist.NewSnap(p) },
+		"skiplist": func(p *rqprov.Provider) dstest.Set { return skiplist.NewSnap(p) },
+	}
+}
+
+// TestSnapSequential checks snap-mode range queries against a model with a
+// single thread (collector built and reconstructed per query).
+func TestSnapSequential(t *testing.T) {
+	for name, build := range snapBuilders() {
+		t.Run(name, func(t *testing.T) {
+			dstest.RunSequential(t, rqprov.ModeUnsafe, false, build, dstest.SequentialCfg{Seed: 91})
+		})
+	}
+}
+
+// TestSnapshotPrefix: writers insert strictly increasing keys; a
+// linearizable snapshot must contain a prefix of each writer's sequence.
+func TestSnapshotPrefix(t *testing.T) {
+	for name, build := range snapBuilders() {
+		t.Run(name, func(t *testing.T) {
+			const writers = 3
+			p := rqprov.New(rqprov.Config{MaxThreads: writers + 1, Mode: rqprov.ModeUnsafe})
+			s := build(p)
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(id int64) {
+					defer wg.Done()
+					th := p.Register()
+					for i := int64(0); !stop.Load() && i < 1<<20; i++ {
+						s.Insert(th, id*1_000_000+i, i)
+					}
+				}(int64(w))
+			}
+			rq := p.Register()
+			deadline := time.Now().Add(400 * time.Millisecond)
+			checks := 0
+			for time.Now().Before(deadline) {
+				res := s.RangeQuery(rq, 0, 1<<62)
+				last := make(map[int64]int64)
+				counts := make(map[int64]int64)
+				for _, kv := range res {
+					w := kv.Key / 1_000_000
+					i := kv.Key % 1_000_000
+					if i > last[w] {
+						last[w] = i
+					}
+					counts[w]++
+				}
+				for w, hi := range last {
+					if counts[w] != hi+1 {
+						t.Fatalf("writer %d: %d keys, max index %d — snapshot hole", w, counts[w], hi)
+					}
+				}
+				checks++
+			}
+			stop.Store(true)
+			wg.Wait()
+			if checks == 0 {
+				t.Fatal("no snapshots taken")
+			}
+		})
+	}
+}
+
+// TestSnapMixedSmoke: mixed updates + deletes + snapshots; results must be
+// sorted, deduplicated, in range.
+func TestSnapMixedSmoke(t *testing.T) {
+	for name, build := range snapBuilders() {
+		t.Run(name, func(t *testing.T) {
+			p := rqprov.New(rqprov.Config{MaxThreads: 6, Mode: rqprov.ModeUnsafe})
+			s := build(p)
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					th := p.Register()
+					r := rand.New(rand.NewSource(seed))
+					for !stop.Load() {
+						k := r.Int63n(128)
+						switch r.Intn(3) {
+						case 0:
+							s.Insert(th, k, k)
+						case 1:
+							s.Delete(th, k)
+						default:
+							s.Contains(th, k)
+						}
+					}
+				}(int64(w))
+			}
+			rq := p.Register()
+			deadline := time.Now().Add(300 * time.Millisecond)
+			for time.Now().Before(deadline) {
+				res := s.RangeQuery(rq, 20, 90)
+				for i, kv := range res {
+					if kv.Key < 20 || kv.Key > 90 {
+						t.Fatalf("out-of-range key %d", kv.Key)
+					}
+					if i > 0 && res[i-1].Key >= kv.Key {
+						t.Fatal("unsorted/duplicate result")
+					}
+					if kv.Value != kv.Key {
+						t.Fatalf("key %d has wrong value %d", kv.Key, kv.Value)
+					}
+				}
+			}
+			stop.Store(true)
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,144 @@
+package tpcc
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ebrrq"
+	"ebrrq/internal/dbx"
+)
+
+// TestConsistencyConditions checks the TPC-C §3.3 consistency conditions
+// this engine maintains, after a concurrent run:
+//
+//	C1: W_YTD = Σ D_YTD for each warehouse.
+//	C2: D_NEXT_O_ID − 1 = max(O_ID) in the order index, per district.
+//	C3: every order id in [1, D_NEXT_O_ID) is present in the order index.
+//	C4: for every order, the order-line index holds exactly O_OL_CNT lines.
+//	C5: every new-order entry refers to an existing, undelivered order.
+func TestConsistencyConditions(t *testing.T) {
+	for _, tech := range []ebrrq.Technique{ebrrq.Lock, ebrrq.LockFree} {
+		t.Run(tech.String(), func(t *testing.T) {
+			cfg := Config{Warehouses: 2, Scale: 100, DS: ebrrq.ABTree, Tech: tech,
+				MaxThreads: 6, Seed: 11}
+			db, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			db.Drive(4, 300*time.Millisecond)
+
+			h := db.takeHandles()
+			defer db.putHandles(h)
+			for w := int64(1); w <= int64(cfg.Warehouses); w++ {
+				// C1.
+				var distYTD int64
+				for d := int64(1); d <= 10; d++ {
+					distYTD += atomic.LoadInt64(&db.districts[w*11+d].YTD)
+				}
+				if got := atomic.LoadInt64(&db.warehouses[w].YTD); got != distYTD {
+					t.Fatalf("C1: warehouse %d YTD %d != Σ district YTD %d", w, got, distYTD)
+				}
+				for d := int64(1); d <= 10; d++ {
+					next := atomic.LoadInt64(&db.districts[w*11+d].NextOID)
+					// C2: the maximum order id equals NextOID-1.
+					orders := h.order.Range(
+						dbx.Key([]int64{w, d, 0}, wOrder),
+						dbx.Key([]int64{w, d, maxOID}, wOrder))
+					if int64(len(orders)) != next-1 {
+						t.Fatalf("C3: district (%d,%d) has %d orders, want %d", w, d, len(orders), next-1)
+					}
+					maxO := int64(0)
+					for _, kv := range orders {
+						o := db.orders.Get(kv.Value)
+						if o.ID > maxO {
+							maxO = o.ID
+						}
+						// C4.
+						lines := h.orderLine.Range(
+							dbx.Key([]int64{w, d, o.ID, 0}, wOrderLine),
+							dbx.Key([]int64{w, d, o.ID, maxLine}, wOrderLine))
+						if int64(len(lines)) != o.OLCnt {
+							t.Fatalf("C4: order (%d,%d,%d): %d lines, want %d", w, d, o.ID, len(lines), o.OLCnt)
+						}
+					}
+					if maxO != next-1 {
+						t.Fatalf("C2: district (%d,%d) max order %d, NextOID %d", w, d, maxO, next)
+					}
+					// C5.
+					pending := h.newOrder.Range(
+						dbx.Key([]int64{w, d, 0}, wOrder),
+						dbx.Key([]int64{w, d, maxOID}, wOrder))
+					for _, kv := range pending {
+						o := db.orders.Get(kv.Value)
+						if atomic.LoadInt64(&o.Carrier) != 0 {
+							t.Fatalf("C5: new-order (%d,%d,%d) already delivered", w, d, o.ID)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCustomerBalanceFlow: payments debit and deliveries credit customer
+// balances; sum of balance deltas must equal deliveries' order totals
+// minus payments. We verify a weaker but exact invariant: after a run of
+// only Payment transactions, Σ balances = initial − Σ district YTD.
+func TestCustomerBalanceFlow(t *testing.T) {
+	cfg := Config{Warehouses: 1, Scale: 100, DS: ebrrq.SkipList, Tech: ebrrq.LockFree,
+		MaxThreads: 4, Seed: 13}
+	db, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := sumBalances(db)
+	w := db.NewWorker(0)
+	defer w.Close()
+	for i := 0; i < 500; i++ {
+		w.Run(PaymentTxn)
+	}
+	paid := atomic.LoadInt64(&db.warehouses[1].YTD)
+	if paid == 0 {
+		t.Fatal("no payments applied")
+	}
+	if got := sumBalances(db); got != initial-paid {
+		t.Fatalf("Σ balances = %d, want %d - %d = %d", got, initial, paid, initial-paid)
+	}
+}
+
+func sumBalances(db *DB) int64 {
+	var sum int64
+	h := db.takeHandles()
+	defer db.putHandles(h)
+	for w := int64(1); w <= int64(db.cfg.Warehouses); w++ {
+		for d := int64(1); d <= 10; d++ {
+			kvs := h.cust.Range(
+				dbx.Key([]int64{w, d, 0}, wCustomer),
+				dbx.Key([]int64{w, d, maxCust}, wCustomer))
+			for _, kv := range kvs {
+				sum += atomic.LoadInt64(&db.customers.Get(kv.Value).Balance)
+			}
+		}
+	}
+	return sum
+}
+
+// TestStockLevelSafety: StockLevel must never crash on districts with few
+// orders (loOID clamping) and must count only distinct items.
+func TestStockLevelSafety(t *testing.T) {
+	cfg := Config{Warehouses: 1, Scale: 100, DS: ebrrq.Citrus, Tech: ebrrq.Lock,
+		MaxThreads: 3, Seed: 17}
+	db, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := db.NewWorker(0)
+	defer w.Close()
+	for i := 0; i < 100; i++ {
+		w.Run(StockLevelTxn)
+	}
+	if w.Counts[StockLevelTxn] != 100 {
+		t.Fatalf("committed %d stock-levels", w.Counts[StockLevelTxn])
+	}
+}

@@ -1,0 +1,70 @@
+package tpcc
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BenchResult aggregates a timed TPC-C run.
+type BenchResult struct {
+	Elapsed time.Duration
+	Txns    uint64
+	PerType [numTxnTypes]uint64
+	Aborts  uint64
+}
+
+// TxnsPerUs returns committed transactions per microsecond (the paper's
+// Figure 9 metric).
+func (r BenchResult) TxnsPerUs() float64 {
+	return float64(r.Txns) / float64(r.Elapsed.Microseconds())
+}
+
+// RunBench populates a database with cfg and drives `workers` goroutines
+// through the standard transaction mix for the given duration.
+func RunBench(cfg Config, workers int, duration time.Duration) (BenchResult, error) {
+	if cfg.MaxThreads < workers+1 {
+		cfg.MaxThreads = workers + 1
+	}
+	db, err := New(cfg)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	return db.Drive(workers, duration), nil
+}
+
+// Drive runs `workers` goroutines through the standard mix for duration.
+func (db *DB) Drive(workers int, duration time.Duration) BenchResult {
+	var halt atomic.Bool
+	var wg sync.WaitGroup
+	results := make([]*Worker, workers)
+	var start sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			w := db.NewWorker(tid)
+			defer w.Close()
+			results[tid] = w
+			start.Wait()
+			for !halt.Load() {
+				w.RunOne()
+			}
+		}(i)
+	}
+	t0 := time.Now()
+	start.Done()
+	time.Sleep(duration)
+	halt.Store(true)
+	wg.Wait()
+	res := BenchResult{Elapsed: time.Since(t0)}
+	for _, w := range results {
+		res.Txns += w.Total()
+		res.Aborts += w.Aborts
+		for t, c := range w.Counts {
+			res.PerType[t] += c
+		}
+	}
+	return res
+}

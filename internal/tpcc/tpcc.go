@@ -1,0 +1,414 @@
+// Package tpcc implements the TPC-C workload of the paper's macrobenchmark
+// (§5, Figure 9): the nine TPC-C relations held in a dbx row store, indexed
+// by pluggable ordered indexes (data structure × RQ technique), and the
+// five transaction types with the standard 45/43/4/4/4 mix. Approximately
+// 45% of transactions issue range queries over the indexes (new-order
+// scans are replaced by true index range queries — the original DBx1000
+// used hash indexes and could not express them).
+//
+// Scaling follows the spec shape (10 districts per warehouse, 3000
+// customers per district, 100k items) with a divisor for laptop-scale runs.
+// Money is in cents; strings carry realistic payload sizes.
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"ebrrq"
+	"ebrrq/internal/dbx"
+)
+
+// ---------------------------------------------------------------------------
+// Schema
+// ---------------------------------------------------------------------------
+
+// Warehouse is the WAREHOUSE relation.
+type Warehouse struct {
+	ID   int64
+	Name string
+	Tax  int64 // basis points
+	YTD  int64 // accessed atomically
+}
+
+// District is the DISTRICT relation.
+type District struct {
+	W, ID   int64
+	Tax     int64
+	YTD     int64 // accessed atomically
+	NextOID int64 // accessed atomically
+}
+
+// Customer is the CUSTOMER relation.
+type Customer struct {
+	W, D, ID    int64
+	First, Last string
+	LastID      int64 // index of the generated last name (0..999)
+	Credit      string
+	Balance     int64 // accessed atomically
+	YTDPayment  int64 // accessed atomically
+	PaymentCnt  int64 // accessed atomically
+	DeliveryCnt int64 // accessed atomically
+	Data        string
+}
+
+// History is the HISTORY relation.
+type History struct {
+	W, D, C int64
+	Amount  int64
+	Data    string
+}
+
+// Order is the ORDER relation.
+type Order struct {
+	W, D, ID, C int64
+	EntryD      int64
+	Carrier     int64 // accessed atomically // 0 = not delivered
+	OLCnt       int64
+	AllLocal    int64
+}
+
+// OrderLine is the ORDER-LINE relation.
+type OrderLine struct {
+	W, D, O, Num int64
+	I, SupplyW   int64
+	Qty, Amount  int64
+	DeliveryD    int64 // accessed atomically
+	DistInfo     string
+}
+
+// Item is the ITEM relation.
+type Item struct {
+	ID    int64
+	Name  string
+	Price int64
+	Data  string
+}
+
+// Stock is the STOCK relation.
+type Stock struct {
+	W, I      int64
+	Qty       int64 // accessed atomically
+	YTD       int64 // accessed atomically
+	OrderCnt  int64 // accessed atomically
+	RemoteCnt int64 // accessed atomically
+	Data      string
+}
+
+// Composite-key bit widths (most significant first). All keys fit in 62
+// bits: warehouse(10) district(4) customer(18) order(24) line(4) name(10).
+var (
+	wCustomer  = []int{10, 4, 18}
+	wCustName  = []int{10, 4, 10, 18}
+	wOrder     = []int{10, 4, 24}
+	wOrderCust = []int{10, 4, 18, 24}
+	wOrderLine = []int{10, 4, 24, 4}
+	wStock     = []int{10, 18}
+)
+
+const (
+	maxOID  = 1<<24 - 1
+	maxCust = 1<<18 - 1
+	maxLine = 15
+)
+
+// ---------------------------------------------------------------------------
+// Database
+// ---------------------------------------------------------------------------
+
+// Config sizes the database and selects the index implementation.
+type Config struct {
+	Warehouses int
+	Scale      int // divisor on customers/orders/items per the spec (1 = full)
+	DS         ebrrq.DataStructure
+	Tech       ebrrq.Technique
+	MaxThreads int
+	Seed       int64
+}
+
+// DB is a populated TPC-C database.
+type DB struct {
+	cfg          Config
+	CustPerDist  int
+	ItemCount    int
+	InitialOrder int // orders preloaded per district
+
+	warehouses []Warehouse
+	districts  []District
+
+	customers  *dbx.Store[Customer]
+	orders     *dbx.Store[Order]
+	orderLines *dbx.Store[OrderLine]
+	history    *dbx.Store[History]
+	items      []Item
+	stock      []Stock
+
+	// handlePool recycles the per-thread index handles created during
+	// population for the benchmark workers (index thread slots are a
+	// fixed resource).
+	poolMu     sync.Mutex
+	handlePool []*handles
+
+	idxItem      *dbx.Index // i -> item row id (slice offset)
+	idxStock     *dbx.Index // (w,i) -> stock slice offset
+	idxCustomer  *dbx.Index // (w,d,c) -> customer row
+	idxCustName  *dbx.Index // (w,d,lastID,c) -> customer row
+	idxOrder     *dbx.Index // (w,d,o) -> order row
+	idxOrderCust *dbx.Index // (w,d,c,o) -> order row
+	idxNewOrder  *dbx.Index // (w,d,o) -> order row
+	idxOrderLine *dbx.Index // (w,d,o,num) -> order-line row
+}
+
+// Indexes returns the pluggable index list (for stats and tests).
+func (db *DB) Indexes() []*dbx.Index {
+	return []*dbx.Index{db.idxItem, db.idxStock, db.idxCustomer, db.idxCustName,
+		db.idxOrder, db.idxOrderCust, db.idxNewOrder, db.idxOrderLine}
+}
+
+// New creates and populates a database.
+func New(cfg Config) (*DB, error) {
+	if cfg.Warehouses <= 0 {
+		cfg.Warehouses = 1
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	if cfg.MaxThreads <= 0 {
+		cfg.MaxThreads = cfg.Warehouses + 1
+	}
+	db := &DB{
+		cfg:          cfg,
+		CustPerDist:  maxInt(3000/cfg.Scale, 30),
+		ItemCount:    maxInt(100_000/cfg.Scale, 100),
+		InitialOrder: 0,
+	}
+	db.InitialOrder = db.CustPerDist // one initial order per customer
+	mt := cfg.MaxThreads
+	db.customers = dbx.NewStore[Customer](mt)
+	db.orders = dbx.NewStore[Order](mt)
+	db.orderLines = dbx.NewStore[OrderLine](mt)
+	db.history = dbx.NewStore[History](mt)
+
+	var err error
+	mk := func(name string) *dbx.Index {
+		if err != nil {
+			return nil
+		}
+		var ix *dbx.Index
+		ix, err = dbx.NewIndex(name, cfg.DS, cfg.Tech, mt)
+		return ix
+	}
+	db.idxItem = mk("item")
+	db.idxStock = mk("stock")
+	db.idxCustomer = mk("customer")
+	db.idxCustName = mk("customer_by_name")
+	db.idxOrder = mk("order")
+	db.idxOrderCust = mk("order_by_customer")
+	db.idxNewOrder = mk("new_order")
+	db.idxOrderLine = mk("order_line")
+	if err != nil {
+		return nil, err
+	}
+	db.populate()
+	return db, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// lastNames are the TPC-C syllables; a last name is three of them indexed
+// by the digits of a number in 0..999.
+var lastSyllables = []string{"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"}
+
+// LastName builds the spec's synthetic last name for id in 0..999.
+func LastName(id int64) string {
+	return lastSyllables[id/100] + lastSyllables[(id/10)%10] + lastSyllables[id%10]
+}
+
+// maxLastID is the largest last-name id actually present: the spec's 999
+// at full scale, smaller when the customer population is scaled down (so
+// by-name lookups keep the spec's hit rate).
+func (db *DB) maxLastID() int64 {
+	if db.CustPerDist >= 1000 {
+		return 999
+	}
+	return int64(db.CustPerDist)
+}
+
+func (db *DB) populate() {
+	W := db.cfg.Warehouses
+	db.warehouses = make([]Warehouse, W+1)
+	db.districts = make([]District, (W+1)*11)
+	db.items = make([]Item, db.ItemCount+1)
+	db.stock = make([]Stock, (W+1)*(db.ItemCount+1))
+
+	rng := rand.New(rand.NewSource(db.cfg.Seed + 1))
+	pad := strings.Repeat("x", 24)
+	for i := 1; i <= db.ItemCount; i++ {
+		db.items[i] = Item{ID: int64(i), Name: fmt.Sprintf("item-%d", i),
+			Price: 100 + rng.Int63n(9900), Data: pad}
+	}
+
+	// Populate warehouses in parallel, one goroutine per warehouse (each
+	// uses its own index handles and store segment).
+	workers := W
+	if workers > db.cfg.MaxThreads {
+		workers = db.cfg.MaxThreads
+	}
+	var wg sync.WaitGroup
+	next := atomic.Int64{}
+	next.Store(1)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			h := db.takeHandles()
+			defer db.putHandles(h)
+			r := rand.New(rand.NewSource(db.cfg.Seed + int64(tid)*31337))
+			if tid == 0 {
+				// Item index is warehouse-independent.
+				for i := 1; i <= db.ItemCount; i++ {
+					h.item.Insert(int64(i), int64(i))
+				}
+			}
+			for {
+				w := next.Add(1) - 1
+				if w > int64(W) {
+					return
+				}
+				db.populateWarehouse(tid, w, h, r)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+type handles struct {
+	item, stock, cust, custName, order, orderCust, newOrder, orderLine *dbx.Handle
+}
+
+// takeHandles returns pooled handles or registers fresh ones.
+func (db *DB) takeHandles() *handles {
+	db.poolMu.Lock()
+	defer db.poolMu.Unlock()
+	if n := len(db.handlePool); n > 0 {
+		h := db.handlePool[n-1]
+		db.handlePool = db.handlePool[:n-1]
+		return h
+	}
+	return db.newHandles()
+}
+
+// putHandles returns handles to the pool. The caller must no longer use
+// them (handle ownership transfers, never shared).
+func (db *DB) putHandles(h *handles) {
+	db.poolMu.Lock()
+	db.handlePool = append(db.handlePool, h)
+	db.poolMu.Unlock()
+}
+
+func (db *DB) newHandles() *handles {
+	return &handles{
+		item:      db.idxItem.NewHandle(),
+		stock:     db.idxStock.NewHandle(),
+		cust:      db.idxCustomer.NewHandle(),
+		custName:  db.idxCustName.NewHandle(),
+		order:     db.idxOrder.NewHandle(),
+		orderCust: db.idxOrderCust.NewHandle(),
+		newOrder:  db.idxNewOrder.NewHandle(),
+		orderLine: db.idxOrderLine.NewHandle(),
+	}
+}
+
+// kvPair is a deferred index insertion; population batches and shuffles
+// them so the unbalanced trees (LFBST, Citrus) are not built from sorted
+// keys, which would degenerate them into linked lists.
+type kvPair struct{ k, v int64 }
+
+func insertShuffled(h *dbx.Handle, r *rand.Rand, pairs []kvPair) {
+	r.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+	for _, p := range pairs {
+		h.Insert(p.k, p.v)
+	}
+}
+
+func (db *DB) populateWarehouse(tid int, w int64, h *handles, r *rand.Rand) {
+	db.warehouses[w] = Warehouse{ID: w, Name: fmt.Sprintf("wh-%d", w), Tax: r.Int63n(20)}
+	stockKVs := make([]kvPair, 0, db.ItemCount)
+	for i := 1; i <= db.ItemCount; i++ {
+		s := &db.stock[int(w)*(db.ItemCount+1)+i]
+		s.W, s.I = w, int64(i)
+		atomic.StoreInt64(&s.Qty, 10+r.Int63n(91))
+		s.Data = "stockdata"
+		stockKVs = append(stockKVs, kvPair{dbx.Key([]int64{w, int64(i)}, wStock),
+			int64(int(w)*(db.ItemCount+1) + i)})
+	}
+	insertShuffled(h.stock, r, stockKVs)
+	var custKVs, custNameKVs, orderKVs, orderCustKVs, newOrderKVs, olKVs []kvPair
+	for d := int64(1); d <= 10; d++ {
+		dist := &db.districts[w*11+d]
+		dist.W, dist.ID = w, d
+		dist.Tax = r.Int63n(20)
+		atomic.StoreInt64(&dist.NextOID, int64(db.InitialOrder)+1)
+		for c := int64(1); c <= int64(db.CustPerDist); c++ {
+			lastID := c % 1000
+			if c >= 1000 {
+				lastID = nuRand(r, 255, 0, 999)
+			}
+			cust := Customer{W: w, D: d, ID: c,
+				First: fmt.Sprintf("first-%d", c), Last: LastName(lastID), LastID: lastID,
+				Credit: "GC", Data: "customerdata"}
+			atomic.StoreInt64(&cust.Balance, -1000)
+			rid := db.customers.Append(tid, cust)
+			custKVs = append(custKVs, kvPair{dbx.Key([]int64{w, d, c}, wCustomer), rid})
+			custNameKVs = append(custNameKVs, kvPair{dbx.Key([]int64{w, d, lastID, c}, wCustName), rid})
+		}
+		// One initial order per customer, in a random permutation; the
+		// newest 30% are undelivered new-orders (spec: 900 of 3000).
+		perm := r.Perm(db.CustPerDist)
+		for o := int64(1); o <= int64(db.InitialOrder); o++ {
+			c := int64(perm[o-1] + 1)
+			olCnt := 5 + r.Int63n(11)
+			ord := Order{W: w, D: d, ID: o, C: c, EntryD: 1, OLCnt: olCnt, AllLocal: 1}
+			isNew := o > int64(db.InitialOrder-db.InitialOrder*3/10)
+			if !isNew {
+				atomic.StoreInt64(&ord.Carrier, 1+r.Int63n(10))
+			}
+			rid := db.orders.Append(tid, ord)
+			orderKVs = append(orderKVs, kvPair{dbx.Key([]int64{w, d, o}, wOrder), rid})
+			orderCustKVs = append(orderCustKVs, kvPair{dbx.Key([]int64{w, d, c, o}, wOrderCust), rid})
+			if isNew {
+				newOrderKVs = append(newOrderKVs, kvPair{dbx.Key([]int64{w, d, o}, wOrder), rid})
+			}
+			for n := int64(1); n <= olCnt; n++ {
+				i := 1 + r.Int63n(int64(db.ItemCount))
+				ol := OrderLine{W: w, D: d, O: o, Num: n, I: i, SupplyW: w,
+					Qty: 5, Amount: r.Int63n(10000), DistInfo: "distinfo"}
+				if !isNew {
+					atomic.StoreInt64(&ol.DeliveryD, 1)
+				}
+				olRid := db.orderLines.Append(tid, ol)
+				olKVs = append(olKVs, kvPair{dbx.Key([]int64{w, d, o, n}, wOrderLine), olRid})
+			}
+		}
+	}
+	insertShuffled(h.cust, r, custKVs)
+	insertShuffled(h.custName, r, custNameKVs)
+	insertShuffled(h.order, r, orderKVs)
+	insertShuffled(h.orderCust, r, orderCustKVs)
+	insertShuffled(h.newOrder, r, newOrderKVs)
+	insertShuffled(h.orderLine, r, olKVs)
+}
+
+// nuRand is the spec's non-uniform random function NURand(A, x, y) with C=7.
+func nuRand(r *rand.Rand, a, x, y int64) int64 {
+	c := int64(7)
+	return ((r.Int63n(a+1)|(x+r.Int63n(y-x+1)))+c)%(y-x+1) + x
+}

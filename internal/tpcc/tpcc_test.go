@@ -1,0 +1,196 @@
+package tpcc
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ebrrq"
+	"ebrrq/internal/dbx"
+)
+
+func smallCfg(ds ebrrq.DataStructure, tech ebrrq.Technique) Config {
+	return Config{Warehouses: 2, Scale: 100, DS: ds, Tech: tech, MaxThreads: 6, Seed: 7}
+}
+
+func TestLastName(t *testing.T) {
+	if LastName(0) != "BARBARBAR" {
+		t.Fatalf("LastName(0) = %s", LastName(0))
+	}
+	if LastName(371) != "PRICALLYOUGHT" {
+		t.Fatalf("LastName(371) = %s", LastName(371))
+	}
+	if LastName(999) != "EINGEINGEING" {
+		t.Fatalf("LastName(999) = %s", LastName(999))
+	}
+}
+
+func TestPopulationShape(t *testing.T) {
+	db, err := New(smallCfg(ebrrq.ABTree, ebrrq.LockFree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCust := 2 * 10 * db.CustPerDist
+	if got := db.customers.Rows(); got != wantCust {
+		t.Fatalf("customers = %d, want %d", got, wantCust)
+	}
+	if got := db.orders.Rows(); got != wantCust {
+		t.Fatalf("orders = %d, want %d (one per customer)", got, wantCust)
+	}
+	if db.orderLines.Rows() < 5*wantCust {
+		t.Fatalf("too few order lines: %d", db.orderLines.Rows())
+	}
+	// Each district's next order id follows the preloaded orders.
+	for w := int64(1); w <= 2; w++ {
+		for d := int64(1); d <= 10; d++ {
+			if got := atomic.LoadInt64(&db.districts[w*11+d].NextOID); got != int64(db.InitialOrder)+1 {
+				t.Fatalf("district (%d,%d) NextOID = %d", w, d, got)
+			}
+		}
+	}
+	// The new-order index holds the newest 30% per district.
+	h := db.takeHandles()
+	defer db.putHandles(h)
+	for w := int64(1); w <= 2; w++ {
+		for d := int64(1); d <= 10; d++ {
+			lo := dbx.Key([]int64{w, d, 0}, wOrder)
+			hi := dbx.Key([]int64{w, d, maxOID}, wOrder)
+			pending := h.newOrder.Range(lo, hi)
+			want := db.InitialOrder * 3 / 10
+			if len(pending) != want {
+				t.Fatalf("district (%d,%d): %d pending, want %d", w, d, len(pending), want)
+			}
+		}
+	}
+}
+
+func TestTransactionsSequential(t *testing.T) {
+	db, err := New(smallCfg(ebrrq.SkipList, ebrrq.Lock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := db.NewWorker(0)
+	defer w.Close()
+	for _, txn := range []TxnType{NewOrderTxn, PaymentTxn, OrderStatusTxn, DeliveryTxn, StockLevelTxn} {
+		for i := 0; i < 50; i++ {
+			w.Run(txn)
+		}
+	}
+	for txn, c := range w.Counts {
+		if c == 0 {
+			t.Fatalf("no committed %v transactions", TxnType(txn))
+		}
+	}
+	// NewOrder grew some district's order sequence.
+	grown := false
+	for d := int64(1); d <= 10; d++ {
+		if atomic.LoadInt64(&db.districts[w.home*11+d].NextOID) > int64(db.InitialOrder)+1 {
+			grown = true
+		}
+	}
+	if !grown {
+		t.Fatal("NewOrder did not advance any district order id")
+	}
+}
+
+// TestNewOrderVisibleToStatus checks cross-transaction consistency: after a
+// NewOrder for a known customer, OrderStatus-style queries find it.
+func TestNewOrderVisibleToStatus(t *testing.T) {
+	db, err := New(smallCfg(ebrrq.Citrus, ebrrq.LockFree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := db.NewWorker(0)
+	defer w.Close()
+	before := db.orders.Rows()
+	for i := 0; i < 200; i++ {
+		w.Run(NewOrderTxn)
+	}
+	added := db.orders.Rows() - before
+	if added == 0 {
+		t.Fatal("no orders inserted")
+	}
+	// Every inserted order is findable through the order index and its
+	// lines through the order-line index.
+	checked := 0
+	for d := int64(1); d <= 10; d++ {
+		next := atomic.LoadInt64(&db.districts[w.home*11+d].NextOID)
+		for o := int64(db.InitialOrder) + 1; o < next; o++ {
+			rid, ok := w.h.order.Get(dbx.Key([]int64{w.home, d, o}, wOrder))
+			if !ok {
+				t.Fatalf("order (%d,%d,%d) missing from index", w.home, d, o)
+			}
+			ord := db.orders.Get(rid)
+			lines := w.h.orderLine.Range(
+				dbx.Key([]int64{w.home, d, o, 0}, wOrderLine),
+				dbx.Key([]int64{w.home, d, o, maxLine}, wOrderLine))
+			if int64(len(lines)) != ord.OLCnt {
+				t.Fatalf("order (%d,%d,%d): %d lines, want %d", w.home, d, o, len(lines), ord.OLCnt)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("nothing checked")
+	}
+}
+
+// TestDeliveryDrainsNewOrders checks that repeated deliveries empty the
+// new-order queue and mark orders delivered.
+func TestDeliveryDrainsNewOrders(t *testing.T) {
+	cfg := smallCfg(ebrrq.ABTree, ebrrq.Lock)
+	cfg.Warehouses = 1
+	db, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := db.NewWorker(0)
+	defer w.Close()
+	pendingPerDist := db.InitialOrder * 3 / 10
+	for i := 0; i < pendingPerDist+5; i++ {
+		w.Run(DeliveryTxn)
+	}
+	for d := int64(1); d <= 10; d++ {
+		pending := w.h.newOrder.Range(
+			dbx.Key([]int64{1, d, 0}, wOrder),
+			dbx.Key([]int64{1, d, maxOID}, wOrder))
+		if len(pending) != 0 {
+			t.Fatalf("district %d still has %d pending new-orders", d, len(pending))
+		}
+	}
+}
+
+// TestConcurrentDrive runs the full mix concurrently on several index
+// techniques.
+func TestConcurrentDrive(t *testing.T) {
+	for _, tech := range []ebrrq.Technique{ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree, ebrrq.Unsafe} {
+		t.Run(tech.String(), func(t *testing.T) {
+			cfg := smallCfg(ebrrq.ABTree, tech)
+			cfg.MaxThreads = 5
+			db, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := db.Drive(4, 200*time.Millisecond)
+			if res.Txns == 0 {
+				t.Fatal("no transactions committed")
+			}
+			if res.PerType[NewOrderTxn] == 0 || res.PerType[PaymentTxn] == 0 {
+				t.Fatalf("mix skewed: %+v", res.PerType)
+			}
+		})
+	}
+}
+
+func TestRLUCitrusIndexes(t *testing.T) {
+	cfg := smallCfg(ebrrq.Citrus, ebrrq.RLU)
+	cfg.MaxThreads = 4
+	db, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := db.Drive(2, 150*time.Millisecond)
+	if res.Txns == 0 {
+		t.Fatal("no transactions committed on RLU indexes")
+	}
+}

@@ -1,0 +1,367 @@
+package tpcc
+
+import (
+	"math/rand"
+	"sync/atomic"
+
+	"ebrrq"
+	"ebrrq/internal/dbx"
+)
+
+// TxnType identifies a TPC-C transaction.
+type TxnType int
+
+// The five TPC-C transaction types.
+const (
+	NewOrderTxn TxnType = iota
+	PaymentTxn
+	OrderStatusTxn
+	DeliveryTxn
+	StockLevelTxn
+	numTxnTypes
+)
+
+// String names the transaction type.
+func (t TxnType) String() string {
+	return [...]string{"NewOrder", "Payment", "OrderStatus", "Delivery", "StockLevel"}[t]
+}
+
+// Worker executes transactions against a DB. One per goroutine.
+type Worker struct {
+	db   *DB
+	tid  int
+	h    *handles
+	rng  *rand.Rand
+	home int64
+
+	// Counts[t] is the number of committed transactions of each type;
+	// Aborts counts user aborts (the spec's 1% invalid-item new-orders).
+	Counts [numTxnTypes]uint64
+	Aborts uint64
+}
+
+// NewWorker registers a worker; tid must be unique in [0, MaxThreads) and
+// is also used as the row-store segment id.
+func (db *DB) NewWorker(tid int) *Worker {
+	return &Worker{
+		db:   db,
+		tid:  tid,
+		h:    db.takeHandles(),
+		rng:  rand.New(rand.NewSource(db.cfg.Seed + 7_000_003*int64(tid+1))),
+		home: int64(tid%db.cfg.Warehouses) + 1,
+	}
+}
+
+// Close returns the worker's index handles to the pool.
+func (w *Worker) Close() { w.db.putHandles(w.h) }
+
+// Total returns the number of committed transactions.
+func (w *Worker) Total() uint64 {
+	var t uint64
+	for _, c := range w.Counts {
+		t += c
+	}
+	return t
+}
+
+// RunOne executes one transaction drawn from the standard mix
+// (45% NewOrder, 43% Payment, 4% OrderStatus, 4% Delivery, 4% StockLevel)
+// and returns its type.
+func (w *Worker) RunOne() TxnType {
+	p := w.rng.Intn(100)
+	var t TxnType
+	switch {
+	case p < 45:
+		t = NewOrderTxn
+	case p < 88:
+		t = PaymentTxn
+	case p < 92:
+		t = OrderStatusTxn
+	case p < 96:
+		t = DeliveryTxn
+	default:
+		t = StockLevelTxn
+	}
+	w.Run(t)
+	return t
+}
+
+// Run executes one transaction of the given type.
+func (w *Worker) Run(t TxnType) {
+	switch t {
+	case NewOrderTxn:
+		w.newOrder()
+	case PaymentTxn:
+		w.payment()
+	case OrderStatusTxn:
+		w.orderStatus()
+	case DeliveryTxn:
+		w.delivery()
+	case StockLevelTxn:
+		w.stockLevel()
+	}
+}
+
+func (w *Worker) randDistrict() int64 { return 1 + w.rng.Int63n(10) }
+
+func (w *Worker) randCustomer() int64 {
+	return nuRand(w.rng, 1023, 1, int64(w.db.CustPerDist))
+}
+
+func (w *Worker) randItem() int64 {
+	return nuRand(w.rng, 8191, 1, int64(w.db.ItemCount))
+}
+
+// newOrder implements the NewOrder transaction (§2.4 of the spec): insert
+// an order with 5-15 lines, updating stock quantities. 1% of transactions
+// roll back on an invalid item (validated before any writes, as DBx1000
+// does).
+func (w *Worker) newOrder() {
+	db := w.db
+	wid := w.home
+	d := w.randDistrict()
+	c := w.randCustomer()
+
+	olCnt := 5 + w.rng.Int63n(11)
+	items := make([]int64, olCnt)
+	supply := make([]int64, olCnt)
+	qty := make([]int64, olCnt)
+	rollback := w.rng.Intn(100) == 0
+	allLocal := int64(1)
+	for i := range items {
+		if rollback && i == len(items)-1 {
+			items[i] = int64(db.ItemCount) + 10_000 // unused item id
+		} else {
+			items[i] = w.randItem()
+		}
+		supply[i] = wid
+		if db.cfg.Warehouses > 1 && w.rng.Intn(100) == 0 {
+			// 1% remote supply warehouse.
+			for {
+				sw := 1 + w.rng.Int63n(int64(db.cfg.Warehouses))
+				if sw != wid || db.cfg.Warehouses == 1 {
+					supply[i] = sw
+					break
+				}
+			}
+			if supply[i] != wid {
+				allLocal = 0
+			}
+		}
+		qty[i] = 1 + w.rng.Int63n(10)
+	}
+	// Validate all items first; abort (no writes) on the invalid one.
+	itemRows := make([]*Item, olCnt)
+	for i, it := range items {
+		rid, ok := w.h.item.Get(it)
+		if !ok {
+			w.Aborts++
+			return
+		}
+		itemRows[i] = &db.items[rid]
+	}
+
+	dist := &db.districts[wid*11+d]
+	o := atomic.AddInt64(&dist.NextOID, 1) - 1
+	if o > maxOID {
+		panic("tpcc: order id overflow")
+	}
+
+	ord := Order{W: wid, D: d, ID: o, C: c, EntryD: 1, OLCnt: olCnt, AllLocal: allLocal}
+	rid := db.orders.Append(w.tid, ord)
+	w.h.order.Insert(dbx.Key([]int64{wid, d, o}, wOrder), rid)
+	w.h.orderCust.Insert(dbx.Key([]int64{wid, d, c, o}, wOrderCust), rid)
+	w.h.newOrder.Insert(dbx.Key([]int64{wid, d, o}, wOrder), rid)
+
+	for i := range items {
+		srid, ok := w.h.stock.Get(dbx.Key([]int64{supply[i], items[i]}, wStock))
+		if !ok {
+			continue // impossible for valid items
+		}
+		st := &db.stock[srid]
+		// s_quantity := s_quantity - qty, +91 if it would underflow 10.
+		for {
+			q := atomic.LoadInt64(&st.Qty)
+			nq := q - qty[i]
+			if nq < 10 {
+				nq += 91
+			}
+			if atomic.CompareAndSwapInt64(&st.Qty, q, nq) {
+				break
+			}
+		}
+		atomic.AddInt64(&st.YTD, qty[i])
+		atomic.AddInt64(&st.OrderCnt, 1)
+		if supply[i] != wid {
+			atomic.AddInt64(&st.RemoteCnt, 1)
+		}
+		amount := qty[i] * itemRows[i].Price
+		ol := OrderLine{W: wid, D: d, O: o, Num: int64(i) + 1, I: items[i],
+			SupplyW: supply[i], Qty: qty[i], Amount: amount, DistInfo: "distinfo"}
+		olRid := db.orderLines.Append(w.tid, ol)
+		w.h.orderLine.Insert(dbx.Key([]int64{wid, d, o, int64(i) + 1}, wOrderLine), olRid)
+	}
+	w.Counts[NewOrderTxn]++
+}
+
+// lookupCustomer resolves a customer by id (40%) or last name (60%, via a
+// range query over the name index picking the middle match, per the spec).
+func (w *Worker) lookupCustomer(wid, d int64) (int64, *Customer) {
+	db := w.db
+	if w.rng.Intn(100) < 40 {
+		c := w.randCustomer()
+		rid, ok := w.h.cust.Get(dbx.Key([]int64{wid, d, c}, wCustomer))
+		if !ok {
+			return 0, nil
+		}
+		return rid, db.customers.Get(rid)
+	}
+	lastID := nuRand(w.rng, 255, 0, db.maxLastID())
+	lo := dbx.Key([]int64{wid, d, lastID, 0}, wCustName)
+	hi := dbx.Key([]int64{wid, d, lastID, maxCust}, wCustName)
+	matches := w.h.custName.Range(lo, hi)
+	if len(matches) == 0 {
+		return 0, nil
+	}
+	rid := matches[len(matches)/2].Value
+	return rid, db.customers.Get(rid)
+}
+
+// payment implements the Payment transaction: update warehouse/district
+// YTD, credit the customer, record history.
+func (w *Worker) payment() {
+	db := w.db
+	wid := w.home
+	d := w.randDistrict()
+	// 15% of payments are for a customer of a remote warehouse/district.
+	cw, cd := wid, d
+	if db.cfg.Warehouses > 1 && w.rng.Intn(100) < 15 {
+		cw = 1 + w.rng.Int63n(int64(db.cfg.Warehouses))
+		cd = w.randDistrict()
+	}
+	amount := 100 + w.rng.Int63n(499_900)
+	// Resolve the customer first: an aborted payment (no matching last
+	// name) must leave no effects, or the warehouse/district/customer
+	// YTD consistency condition breaks.
+	_, cust := w.lookupCustomer(cw, cd)
+	if cust == nil {
+		w.Aborts++
+		return
+	}
+	atomic.AddInt64(&db.warehouses[wid].YTD, amount)
+	atomic.AddInt64(&db.districts[wid*11+d].YTD, amount)
+	atomic.AddInt64(&cust.Balance, -amount)
+	atomic.AddInt64(&cust.YTDPayment, amount)
+	atomic.AddInt64(&cust.PaymentCnt, 1)
+	db.history.Append(w.tid, History{W: wid, D: d, C: cust.ID, Amount: amount, Data: "payment"})
+	w.Counts[PaymentTxn]++
+}
+
+// orderStatus implements the OrderStatus transaction: the customer's most
+// recent order and its lines — two range queries.
+func (w *Worker) orderStatus() {
+	db := w.db
+	wid := w.home
+	d := w.randDistrict()
+	_, cust := w.lookupCustomer(wid, d)
+	if cust == nil {
+		w.Aborts++
+		return
+	}
+	lo := dbx.Key([]int64{wid, d, cust.ID, 0}, wOrderCust)
+	hi := dbx.Key([]int64{wid, d, cust.ID, maxOID}, wOrderCust)
+	orders := w.h.orderCust.Range(lo, hi)
+	if len(orders) == 0 {
+		w.Counts[OrderStatusTxn]++
+		return
+	}
+	ord := db.orders.Get(orders[len(orders)-1].Value)
+	llo := dbx.Key([]int64{wid, d, ord.ID, 0}, wOrderLine)
+	lhi := dbx.Key([]int64{wid, d, ord.ID, maxLine}, wOrderLine)
+	var total int64
+	for _, kv := range w.h.orderLine.Range(llo, lhi) {
+		total += db.orderLines.Get(kv.Value).Amount
+	}
+	_ = total
+	w.Counts[OrderStatusTxn]++
+}
+
+// delivery implements the Delivery transaction: for every district of the
+// home warehouse, deliver the oldest undelivered order (a range query over
+// the new-order index, then an index delete that atomically claims it).
+func (w *Worker) delivery() {
+	db := w.db
+	wid := w.home
+	carrier := 1 + w.rng.Int63n(10)
+	for d := int64(1); d <= 10; d++ {
+		lo := dbx.Key([]int64{wid, d, 0}, wOrder)
+		hi := dbx.Key([]int64{wid, d, maxOID}, wOrder)
+		pending := w.h.newOrder.Range(lo, hi)
+		delivered := false
+		for _, kv := range pending {
+			if !w.h.newOrder.Delete(kv.Key) {
+				continue // another delivery claimed it; try the next
+			}
+			ord := db.orders.Get(kv.Value)
+			atomic.StoreInt64(&ord.Carrier, carrier)
+			llo := dbx.Key([]int64{wid, d, ord.ID, 0}, wOrderLine)
+			lhi := dbx.Key([]int64{wid, d, ord.ID, maxLine}, wOrderLine)
+			var total int64
+			for _, ol := range w.h.orderLine.Range(llo, lhi) {
+				row := db.orderLines.Get(ol.Value)
+				atomic.StoreInt64(&row.DeliveryD, 1)
+				total += row.Amount
+			}
+			crid, ok := w.h.cust.Get(dbx.Key([]int64{wid, d, ord.C}, wCustomer))
+			if ok {
+				cust := db.customers.Get(crid)
+				atomic.AddInt64(&cust.Balance, total)
+				atomic.AddInt64(&cust.DeliveryCnt, 1)
+			}
+			delivered = true
+			break
+		}
+		_ = delivered
+	}
+	w.Counts[DeliveryTxn]++
+}
+
+// stockLevel implements the StockLevel transaction: scan the order lines of
+// the district's last 20 orders (one large range query) and count distinct
+// items whose stock is below a threshold.
+func (w *Worker) stockLevel() {
+	db := w.db
+	wid := w.home
+	d := w.randDistrict()
+	threshold := 10 + w.rng.Int63n(11)
+	next := atomic.LoadInt64(&db.districts[wid*11+d].NextOID)
+	loOID := next - 20
+	if loOID < 1 {
+		loOID = 1
+	}
+	lo := dbx.Key([]int64{wid, d, loOID, 0}, wOrderLine)
+	hi := dbx.Key([]int64{wid, d, next - 1, maxLine}, wOrderLine)
+	seen := make(map[int64]struct{}, 64)
+	low := 0
+	for _, kv := range w.h.orderLine.Range(lo, hi) {
+		ol := db.orderLines.Get(kv.Value)
+		if _, dup := seen[ol.I]; dup {
+			continue
+		}
+		seen[ol.I] = struct{}{}
+		srid, ok := w.h.stock.Get(dbx.Key([]int64{wid, ol.I}, wStock))
+		if ok && atomic.LoadInt64(&db.stock[srid].Qty) < threshold {
+			low++
+		}
+	}
+	_ = low
+	w.Counts[StockLevelTxn]++
+}
+
+// Supported reports whether the index technique can run TPC-C (all except
+// the Snap-collector, which the paper excludes from Figure 9 as it was
+// 1000x slower — it must snapshot entire indexes per range query; it is
+// still runnable here for demonstration at tiny scales).
+func Supported(ds ebrrq.DataStructure, tech ebrrq.Technique) bool {
+	return ebrrq.Supported(ds, tech)
+}

@@ -1,0 +1,145 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+
+	"ebrrq/internal/epoch"
+)
+
+func mkNode(k, v int64) *epoch.Node {
+	n := &epoch.Node{}
+	n.InitKey(k, v)
+	return n
+}
+
+func mkMulti(kvs ...epoch.KV) *epoch.Node {
+	n := &epoch.Node{}
+	n.InitMulti(kvs)
+	return n
+}
+
+func mkRouter() *epoch.Node {
+	n := &epoch.Node{}
+	n.InitRouting(0)
+	return n
+}
+
+func TestCorrectHistoryPasses(t *testing.T) {
+	c := NewChecker(1)
+	c.RecordUpdate(0, 1, []*epoch.Node{mkNode(5, 50)}, nil)
+	c.RecordUpdate(0, 1, []*epoch.Node{mkNode(7, 70)}, nil)
+	// RQ at ts 2 sees {5,7}.
+	c.AddRQ(0, 2, 0, 10, []epoch.KV{{Key: 5, Value: 50}, {Key: 7, Value: 70}})
+	c.RecordUpdate(0, 2, nil, []*epoch.Node{mkNode(5, 50)})
+	// RQ at ts 3 sees {7}.
+	c.AddRQ(0, 3, 0, 10, []epoch.KV{{Key: 7, Value: 70}})
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissingKeyDetected(t *testing.T) {
+	c := NewChecker(1)
+	c.RecordUpdate(0, 1, []*epoch.Node{mkNode(5, 50)}, nil)
+	c.AddRQ(0, 2, 0, 10, nil) // misses 5
+	err := c.Check()
+	if err == nil || !strings.Contains(err.Error(), "missing key 5") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSpuriousKeyDetected(t *testing.T) {
+	c := NewChecker(1)
+	c.RecordUpdate(0, 1, []*epoch.Node{mkNode(5, 50)}, nil)
+	c.RecordUpdate(0, 1, nil, []*epoch.Node{mkNode(5, 50)})
+	c.AddRQ(0, 2, 0, 10, []epoch.KV{{Key: 5, Value: 50}})
+	err := c.Check()
+	if err == nil || !strings.Contains(err.Error(), "spurious key 5") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNeverInsertedDetected(t *testing.T) {
+	c := NewChecker(1)
+	c.AddRQ(0, 2, 0, 10, []epoch.KV{{Key: 9, Value: 1}})
+	err := c.Check()
+	if err == nil || !strings.Contains(err.Error(), "never inserted") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWrongValueDetected(t *testing.T) {
+	c := NewChecker(1)
+	c.RecordUpdate(0, 1, []*epoch.Node{mkNode(5, 50)}, nil)
+	c.AddRQ(0, 2, 0, 10, []epoch.KV{{Key: 5, Value: 51}})
+	err := c.Check()
+	if err == nil || !strings.Contains(err.Error(), "value") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnsortedResultDetected(t *testing.T) {
+	c := NewChecker(1)
+	c.RecordUpdate(0, 1, []*epoch.Node{mkNode(5, 50), mkNode(7, 70)}, nil)
+	c.AddRQ(0, 2, 0, 10, []epoch.KV{{Key: 7, Value: 70}, {Key: 5, Value: 50}})
+	err := c.Check()
+	if err == nil || !strings.Contains(err.Error(), "sorted") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOutOfRangeDetected(t *testing.T) {
+	c := NewChecker(1)
+	c.RecordUpdate(0, 1, []*epoch.Node{mkNode(50, 1)}, nil)
+	c.AddRQ(0, 2, 0, 10, []epoch.KV{{Key: 50, Value: 1}})
+	err := c.Check()
+	if err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGroupUpdateBalances(t *testing.T) {
+	c := NewChecker(1)
+	// Leaf split: old leaf {1,2,3} replaced by {1,2} and {3,4} plus a
+	// router; net effect is insert of 4 only.
+	c.RecordUpdate(0, 1, []*epoch.Node{mkMulti(epoch.KV{Key: 1, Value: 10}, epoch.KV{Key: 2, Value: 20}, epoch.KV{Key: 3, Value: 30})}, nil)
+	c.RecordUpdate(0, 1,
+		[]*epoch.Node{mkMulti(epoch.KV{Key: 1, Value: 10}, epoch.KV{Key: 2, Value: 20}), mkMulti(epoch.KV{Key: 3, Value: 30}, epoch.KV{Key: 4, Value: 40}), mkRouter()},
+		[]*epoch.Node{mkMulti(epoch.KV{Key: 1, Value: 10}, epoch.KV{Key: 2, Value: 20}, epoch.KV{Key: 3, Value: 30})})
+	c.AddRQ(0, 2, 0, 10, []epoch.KV{{Key: 1, Value: 10}, {Key: 2, Value: 20}, {Key: 3, Value: 30}, {Key: 4, Value: 40}})
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoutingNodesIgnored(t *testing.T) {
+	c := NewChecker(1)
+	c.RecordUpdate(0, 1, []*epoch.Node{mkRouter()}, []*epoch.Node{mkRouter()})
+	if c.Events() != 0 {
+		t.Fatalf("router nodes recorded: %d events", c.Events())
+	}
+}
+
+func TestTransientDuplicateAccepted(t *testing.T) {
+	// Citrus two-child delete: copy inserted at ts 3, original removed at
+	// ts 4; key present throughout.
+	c := NewChecker(1)
+	c.RecordUpdate(0, 1, []*epoch.Node{mkNode(9, 90)}, nil)
+	c.RecordUpdate(0, 3, []*epoch.Node{mkNode(9, 90)}, nil)  // copy
+	c.RecordUpdate(0, 4, nil, []*epoch.Node{mkNode(9, 90)}) // original removed
+	c.AddRQ(0, 2, 0, 10, []epoch.KV{{Key: 9, Value: 90}})
+	c.AddRQ(0, 5, 0, 10, []epoch.KV{{Key: 9, Value: 90}})
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeNetDetected(t *testing.T) {
+	c := NewChecker(1)
+	c.RecordUpdate(0, 1, nil, []*epoch.Node{mkNode(5, 50)})
+	err := c.Check()
+	if err == nil || !strings.Contains(err.Error(), "inconsistent history") {
+		t.Fatalf("err = %v", err)
+	}
+}
