@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench validate micro macro examples clean
+.PHONY: all ci build vet test race bench validate micro macro examples clean
 
 all: build vet test
+
+# ci mirrors .github/workflows/ci.yml: full build/vet/test plus a short-mode
+# race pass (the full race suite is the separate `race` target).
+ci: build vet test
+	$(GO) test -race -short ./... -count=1 -timeout 900s
 
 build:
 	$(GO) build ./...

@@ -18,6 +18,7 @@ import (
 
 	"ebrrq"
 	"ebrrq/internal/bench"
+	"ebrrq/internal/obs"
 	"ebrrq/internal/tpcc"
 )
 
@@ -27,7 +28,20 @@ func main() {
 	scale := flag.Int("scale", 20, "population divisor (1 = full spec: 3000 customers/district, 100k items)")
 	duration := flag.Duration("duration", time.Second, "measured run time")
 	seed := flag.Int64("seed", 1, "random seed")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry(*workers + 4)
+		srv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("# metrics: http://%s/metrics (also /debug/vars, /debug/pprof)\n", srv.Addr())
+	}
 
 	structures := []ebrrq.DataStructure{ebrrq.ABTree, ebrrq.LFBST, ebrrq.Citrus, ebrrq.SkipList}
 	techniques := []ebrrq.Technique{ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree, ebrrq.RLU, ebrrq.Unsafe}
@@ -55,6 +69,7 @@ func main() {
 				Tech:       tech,
 				MaxThreads: *workers + 2,
 				Seed:       *seed,
+				Metrics:    reg,
 			}, *workers, *duration)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "%s/%s: %v\n", ds, tech, err)

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"ebrrq/internal/bench"
+	"ebrrq/internal/obs"
 )
 
 func main() {
@@ -29,15 +30,32 @@ func main() {
 	trials := flag.Int("trials", 1, "trials per data point (paper: 5)")
 	seed := flag.Int64("seed", 1, "random seed")
 	csvPath := flag.String("csv", "", "also write machine-readable rows to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
+	noMetrics := flag.Bool("no-metrics", false, "disable the observability layer (overhead A/B baseline)")
 	flag.Parse()
 
 	cfg := bench.ExpCfg{
-		Threads:  *threads,
-		Scale:    *scale,
-		Duration: *duration,
-		Trials:   *trials,
-		Seed:     *seed,
-		Out:      os.Stdout,
+		Threads:   *threads,
+		Scale:     *scale,
+		Duration:  *duration,
+		Trials:    *trials,
+		Seed:      *seed,
+		Out:       os.Stdout,
+		NoMetrics: *noMetrics,
+	}
+	if !*noMetrics {
+		// One registry spans every trial: a live endpoint sees totals
+		// accumulate while per-trial figures are taken as snapshot deltas.
+		cfg.Registry = obs.NewRegistry(*threads + 8)
+		if *metricsAddr != "" {
+			srv, err := obs.Serve(*metricsAddr, cfg.Registry)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer srv.Close()
+			fmt.Printf("# metrics: http://%s/metrics (also /debug/vars, /debug/pprof)\n", srv.Addr())
+		}
 	}
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
@@ -77,5 +95,10 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+	if cfg.Registry != nil && *metricsAddr == "" {
+		// Headless run: print the whole-run observability totals so the
+		// data is still available without the HTTP endpoint.
+		fmt.Printf("\n# Observability summary (all trials)\n%s", cfg.Registry.Snapshot())
 	}
 }

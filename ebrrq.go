@@ -21,6 +21,8 @@ package ebrrq
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
+	"time"
 
 	"ebrrq/internal/ds/abtree"
 	"ebrrq/internal/ds/citrus"
@@ -31,6 +33,7 @@ import (
 	"ebrrq/internal/ds/rlulist"
 	"ebrrq/internal/ds/skiplist"
 	"ebrrq/internal/epoch"
+	"ebrrq/internal/obs"
 	"ebrrq/internal/rqprov"
 )
 
@@ -142,18 +145,22 @@ func Supported(d DataStructure, t Technique) bool {
 
 // Set is a concurrent ordered map[int64]int64 with range queries.
 type Set struct {
-	ds   DataStructure
-	tech Technique
-	prov *rqprov.Provider // nil for RLU
-	impl setImpl
+	ds    DataStructure
+	tech  Technique
+	prov  *rqprov.Provider // nil for RLU
+	impl  setImpl
+	met   *setMetrics  // nil unless Options.Metrics was set
+	mtids atomic.Int32 // metric shard ids (covers RLU, which has no provider tid)
 }
 
 // Thread is a per-goroutine handle to a Set. Handles must not be shared
 // between goroutines.
 type Thread struct {
-	set  *Set
-	impl threadImpl
-	pt   *rqprov.Thread // nil for RLU
+	set   *Set
+	impl  threadImpl
+	pt    *rqprov.Thread // nil for RLU
+	mtid  int            // metric shard id
+	opSeq uint64         // operations issued; drives latency sampling
 }
 
 type setImpl interface {
@@ -172,6 +179,51 @@ type Options struct {
 	// Recorder, if non-nil, receives every timestamped update (validation
 	// harness support). Ignored by Snap and RLU.
 	Recorder rqprov.Recorder
+
+	// Metrics, if non-nil, turns on the observability layer: per-op-class
+	// counts and latency histograms at this layer, plus provider and EBR
+	// instrumentation, all registered with the given registry (see
+	// internal/obs). When nil — the default — no instrumentation runs and
+	// the hot paths are identical to a build without the layer.
+	Metrics *obs.Registry
+}
+
+// opClass indexes the set-layer per-operation metrics.
+const (
+	opInsert = iota
+	opDelete
+	opContains
+	opRQ
+	numOpClasses
+)
+
+// latSampleEvery is the per-thread sampling period for point-op latency
+// histograms: timing every insert/delete/contains would double their cost
+// (two clock reads per op), so one in 16 is measured. Counts stay exact;
+// range queries, being far rarer and heavier, are always timed.
+const latSampleEvery = 16
+
+var opNames = [numOpClasses]string{"insert", "delete", "contains", "rq"}
+
+// setMetrics holds the set-layer observability handles.
+type setMetrics struct {
+	ops   [numOpClasses]*obs.Counter   // ebrrq_ops_total{op=...}
+	lat   [numOpClasses]*obs.Histogram // ebrrq_op_latency_ns_<op> (sampled)
+	rqLat *obs.Histogram               // ebrrq_rq_latency_ns (every RQ)
+}
+
+func newSetMetrics(reg *obs.Registry) *setMetrics {
+	m := &setMetrics{}
+	for op, name := range opNames {
+		m.ops[op] = reg.CounterL("ebrrq_ops_total", `op="`+name+`"`,
+			"operations completed by class")
+		if op != opRQ {
+			m.lat[op] = reg.Histogram("ebrrq_op_latency_ns_"+name,
+				"sampled (1/"+fmt.Sprint(latSampleEvery)+") "+name+" latency in nanoseconds")
+		}
+	}
+	m.rqLat = reg.Histogram("ebrrq_rq_latency_ns", "range-query latency in nanoseconds")
+	return m
 }
 
 // New creates a set using the given structure, technique and maximum thread
@@ -189,6 +241,9 @@ func NewWithOptions(d DataStructure, t Technique, maxThreads int, opt Options) (
 		return nil, fmt.Errorf("ebrrq: maxThreads must be positive")
 	}
 	s := &Set{ds: d, tech: t}
+	if opt.Metrics != nil {
+		s.met = newSetMetrics(opt.Metrics)
+	}
 	if t == RLU {
 		switch d {
 		case LazyList:
@@ -226,6 +281,9 @@ func NewWithOptions(d DataStructure, t Technique, maxThreads int, opt Options) (
 		MaxAnnounce: maxAnnounce,
 		Recorder:    opt.Recorder,
 	})
+	if opt.Metrics != nil {
+		s.prov.EnableMetrics(opt.Metrics)
+	}
 	switch d {
 	case LFList:
 		if t == Snap {
@@ -273,23 +331,77 @@ func (s *Set) NewThread() *Thread {
 	if s.prov != nil {
 		pt = s.prov.Register()
 	}
-	return &Thread{set: s, impl: s.impl.newThread(pt), pt: pt}
+	return &Thread{set: s, impl: s.impl.newThread(pt), pt: pt,
+		mtid: int(s.mtids.Add(1)) - 1}
+}
+
+// opStart begins set-layer accounting for one point operation and reports
+// whether this operation's latency is sampled.
+func (t *Thread) opStart() (time.Time, bool) {
+	t.opSeq++
+	if t.opSeq%latSampleEvery == 0 {
+		return time.Now(), true
+	}
+	return time.Time{}, false
+}
+
+// opDone completes set-layer accounting for one point operation.
+func (t *Thread) opDone(op int, t0 time.Time, sampled bool) {
+	m := t.set.met
+	m.ops[op].Inc(t.mtid)
+	if sampled {
+		m.lat[op].Observe(uint64(time.Since(t0)))
+	}
 }
 
 // Insert adds key with the given value; it returns false (without
 // overwriting) if key is already present.
-func (t *Thread) Insert(key, value int64) bool { return t.impl.insert(key, value) }
+func (t *Thread) Insert(key, value int64) bool {
+	if t.set.met == nil {
+		return t.impl.insert(key, value)
+	}
+	t0, sampled := t.opStart()
+	ok := t.impl.insert(key, value)
+	t.opDone(opInsert, t0, sampled)
+	return ok
+}
 
 // Delete removes key, reporting whether it was present.
-func (t *Thread) Delete(key int64) bool { return t.impl.remove(key) }
+func (t *Thread) Delete(key int64) bool {
+	if t.set.met == nil {
+		return t.impl.remove(key)
+	}
+	t0, sampled := t.opStart()
+	ok := t.impl.remove(key)
+	t.opDone(opDelete, t0, sampled)
+	return ok
+}
 
 // Contains returns the value stored under key.
-func (t *Thread) Contains(key int64) (int64, bool) { return t.impl.contains(key) }
+func (t *Thread) Contains(key int64) (int64, bool) {
+	if t.set.met == nil {
+		return t.impl.contains(key)
+	}
+	t0, sampled := t.opStart()
+	v, ok := t.impl.contains(key)
+	t.opDone(opContains, t0, sampled)
+	return v, ok
+}
 
 // RangeQuery returns all pairs with low <= key <= high, sorted by key. With
 // every technique except Unsafe the result is linearizable. The returned
 // slice is valid until this thread's next range query.
-func (t *Thread) RangeQuery(low, high int64) []KV { return t.impl.rangeQuery(low, high) }
+func (t *Thread) RangeQuery(low, high int64) []KV {
+	m := t.set.met
+	if m == nil {
+		return t.impl.rangeQuery(low, high)
+	}
+	t0 := time.Now()
+	res := t.impl.rangeQuery(low, high)
+	m.ops[opRQ].Inc(t.mtid)
+	m.rqLat.Observe(uint64(time.Since(t0)))
+	return res
+}
 
 // LastRQTimestamp returns the linearization timestamp of this thread's most
 // recent range query (provider-based techniques only; 0 otherwise).

@@ -2,12 +2,14 @@ package ebrrq_test
 
 import (
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"ebrrq"
+	"ebrrq/internal/obs"
 )
 
 var allStructures = []ebrrq.DataStructure{
@@ -86,6 +88,92 @@ func TestQuickstartAllPairs(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestMetricsEndToEnd runs a metrics-instrumented set through every layer
+// the ISSUE requires and checks that the registry saw the traffic and that
+// the Prometheus encoding carries the headline series.
+func TestMetricsEndToEnd(t *testing.T) {
+	reg := obs.NewRegistry(4)
+	s, err := ebrrq.NewWithOptions(ebrrq.SkipList, ebrrq.LockFree, 4,
+		ebrrq.Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			th := s.NewThread()
+			r := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				k := r.Int63n(128)
+				switch r.Intn(3) {
+				case 0:
+					th.Insert(k, k)
+				case 1:
+					th.Delete(k)
+				default:
+					th.Contains(k)
+				}
+			}
+		}(int64(w))
+	}
+	rq := s.NewThread()
+	nrq := 0
+	deadline := time.Now().Add(150 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		rq.RangeQuery(20, 100)
+		nrq++
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("ebrrq_rq_total"); got != uint64(nrq) {
+		t.Errorf("ebrrq_rq_total = %d, want %d", got, nrq)
+	}
+	if snap.Counter("ebrrq_ops_total") == 0 {
+		t.Error("ebrrq_ops_total stayed zero")
+	}
+	if snap.Counter("ebrrq_epoch_retires_total") == 0 {
+		t.Error("ebrrq_epoch_retires_total stayed zero")
+	}
+	if h, ok := snap.Hist("ebrrq_rq_latency_ns"); !ok || h.Count != uint64(nrq) {
+		t.Errorf("ebrrq_rq_latency_ns count = %d (ok=%v), want %d", h.Count, ok, nrq)
+	}
+
+	var b strings.Builder
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	prom := b.String()
+	for _, series := range []string{
+		"ebrrq_limbo_visited_total",
+		"ebrrq_rq_latency_ns_bucket",
+		"ebrrq_htm_aborts_total",
+	} {
+		if !strings.Contains(prom, series) {
+			t.Errorf("prometheus output missing %s", series)
+		}
+	}
+}
+
+// TestMetricsDisabledNoRegistry checks the default (metrics off) path still
+// works and allocates no registry machinery.
+func TestMetricsDisabledNoRegistry(t *testing.T) {
+	s, err := ebrrq.New(ebrrq.SkipList, ebrrq.Lock, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := s.NewThread()
+	th.Insert(1, 1)
+	th.RangeQuery(0, 10)
+	if v, ok := th.Contains(1); !ok || v != 1 {
+		t.Fatalf("Contains(1) = %d,%v", v, ok)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"ebrrq"
+	"ebrrq/internal/obs"
 )
 
 // Mix is one worker thread's operation mix, in percent. RQPct queries span
@@ -37,9 +38,24 @@ type TrialCfg struct {
 	Threads  []Mix // one worker per entry
 	Duration time.Duration
 	Seed     int64
+
+	// Metrics, if non-nil, is the observability registry the trial's set
+	// reports to — typically shared with a live obs.Serve endpoint. When
+	// nil, RunTrial creates a private registry so Result accounting always
+	// reads from the same instrumentation the endpoint would.
+	Metrics *obs.Registry
+
+	// NoMetrics runs the trial with observability disabled entirely (the
+	// zero-cost default path of ebrrq.Options). Used for the metrics-on
+	// vs. metrics-off overhead comparison; registry-derived Result fields
+	// (LimboVisit, LimboHist, HTMAborts, Obs) stay zero.
+	NoMetrics bool
 }
 
-// Result aggregates a trial's measurements.
+// Result aggregates a trial's measurements. Throughput counters come from
+// the worker loops; limbo, abort and histogram statistics are read from
+// the trial's observability registry (the same series a live /metrics
+// endpoint serves), so benchmark output and monitoring can never disagree.
 type Result struct {
 	Elapsed    time.Duration
 	Ops        uint64 // all completed operations
@@ -52,8 +68,39 @@ type Result struct {
 	LimboSize  int // EBR limbo size at the end of the trial
 	HTMAborts  uint64
 
+	// Obs is the trial's observability delta: every metric the registry
+	// collected between the start and the end of the measured window.
+	Obs obs.Snapshot
+
 	// rqLat is a sample of range-query latencies in nanoseconds.
 	rqLat []int64
+}
+
+// RQLatencies returns the sampled range-query latencies (nanoseconds), in
+// collection order. The caller may sort or mutate the returned slice.
+func (r *Result) RQLatencies() []int64 {
+	return append([]int64(nil), r.rqLat...)
+}
+
+// Merge folds another trial's result into r: counters, histograms and the
+// observability snapshot add; latency samples are concatenated (so
+// cross-trial percentiles weigh every sample, not just the last trial's);
+// LimboSize keeps the most recent trial's end-of-run value.
+func (r *Result) Merge(o *Result) {
+	r.Elapsed += o.Elapsed
+	r.Ops += o.Ops
+	r.Updates += o.Updates
+	r.Searches += o.Searches
+	r.RQs += o.RQs
+	r.RQKeys += o.RQKeys
+	r.LimboVisit += o.LimboVisit
+	for b := range r.LimboHist {
+		r.LimboHist[b] += o.LimboHist[b]
+	}
+	r.LimboSize = o.LimboSize
+	r.HTMAborts += o.HTMAborts
+	r.Obs = r.Obs.Add(o.Obs)
+	r.rqLat = append(r.rqLat, o.rqLat...)
 }
 
 // RQLatencyPercentile returns the p-th percentile (0 < p <= 100) of sampled
@@ -98,17 +145,26 @@ func RunTrial(cfg TrialCfg) (Result, error) {
 	if cfg.Duration <= 0 {
 		cfg.Duration = time.Second
 	}
-	set, err := ebrrq.New(cfg.DS, cfg.Tech, len(cfg.Threads)+1)
+	reg := cfg.Metrics
+	var opts ebrrq.Options
+	if !cfg.NoMetrics {
+		if reg == nil {
+			reg = obs.NewRegistry(len(cfg.Threads) + 1)
+		}
+		opts.Metrics = reg
+	} else {
+		reg = nil
+	}
+	set, err := ebrrq.NewWithOptions(cfg.DS, cfg.Tech, len(cfg.Threads)+1, opts)
 	if err != nil {
 		return Result{}, err
 	}
 	Prefill(set, cfg.KeyRange, cfg.Seed)
 
 	type counters struct {
-		ops, upd, srch, rqs, rqKeys, limbo uint64
-		hist                               [24]uint64
-		lat                                []int64
-		_                                  [40]byte
+		ops, upd, srch, rqs, rqKeys uint64
+		lat                         []int64
+		_                           [40]byte
 	}
 	counts := make([]counters, len(cfg.Threads))
 	const maxLatSamples = 4096
@@ -156,15 +212,16 @@ func RunTrial(cfg TrialCfg) (Result, error) {
 					}
 					c.rqs++
 					c.rqKeys += uint64(len(res))
-					v := th.LimboVisitedLast()
-					c.limbo += v
-					c.hist[histBucket(v)]++
 				}
 				c.ops++
 			}
 		}(w, mix)
 	}
 
+	var before obs.Snapshot
+	if reg != nil {
+		before = reg.Snapshot()
+	}
 	t0 := time.Now()
 	start.Done()
 	time.Sleep(cfg.Duration)
@@ -179,15 +236,31 @@ func RunTrial(cfg TrialCfg) (Result, error) {
 		res.Searches += counts[i].srch
 		res.RQs += counts[i].rqs
 		res.RQKeys += counts[i].rqKeys
-		res.LimboVisit += counts[i].limbo
 		res.rqLat = append(res.rqLat, counts[i].lat...)
-		for b := range counts[i].hist {
-			res.LimboHist[b] += counts[i].hist[b]
+	}
+	if reg != nil {
+		// Limbo, abort and histogram statistics come from the registry —
+		// the same series a live /metrics endpoint serves.
+		res.Obs = reg.Snapshot().Sub(before)
+		res.LimboVisit = res.Obs.Counter("ebrrq_limbo_visited_total")
+		res.HTMAborts = res.Obs.Counter("ebrrq_htm_aborts_total")
+		if h, ok := res.Obs.Hist("ebrrq_limbo_visited_per_rq"); ok {
+			for b, v := range h.Buckets {
+				dst := b
+				if dst >= len(res.LimboHist) {
+					dst = len(res.LimboHist) - 1
+				}
+				res.LimboHist[dst] += v
+			}
 		}
 	}
 	if p := set.Provider(); p != nil {
 		res.LimboSize = p.Domain().LimboSize()
-		res.HTMAborts = p.HTMAborts()
+		if reg == nil {
+			// Observability disabled: fall back to the lock's raw abort
+			// count so the overhead A/B still reports aborts.
+			res.HTMAborts = p.HTMAborts()
+		}
 	}
 	return res, nil
 }

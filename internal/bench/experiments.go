@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ebrrq"
+	"ebrrq/internal/obs"
 )
 
 // ExpCfg parameterizes the experiment drivers. The defaults reproduce the
@@ -22,6 +23,11 @@ type ExpCfg struct {
 	// data point: experiment,structure,technique,param,metric,value
 	// (mirroring the artifact's results.db/dbx.csv outputs).
 	CSV io.Writer
+	// Registry, if non-nil, is shared by every trial (live /metrics).
+	Registry *obs.Registry
+	// NoMetrics disables the observability layer in every trial (overhead
+	// A/B baseline).
+	NoMetrics bool
 }
 
 // csvRow emits one CSV data point if a CSV sink is configured.
@@ -64,9 +70,13 @@ func (c *ExpCfg) threadCounts() []int {
 	return out
 }
 
-// run averages Trials runs of cfg.
+// run aggregates Trials runs of cfg via Result.Merge, so throughputs
+// average over total elapsed time and latency percentiles weigh every
+// trial's samples.
 func (c *ExpCfg) run(t TrialCfg) Result {
 	t.Duration = c.Duration
+	t.Metrics = c.Registry
+	t.NoMetrics = c.NoMetrics
 	var agg Result
 	for i := 0; i < c.Trials; i++ {
 		t.Seed = c.Seed + int64(i)*104729
@@ -77,16 +87,29 @@ func (c *ExpCfg) run(t TrialCfg) Result {
 		if i == 0 {
 			agg = r
 		} else {
-			agg.Ops += r.Ops
-			agg.Updates += r.Updates
-			agg.Searches += r.Searches
-			agg.RQs += r.RQs
-			agg.Elapsed += r.Elapsed
-			agg.LimboVisit += r.LimboVisit
-			agg.LimboSize = r.LimboSize
+			agg.Merge(&r)
 		}
 	}
 	return agg
+}
+
+// csvObsRows emits the observability metrics of one data point (limbo
+// traffic, aborts, pool behaviour) alongside its throughput row.
+func (c *ExpCfg) csvObsRows(exp string, ds, tech fmt.Stringer, param string, r Result) {
+	if c.CSV == nil {
+		return
+	}
+	c.csvRow(exp, ds, tech, param, "limbo_visited", float64(r.LimboVisit))
+	c.csvRow(exp, ds, tech, param, "limbo_visited_per_rq", float64(r.LimboVisit)/float64(max64(r.RQs, 1)))
+	c.csvRow(exp, ds, tech, param, "limbo_size_end", float64(r.LimboSize))
+	c.csvRow(exp, ds, tech, param, "htm_aborts", float64(r.HTMAborts))
+	hits := r.Obs.Counter("ebrrq_pool_hits_total")
+	misses := r.Obs.Counter("ebrrq_pool_misses_total")
+	if hits+misses > 0 {
+		c.csvRow(exp, ds, tech, param, "pool_hit_rate", float64(hits)/float64(hits+misses))
+	}
+	c.csvRow(exp, ds, tech, param, "epoch_advances", float64(r.Obs.Counter("ebrrq_epoch_advances_total")))
+	c.csvRow(exp, ds, tech, param, "epoch_reclaimed", float64(r.Obs.Counter("ebrrq_epoch_reclaimed_total")))
 }
 
 // AllStructures lists the benchmarked structures in the paper's order.
@@ -121,6 +144,7 @@ func (c ExpCfg) Exp1() {
 				r := c.run(TrialCfg{DS: ds, Tech: tech, KeyRange: k, Threads: threads})
 				row.Cells = append(row.Cells, fmt.Sprintf("%.3f", r.TotalOpsPerUs()))
 				c.csvRow("exp1", ds, tech, fmt.Sprintf("n=%d", n), "ops_per_us", r.TotalOpsPerUs())
+				c.csvObsRows("exp1", ds, tech, fmt.Sprintf("n=%d", n), r)
 			}
 			rows = append(rows, row)
 		}
@@ -191,6 +215,7 @@ func (c ExpCfg) Exp2() {
 				r := c.run(TrialCfg{DS: ds, Tech: tech, KeyRange: k, Threads: threads})
 				row.Cells = append(row.Cells, fmt.Sprintf("%.3f", r.TotalOpsPerUs()))
 				c.csvRow("exp2", ds, tech, fmt.Sprintf("rq=%d", rq), "ops_per_us", r.TotalOpsPerUs())
+				c.csvObsRows("exp2", ds, tech, fmt.Sprintf("rq=%d", rq), r)
 			}
 			rows = append(rows, row)
 		}
@@ -296,12 +321,10 @@ func (c ExpCfg) ExpLatency() {
 				threads = append(threads, Updates5050)
 			}
 			threads = append(threads, RQOnly(100))
-			t := TrialCfg{DS: ds, Tech: tech, KeyRange: k, Threads: threads,
-				Duration: c.Duration, Seed: c.Seed}
-			r, err := RunTrial(t)
-			if err != nil {
-				panic(err)
-			}
+			// c.run merges latency samples across trials (Result.Merge),
+			// so Trials > 1 yields percentiles over every sample instead
+			// of the last trial's.
+			r := c.run(TrialCfg{DS: ds, Tech: tech, KeyRange: k, Threads: threads})
 			p50, p99 := r.RQLatencyPercentile(50), r.RQLatencyPercentile(99)
 			rows = append(rows, Row{Label: tech.String(),
 				Cells: []string{p50.String(), p99.String()}})

@@ -124,8 +124,10 @@ func (t *Tree) shell(th *rqprov.Thread) *node {
 		n.retired = false
 		n.keys = n.keys[:0]
 		n.children = nil
+		th.PoolHit()
 		return n
 	}
+	th.PoolMiss()
 	return &node{}
 }
 

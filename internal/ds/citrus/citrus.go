@@ -77,8 +77,10 @@ func (t *Tree) alloc(th *rqprov.Thread, key, value int64) *node {
 	if ln := len(fl.nodes); ln > 0 {
 		n = fl.nodes[ln-1]
 		fl.nodes = fl.nodes[:ln-1]
+		th.PoolHit()
 	} else {
 		n = &node{}
+		th.PoolMiss()
 	}
 	n.InitKey(key, value)
 	n.retired = false

@@ -96,8 +96,10 @@ func (t *Tree) alloc(th *rqprov.Thread) *node {
 	if ln := len(fl.nodes); ln > 0 {
 		n := fl.nodes[ln-1]
 		fl.nodes = fl.nodes[:ln-1]
+		th.PoolHit()
 		return n
 	}
+	th.PoolMiss()
 	return &node{}
 }
 

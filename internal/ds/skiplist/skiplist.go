@@ -147,8 +147,10 @@ func (l *List) alloc(t *rqprov.Thread, key, value int64) *node {
 	if ln := len(fl.nodes); ln > 0 {
 		n = fl.nodes[ln-1]
 		fl.nodes = fl.nodes[:ln-1]
+		t.PoolHit()
 	} else {
 		n = &node{}
+		t.PoolMiss()
 	}
 	n.InitKey(key, value)
 	n.marked.Store(nil)

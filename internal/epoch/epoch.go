@@ -24,6 +24,8 @@ package epoch
 import (
 	"fmt"
 	"sync/atomic"
+
+	"ebrrq/internal/obs"
 )
 
 // KV is a key-value pair stored in a multi-key node.
@@ -173,6 +175,20 @@ type bag struct {
 // typically push the node into a per-thread pool keyed by tid for reuse.
 type FreeFunc func(tid int, n *Node)
 
+// Metrics holds the domain's observability counters. All fields are
+// optional (nil counters ignore writes), so the uninstrumented path costs
+// one branch per event.
+type Metrics struct {
+	// Advances counts successful global-epoch advances.
+	Advances *obs.Counter
+	// Retires counts nodes placed in limbo via Retire.
+	Retires *obs.Counter
+	// Rotations counts limbo-bag rotations (bag sealed & reclaimed).
+	Rotations *obs.Counter
+	// Reclaimed counts nodes handed to the free function.
+	Reclaimed *obs.Counter
+}
+
 // Domain is an EBR domain shared by all threads operating on one (or more)
 // data structures.
 type Domain struct {
@@ -184,6 +200,7 @@ type Domain struct {
 	// Stats.
 	reclaimed atomic.Uint64
 	advances  atomic.Uint64
+	met       Metrics
 }
 
 // NewDomain creates an EBR domain supporting up to maxThreads registered
@@ -202,6 +219,11 @@ func NewDomain(maxThreads int) *Domain {
 // operations run. When unset, reclaimable nodes are simply dropped (the Go GC
 // collects them), which still exercises the full epoch discipline.
 func (d *Domain) SetFreeFunc(f FreeFunc) { d.free = f }
+
+// SetMetrics wires observability counters into the domain. Call before the
+// domain is shared between goroutines (metrics handles are nil-safe, so
+// partial wiring is fine).
+func (d *Domain) SetMetrics(m Metrics) { d.met = m }
 
 // Register allocates a thread slot in the domain. It is safe to call
 // concurrently. The returned Thread must only be used by a single goroutine.
@@ -317,6 +339,7 @@ func (t *Thread) Retire(n *Node) {
 	n.limboNext.Store(b.head.Load())
 	b.head.Store(n) // single producer; readers snapshot head and walk links
 	b.count++
+	t.dom.met.Retires.Inc(t.id)
 }
 
 // rotate is called by the owner when its local epoch changes to e: the bag
@@ -345,8 +368,10 @@ func (t *Thread) rotate(e uint64) {
 		n++
 	}
 	b.count = 0
+	t.dom.met.Rotations.Inc(t.id)
 	if n > 0 {
 		t.dom.reclaimed.Add(uint64(n))
+		t.dom.met.Reclaimed.Add(t.id, uint64(n))
 	}
 }
 
@@ -368,6 +393,7 @@ func (t *Thread) tryAdvance() {
 	}
 	if d.global.CompareAndSwap(e, e+1) {
 		d.advances.Add(1)
+		d.met.Advances.Inc(t.id)
 	}
 }
 

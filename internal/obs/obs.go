@@ -1,0 +1,473 @@
+// Package obs is the repo's low-overhead observability core: sharded
+// counters, log-scale histograms and function-backed gauges collected by a
+// Registry that snapshots everything into a stable, ordered Snapshot.
+//
+// Design constraints, in order:
+//
+//   - The hot path must stay cheap enough to leave always-on. Counters are
+//     sharded one cache-line-padded slot per thread id, so an increment
+//     touches only the owner's line (an uncontended atomic add on an
+//     M-state cache line — no cross-core traffic); the shards are summed
+//     only on read. Histograms use atomic adds on power-of-two buckets and
+//     are reserved for events that are orders of magnitude rarer than the
+//     per-key hot path (range queries, reclamation, aborts).
+//
+//   - Metric handles are nil-safe: every method on a nil *Counter,
+//     *Histogram or *Gauge is a no-op, so instrumented packages hold plain
+//     struct fields and pay a single predictable branch when observability
+//     is disabled.
+//
+//   - Stdlib only, like the rest of the repo.
+//
+// Registration is get-or-create by (name, labels): successive benchmark
+// trials re-wire the same registry and the counters simply keep
+// accumulating; per-trial figures are taken as Snapshot deltas (Sub).
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// pad64 is an atomic uint64 padded to a full cache line so that adjacent
+// slots in a slice never share one.
+type pad64 struct {
+	atomic.Uint64
+	_ [56]byte
+}
+
+// NumBuckets is the number of power-of-two histogram buckets. Bucket 0
+// holds observations equal to 0; bucket b (b >= 1) holds observations v
+// with bits.Len64(v) == b, i.e. v in [2^(b-1), 2^b - 1]; the last bucket
+// also absorbs everything larger.
+const NumBuckets = 32
+
+// BucketOf maps an observation to its bucket index.
+func BucketOf(v uint64) int {
+	b := bits.Len64(v)
+	if b >= NumBuckets {
+		b = NumBuckets - 1
+	}
+	return b
+}
+
+// BucketUpper returns the largest value bucket b holds (inclusive), as a
+// float64 for Prometheus le= rendering; the last bucket is unbounded.
+func BucketUpper(b int) float64 {
+	if b >= NumBuckets-1 {
+		return 0 // caller renders +Inf
+	}
+	return float64(uint64(1)<<uint(b) - 1)
+}
+
+// Counter is a monotonically increasing counter sharded by thread id.
+// Writers pass their registered tid; ids beyond the shard count fold onto
+// existing shards (still exact — the adds are atomic — merely sharing a
+// line). A nil *Counter ignores all writes.
+type Counter struct {
+	name, labels, help string
+	shards             []pad64
+}
+
+// Add increments the counter by delta on the caller's shard.
+func (c *Counter) Add(tid int, delta uint64) {
+	if c == nil || delta == 0 {
+		return
+	}
+	if tid >= len(c.shards) || tid < 0 {
+		tid = int(uint(tid) % uint(len(c.shards)))
+	}
+	c.shards[tid].Add(delta)
+}
+
+// Inc increments the counter by one on the caller's shard.
+func (c *Counter) Inc(tid int) { c.Add(tid, 1) }
+
+// Value sums all shards. It is safe to call concurrently with writers; the
+// result is a consistent lower bound of the true total at return time.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var total uint64
+	for i := range c.shards {
+		total += c.shards[i].Load()
+	}
+	return total
+}
+
+// Name returns the counter's metric name (without labels).
+func (c *Counter) Name() string { return c.name }
+
+// Histogram is a log-scale (power-of-two bucket) histogram. Observations
+// are uint64 (counts, nanoseconds, ...). A nil *Histogram ignores writes.
+type Histogram struct {
+	name, help string
+	buckets    [NumBuckets]pad64
+	sum        pad64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[BucketOf(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// Gauge is a function-backed instantaneous value, read only at snapshot
+// time. Re-registering a gauge name replaces its function (the most recent
+// live system wins), so successive trials do not accumulate dead sources.
+type Gauge struct {
+	name, help string
+	mu         sync.Mutex
+	f          func() int64
+}
+
+func (g *Gauge) read() int64 {
+	g.mu.Lock()
+	f := g.f
+	g.mu.Unlock()
+	if f == nil {
+		return 0
+	}
+	return f()
+}
+
+func (g *Gauge) set(f func() int64) {
+	g.mu.Lock()
+	g.f = f
+	g.mu.Unlock()
+}
+
+// Registry owns a set of metrics and produces ordered Snapshots of them.
+type Registry struct {
+	mu        sync.Mutex
+	maxShards int
+	counters  map[string]*Counter
+	hists     map[string]*Histogram
+	gauges    map[string]*Gauge
+}
+
+// NewRegistry creates a registry whose counters carry maxThreads shards.
+func NewRegistry(maxThreads int) *Registry {
+	if maxThreads < 1 {
+		maxThreads = 1
+	}
+	return &Registry{
+		maxShards: maxThreads,
+		counters:  make(map[string]*Counter),
+		hists:     make(map[string]*Histogram),
+		gauges:    make(map[string]*Gauge),
+	}
+}
+
+// Counter returns the counter registered under name, creating it if needed.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterL(name, "", help)
+}
+
+// CounterL is Counter with a constant label set, rendered verbatim inside
+// braces in the Prometheus exposition (e.g. `cause="lock_held"`).
+func (r *Registry) CounterL(name, labels, help string) *Counter {
+	key := name
+	if labels != "" {
+		key = name + "{" + labels + "}"
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[key]; ok {
+		return c
+	}
+	c := &Counter{name: name, labels: labels, help: help,
+		shards: make([]pad64, r.maxShards)}
+	r.counters[key] = c
+	return c
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// needed.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := &Histogram{name: name, help: help}
+	r.hists[name] = h
+	return h
+}
+
+// GaugeFunc registers (or re-points) the gauge name at f.
+func (r *Registry) GaugeFunc(name, help string, f func() int64) *Gauge {
+	r.mu.Lock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name, help: help}
+		r.gauges[name] = g
+	}
+	r.mu.Unlock()
+	g.set(f)
+	return g
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+// CounterSnap is one counter's value at snapshot time.
+type CounterSnap struct {
+	Name   string
+	Labels string
+	Help   string
+	Value  uint64
+}
+
+// GaugeSnap is one gauge's value at snapshot time.
+type GaugeSnap struct {
+	Name  string
+	Help  string
+	Value int64
+}
+
+// HistSnap is one histogram's state at snapshot time.
+type HistSnap struct {
+	Name    string
+	Help    string
+	Count   uint64
+	Sum     uint64
+	Buckets [NumBuckets]uint64
+}
+
+// Mean returns the histogram's average observation, or 0 when empty.
+func (h HistSnap) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Snapshot is a stable, ordered capture of every registered metric.
+// Counters and histograms within a snapshot are sorted by name (then
+// labels), so two snapshots of the same registry align index by index.
+type Snapshot struct {
+	Counters []CounterSnap
+	Gauges   []GaugeSnap
+	Hists    []HistSnap
+}
+
+// Snapshot captures every metric. Counter and histogram values are sums of
+// concurrently written shards: each individual value is exact at its read
+// point, the set is not a single atomic cut (standard for metrics).
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	r.mu.Unlock()
+
+	var s Snapshot
+	for _, c := range counters {
+		s.Counters = append(s.Counters, CounterSnap{
+			Name: c.name, Labels: c.labels, Help: c.help, Value: c.Value()})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool {
+		a, b := s.Counters[i], s.Counters[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Labels < b.Labels
+	})
+	for _, h := range hists {
+		hs := HistSnap{Name: h.name, Help: h.help, Sum: h.sum.Load()}
+		for b := range hs.Buckets {
+			v := h.buckets[b].Load()
+			hs.Buckets[b] = v
+			hs.Count += v
+		}
+		s.Hists = append(s.Hists, hs)
+	}
+	sort.Slice(s.Hists, func(i, j int) bool { return s.Hists[i].Name < s.Hists[j].Name })
+	for _, g := range gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: g.name, Help: g.help, Value: g.read()})
+	}
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	return s
+}
+
+// Sub returns the delta snapshot s - prev: counters and histogram buckets
+// subtract by (name, labels); gauges keep their current (instantaneous)
+// values. Metrics absent from prev pass through unchanged.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	out := Snapshot{Gauges: append([]GaugeSnap(nil), s.Gauges...)}
+	prevC := make(map[string]uint64, len(prev.Counters))
+	for _, c := range prev.Counters {
+		prevC[c.Name+"\x00"+c.Labels] = c.Value
+	}
+	for _, c := range s.Counters {
+		c.Value -= prevC[c.Name+"\x00"+c.Labels]
+		out.Counters = append(out.Counters, c)
+	}
+	prevH := make(map[string]HistSnap, len(prev.Hists))
+	for _, h := range prev.Hists {
+		prevH[h.Name] = h
+	}
+	for _, h := range s.Hists {
+		if p, ok := prevH[h.Name]; ok {
+			h.Count -= p.Count
+			h.Sum -= p.Sum
+			for b := range h.Buckets {
+				h.Buckets[b] -= p.Buckets[b]
+			}
+		}
+		out.Hists = append(out.Hists, h)
+	}
+	return out
+}
+
+// Add returns the merged snapshot s + o (counters and histogram buckets
+// add; gauges keep s's values, falling back to o's for gauges s lacks).
+// Used to aggregate per-trial deltas across trials.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	var out Snapshot
+	idx := make(map[string]int)
+	for _, c := range s.Counters {
+		idx[c.Name+"\x00"+c.Labels] = len(out.Counters)
+		out.Counters = append(out.Counters, c)
+	}
+	for _, c := range o.Counters {
+		if i, ok := idx[c.Name+"\x00"+c.Labels]; ok {
+			out.Counters[i].Value += c.Value
+		} else {
+			out.Counters = append(out.Counters, c)
+		}
+	}
+	sort.Slice(out.Counters, func(i, j int) bool {
+		a, b := out.Counters[i], out.Counters[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Labels < b.Labels
+	})
+	hidx := make(map[string]int)
+	for _, h := range s.Hists {
+		hidx[h.Name] = len(out.Hists)
+		out.Hists = append(out.Hists, h)
+	}
+	for _, h := range o.Hists {
+		if i, ok := hidx[h.Name]; ok {
+			out.Hists[i].Count += h.Count
+			out.Hists[i].Sum += h.Sum
+			for b := range h.Buckets {
+				out.Hists[i].Buckets[b] += h.Buckets[b]
+			}
+		} else {
+			out.Hists = append(out.Hists, h)
+		}
+	}
+	sort.Slice(out.Hists, func(i, j int) bool { return out.Hists[i].Name < out.Hists[j].Name })
+	gidx := make(map[string]bool)
+	for _, g := range s.Gauges {
+		gidx[g.Name] = true
+		out.Gauges = append(out.Gauges, g)
+	}
+	for _, g := range o.Gauges {
+		if !gidx[g.Name] {
+			out.Gauges = append(out.Gauges, g)
+		}
+	}
+	sort.Slice(out.Gauges, func(i, j int) bool { return out.Gauges[i].Name < out.Gauges[j].Name })
+	return out
+}
+
+// Counter returns the summed value of every counter series with the given
+// name (all label sets), or 0 if none exists.
+func (s Snapshot) Counter(name string) uint64 {
+	var total uint64
+	for _, c := range s.Counters {
+		if c.Name == name {
+			total += c.Value
+		}
+	}
+	return total
+}
+
+// Gauge returns the named gauge's value, or 0 if absent.
+func (s Snapshot) Gauge(name string) int64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// Hist returns the named histogram snapshot.
+func (s Snapshot) Hist(name string) (HistSnap, bool) {
+	for _, h := range s.Hists {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistSnap{}, false
+}
+
+// String renders the snapshot as a human-readable summary block: one line
+// per non-zero metric, stable order — the headless-run counterpart of the
+// /metrics endpoint.
+func (s Snapshot) String() string {
+	out := ""
+	for _, c := range s.Counters {
+		if c.Value == 0 {
+			continue
+		}
+		name := c.Name
+		if c.Labels != "" {
+			name += "{" + c.Labels + "}"
+		}
+		out += fmt.Sprintf("%-36s %d\n", name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		out += fmt.Sprintf("%-36s %d\n", g.Name, g.Value)
+	}
+	for _, h := range s.Hists {
+		if h.Count == 0 {
+			continue
+		}
+		out += fmt.Sprintf("%-36s count=%d mean=%.1f\n", h.Name, h.Count, h.Mean())
+		for b := 0; b < NumBuckets; b++ {
+			if h.Buckets[b] == 0 {
+				continue
+			}
+			out += fmt.Sprintf("  %-34s %d\n", bucketLabel(b), h.Buckets[b])
+		}
+	}
+	if out == "" {
+		out = "(no metrics recorded)\n"
+	}
+	return out
+}
+
+// bucketLabel renders bucket b's value range.
+func bucketLabel(b int) string {
+	if b == 0 {
+		return "[0]"
+	}
+	if b == NumBuckets-1 {
+		return fmt.Sprintf("[%d,+Inf)", uint64(1)<<uint(b-1))
+	}
+	return fmt.Sprintf("[%d,%d]", uint64(1)<<uint(b-1), uint64(1)<<uint(b)-1)
+}

@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestShardedConcurrency hammers one counter and one histogram from
+// maxThreads writer goroutines while a reader loops Snapshot() the whole
+// time, then asserts the final totals are exact. Run under -race this also
+// proves the hot path is data-race-free.
+func TestShardedConcurrency(t *testing.T) {
+	const (
+		writers = 16
+		perG    = 50000
+	)
+	r := NewRegistry(writers)
+	c := r.Counter("test_ops_total", "ops")
+	h := r.Histogram("test_lat", "lat")
+
+	var stop atomic.Bool
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		var last uint64
+		for !stop.Load() {
+			s := r.Snapshot()
+			v := s.Counter("test_ops_total")
+			if v < last {
+				t.Errorf("counter went backwards: %d -> %d", last, v)
+				return
+			}
+			last = v
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc(tid)
+				c.Add(tid, 2)
+				h.Observe(uint64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	stop.Store(true)
+	<-readerDone
+
+	if got, want := c.Value(), uint64(writers*perG*3); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	s := r.Snapshot()
+	hs, ok := s.Hist("test_lat")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if got, want := hs.Count, uint64(writers*perG); got != want {
+		t.Errorf("hist count = %d, want %d", got, want)
+	}
+	// sum of 0..perG-1 per goroutine
+	wantSum := uint64(writers) * uint64(perG) * uint64(perG-1) / 2
+	if hs.Sum != wantSum {
+		t.Errorf("hist sum = %d, want %d", hs.Sum, wantSum)
+	}
+}
+
+// TestCounterOutOfRangeTid verifies that tids beyond the shard count fold
+// onto existing shards without losing adds.
+func TestCounterOutOfRangeTid(t *testing.T) {
+	r := NewRegistry(2)
+	c := r.Counter("fold", "")
+	c.Inc(0)
+	c.Inc(5)   // folds to shard 1
+	c.Inc(-3)  // folds via unsigned modulo
+	c.Add(99, 4)
+	if got := c.Value(); got != 7 {
+		t.Errorf("Value = %d, want 7", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	var h *Histogram
+	c.Inc(0)
+	c.Add(3, 10)
+	h.Observe(42)
+	if c.Value() != 0 {
+		t.Error("nil counter value != 0")
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v uint64
+		b int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 30, 31}, {1 << 40, NumBuckets - 1}, {^uint64(0), NumBuckets - 1},
+	}
+	for _, tc := range cases {
+		if got := BucketOf(tc.v); got != tc.b {
+			t.Errorf("BucketOf(%d) = %d, want %d", tc.v, got, tc.b)
+		}
+	}
+}
+
+func TestSnapshotSubAdd(t *testing.T) {
+	r := NewRegistry(2)
+	c := r.Counter("c_total", "")
+	h := r.Histogram("h", "")
+	r.GaugeFunc("g", "", func() int64 { return 7 })
+
+	c.Add(0, 10)
+	h.Observe(3)
+	before := r.Snapshot()
+
+	c.Add(1, 5)
+	h.Observe(3)
+	h.Observe(100)
+	after := r.Snapshot()
+
+	d := after.Sub(before)
+	if got := d.Counter("c_total"); got != 5 {
+		t.Errorf("delta counter = %d, want 5", got)
+	}
+	hs, _ := d.Hist("h")
+	if hs.Count != 2 || hs.Sum != 103 {
+		t.Errorf("delta hist count=%d sum=%d, want 2/103", hs.Count, hs.Sum)
+	}
+	if d.Gauge("g") != 7 {
+		t.Errorf("gauge = %d, want 7 (instantaneous)", d.Gauge("g"))
+	}
+
+	m := d.Add(d)
+	if got := m.Counter("c_total"); got != 10 {
+		t.Errorf("merged counter = %d, want 10", got)
+	}
+	mh, _ := m.Hist("h")
+	if mh.Count != 4 || mh.Sum != 206 {
+		t.Errorf("merged hist count=%d sum=%d, want 4/206", mh.Count, mh.Sum)
+	}
+}
+
+func TestGaugeReplace(t *testing.T) {
+	r := NewRegistry(1)
+	r.GaugeFunc("live", "", func() int64 { return 1 })
+	r.GaugeFunc("live", "", func() int64 { return 2 })
+	if got := r.Snapshot().Gauge("live"); got != 2 {
+		t.Errorf("gauge = %d, want 2 (latest registration wins)", got)
+	}
+}
+
+// TestWritePromGolden locks the exposition format: a registry with one
+// labeled counter pair, a gauge and a histogram must encode to exactly the
+// expected Prometheus text.
+func TestWritePromGolden(t *testing.T) {
+	r := NewRegistry(1)
+	r.CounterL("aborts_total", `cause="x"`, "abort count").Add(0, 3)
+	r.CounterL("aborts_total", `cause="y"`, "abort count").Add(0, 4)
+	r.GaugeFunc("limbo_len", "limbo length", func() int64 { return 9 })
+	h := r.Histogram("lat_ns", "latency")
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(5) // bucket 3: [4,7]
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	want := `# HELP aborts_total abort count
+# TYPE aborts_total counter
+aborts_total{cause="x"} 3
+aborts_total{cause="y"} 4
+# HELP limbo_len limbo length
+# TYPE limbo_len gauge
+limbo_len 9
+# HELP lat_ns latency
+# TYPE lat_ns histogram
+lat_ns_bucket{le="0"} 1
+lat_ns_bucket{le="1"} 2
+lat_ns_bucket{le="3"} 2
+lat_ns_bucket{le="7"} 3
+`
+	if !strings.HasPrefix(got, want) {
+		t.Errorf("prom text mismatch:\ngot:\n%s\nwant prefix:\n%s", got, want)
+	}
+	for _, line := range []string{
+		`lat_ns_bucket{le="+Inf"} 3`,
+		"lat_ns_sum 6",
+		"lat_ns_count 3",
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Errorf("prom text missing line %q:\n%s", line, got)
+		}
+	}
+	// Cumulative buckets must be monotone and end at the count.
+	if strings.Count(got, "lat_ns_bucket{") != NumBuckets {
+		t.Errorf("want %d bucket lines, got %d", NumBuckets,
+			strings.Count(got, "lat_ns_bucket{"))
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry(1)
+	r.Counter("hits_total", "hits").Inc(0)
+	ts := httptest.NewServer(Handler(r))
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "hits_total 1") {
+		t.Errorf("/metrics: code=%d body=%q", code, body)
+	}
+	if code, _ := get("/debug/vars"); code != http.StatusOK {
+		t.Errorf("/debug/vars: code=%d", code)
+	}
+	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/: code=%d", code)
+	}
+	if code, _ := get("/nope"); code != http.StatusNotFound {
+		t.Errorf("/nope: code=%d, want 404", code)
+	}
+}
+
+func TestServe(t *testing.T) {
+	r := NewRegistry(1)
+	r.Counter("served_total", "").Add(0, 5)
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want prometheus 0.0.4", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "served_total 5") {
+		t.Errorf("/metrics body missing counter:\n%s", body)
+	}
+}

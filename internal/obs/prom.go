@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteProm encodes a snapshot in the Prometheus text exposition format
+// (version 0.0.4): HELP/TYPE headers, counters as <name>_total-style series
+// with optional constant labels, gauges as plain series, histograms as
+// cumulative <name>_bucket{le=...} series plus _sum and _count.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	var lastName string
+	for _, c := range s.Counters {
+		if c.Name != lastName {
+			if c.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", c.Name, c.Help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", c.Name); err != nil {
+				return err
+			}
+			lastName = c.Name
+		}
+		series := c.Name
+		if c.Labels != "" {
+			series += "{" + c.Labels + "}"
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", series, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if g.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", g.Name, g.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.Name, g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Hists {
+		if h.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", h.Name, h.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.Name); err != nil {
+			return err
+		}
+		cum := uint64(0)
+		for b := 0; b < NumBuckets; b++ {
+			cum += h.Buckets[b]
+			le := "+Inf"
+			if b < NumBuckets-1 {
+				le = strconv.FormatFloat(BucketUpper(b), 'g', -1, 64)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", h.Name, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", h.Name, h.Sum, h.Name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteProm snapshots the registry and encodes it in the Prometheus text
+// exposition format.
+func (r *Registry) WriteProm(w io.Writer) error {
+	return r.Snapshot().WriteProm(w)
+}
+
+// PublishExpvar publishes the registry under the given expvar variable
+// name, so /debug/vars (and any expvar scraper) reports live snapshots.
+// Publishing the same name twice is a no-op (expvar panics on duplicates;
+// registries may be created per benchmark trial).
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the observability HTTP handler: /metrics (Prometheus
+// text), /debug/vars (expvar JSON, including this registry once published)
+// and the net/http/pprof profile endpoints under /debug/pprof/.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteProm(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintf(w, "ebrrq observability: /metrics /debug/vars /debug/pprof/\n")
+	})
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve starts the observability endpoint on addr (e.g. ":9090" or
+// "127.0.0.1:0") in a background goroutine and publishes the registry to
+// expvar. It returns once the listener is bound, so a subsequent
+// `curl <Addr()>/metrics` cannot race the bind.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	r.PublishExpvar("ebrrq")
+	srv := &http.Server{Handler: Handler(r), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{srv: srv, ln: ln}, nil
+}

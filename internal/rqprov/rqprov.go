@@ -41,6 +41,7 @@ import (
 
 	"ebrrq/internal/dcss"
 	"ebrrq/internal/epoch"
+	"ebrrq/internal/obs"
 	"ebrrq/internal/rwlock"
 )
 
@@ -117,6 +118,59 @@ type Provider struct {
 	maxAnnounce int
 	limboSorted bool
 	recorder    Recorder
+	met         provMetrics
+}
+
+// provMetrics holds the provider-layer observability handles. All fields
+// are nil-safe no-ops until EnableMetrics wires them, so the default path
+// pays one branch per (rare) event.
+type provMetrics struct {
+	rqs          *obs.Counter   // ebrrq_rq_total
+	limboVisited *obs.Counter   // ebrrq_limbo_visited_total
+	limboPerRQ   *obs.Histogram // ebrrq_limbo_visited_per_rq
+	annScans     *obs.Counter   // ebrrq_announce_scans_total
+	dcssRetries  *obs.Counter   // ebrrq_dcss_retries_total
+	awaitISpins  *obs.Counter   // ebrrq_await_itime_spins_total
+	awaitDSpins  *obs.Counter   // ebrrq_await_dtime_spins_total
+	poolHits     *obs.Counter // ebrrq_pool_hits_total
+	poolMisses   *obs.Counter // ebrrq_pool_misses_total
+}
+
+// EnableMetrics registers the provider's metrics (and those of its EBR
+// domain and lock substrate) with reg and turns instrumentation on. Metric
+// families are get-or-create, so providers created back to back (benchmark
+// trials) accumulate into the same registry; call before the provider is
+// shared between goroutines.
+func (p *Provider) EnableMetrics(reg *obs.Registry) {
+	p.met = provMetrics{
+		rqs:          reg.Counter("ebrrq_rq_total", "range queries completed"),
+		limboVisited: reg.Counter("ebrrq_limbo_visited_total", "limbo-list nodes visited by range queries"),
+		limboPerRQ:   reg.Histogram("ebrrq_limbo_visited_per_rq", "limbo-list nodes visited per range query"),
+		annScans:     reg.Counter("ebrrq_announce_scans_total", "deletion-announcement slots examined by range queries"),
+		dcssRetries:  reg.Counter("ebrrq_dcss_retries_total", "DCSS retries after a timestamp change (lock-free provider)"),
+		awaitISpins:  reg.Counter("ebrrq_await_itime_spins_total", "spin iterations waiting for insertion timestamps"),
+		awaitDSpins:  reg.Counter("ebrrq_await_dtime_spins_total", "spin iterations waiting for deletion timestamps"),
+		poolHits:   reg.Counter("ebrrq_pool_hits_total", "node allocations served from a free pool"),
+		poolMisses: reg.Counter("ebrrq_pool_misses_total", "node allocations that went to the heap"),
+	}
+	// The HTM abort series exists in every mode so exposition is stable;
+	// only the emulated-HTM lock feeds it. The emulation has a single
+	// abort cause: the fallback lock was held.
+	aborts := reg.CounterL("ebrrq_htm_aborts_total", `cause="lock_held"`,
+		"emulated-HTM transaction aborts by cause")
+	if p.dist != nil {
+		p.dist.AbortCounter = aborts
+	}
+	p.dom.SetMetrics(epoch.Metrics{
+		Advances:  reg.Counter("ebrrq_epoch_advances_total", "global epoch advances"),
+		Retires:   reg.Counter("ebrrq_epoch_retires_total", "nodes retired into limbo"),
+		Rotations: reg.Counter("ebrrq_epoch_rotations_total", "limbo-bag rotations"),
+		Reclaimed: reg.Counter("ebrrq_epoch_reclaimed_total", "nodes handed to the free function"),
+	})
+	reg.GaugeFunc("ebrrq_limbo_len", "nodes currently in limbo across all threads",
+		func() int64 { return int64(p.dom.LimboSize()) })
+	reg.GaugeFunc("ebrrq_global_timestamp", "current range-query timestamp TS",
+		func() int64 { return int64(p.ts.Load()) })
 }
 
 // New creates a provider (and its EBR domain) from cfg.
@@ -348,6 +402,7 @@ func (t *Thread) UpdateCAS(slot *dcss.Slot, old, new unsafe.Pointer, inodes, dno
 				return false
 			}
 			// FailedA1: TS changed under us; retry with a fresh read.
+			p.met.dcssRetries.Inc(t.id)
 		}
 	}
 	panic("rqprov: unknown mode")
@@ -417,6 +472,14 @@ func (t *Thread) PhysicalDelete(dnodes []*epoch.Node, unlink func() bool) bool {
 
 // Retire forwards to the EBR thread (for removals outside the update path).
 func (t *Thread) Retire(n *epoch.Node) { t.ep.Retire(n) }
+
+// PoolHit records a node allocation served from a per-thread free pool.
+// Data structures call it from their alloc paths; a no-op until the
+// provider's metrics are enabled.
+func (t *Thread) PoolHit() { t.prov.met.poolHits.Inc(t.id) }
+
+// PoolMiss records a node allocation that fell through to the heap.
+func (t *Thread) PoolMiss() { t.prov.met.poolMisses.Inc(t.id) }
 
 // ---------------------------------------------------------------------------
 // Range-query path
@@ -495,11 +558,13 @@ func (t *Thread) TraversalEnd() []epoch.KV {
 	t.annScratch = t.annScratch[:0]
 	p := t.prov
 	nthreads := int(p.registered.Load())
+	scanned := uint64(0)
 	for i := 0; i < nthreads; i++ {
 		u := p.threads[i].Load()
 		if u == nil || u == t {
 			continue
 		}
+		scanned += uint64(len(u.announce))
 		for s := range u.announce {
 			slot := &u.announce[s]
 			if n := slot.Load(); n != nil {
@@ -507,6 +572,7 @@ func (t *Thread) TraversalEnd() []epoch.KV {
 			}
 		}
 	}
+	p.met.annScans.Add(t.id, scanned)
 	for _, ar := range t.annScratch {
 		t.tryAddFromAnnouncement(ar.node, ar.slot)
 	}
@@ -537,6 +603,9 @@ func (t *Thread) TraversalEnd() []epoch.KV {
 	t.limboVisitedLast = visited
 	t.limboVisitedTotal += visited
 	t.rqCount++
+	p.met.rqs.Inc(t.id)
+	p.met.limboVisited.Add(t.id, visited)
+	p.met.limboPerRQ.Observe(visited)
 	return t.finishResult()
 }
 
@@ -599,6 +668,7 @@ func (t *Thread) awaitITime(n *epoch.Node) uint64 {
 		return ts
 	}
 	for i := 0; ; i++ {
+		t.prov.met.awaitISpins.Inc(t.id)
 		if ts := n.ITime(); ts != 0 {
 			return ts
 		}
@@ -622,6 +692,7 @@ func (t *Thread) awaitDTime(n *epoch.Node) uint64 {
 		return ts
 	}
 	for i := 0; ; i++ {
+		t.prov.met.awaitDSpins.Inc(t.id)
 		if ts := n.DTime(); ts != 0 {
 			return ts
 		}

@@ -20,6 +20,8 @@ package rwlock
 import (
 	"runtime"
 	"sync/atomic"
+
+	"ebrrq/internal/obs"
 )
 
 // spinThenYield spins briefly and then yields the processor; on the
@@ -99,6 +101,12 @@ type DistRW struct {
 	// Aborts counts shared-mode "transaction aborts" (entries that observed
 	// the exclusive bit and retried), mirroring HTM abort statistics.
 	Aborts atomic.Uint64
+
+	// AbortCounter, when non-nil, additionally receives every abort with
+	// the aborting thread's id (wired by the provider's observability
+	// layer). The abort cause in this emulation is always "lock held":
+	// a writer owned or was acquiring the lock during the transaction.
+	AbortCounter *obs.Counter
 }
 
 // NewDistRW creates a distributed r/w lock for up to maxThreads threads.
@@ -118,6 +126,7 @@ func (l *DistRW) AcquireShared(tid int) {
 		// "Abort": a writer is active or arriving.
 		s.Store(0)
 		l.Aborts.Add(1)
+		l.AbortCounter.Inc(tid)
 		for j := 0; l.writer.Load() != 0; j++ {
 			spinThenYield(j)
 		}

@@ -20,6 +20,7 @@ import (
 
 	"ebrrq"
 	"ebrrq/internal/dbx"
+	"ebrrq/internal/obs"
 )
 
 // ---------------------------------------------------------------------------
@@ -127,6 +128,10 @@ type Config struct {
 	Tech       ebrrq.Technique
 	MaxThreads int
 	Seed       int64
+	// Metrics, if non-nil, instruments every index of the database with
+	// the observability layer (shared registry; counters aggregate over
+	// all indexes).
+	Metrics *obs.Registry
 }
 
 // DB is a populated TPC-C database.
@@ -198,7 +203,8 @@ func New(cfg Config) (*DB, error) {
 			return nil
 		}
 		var ix *dbx.Index
-		ix, err = dbx.NewIndex(name, cfg.DS, cfg.Tech, mt)
+		ix, err = dbx.NewIndexWithOptions(name, cfg.DS, cfg.Tech, mt,
+			ebrrq.Options{Metrics: cfg.Metrics})
 		return ix
 	}
 	db.idxItem = mk("item")
