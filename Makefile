@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race bench validate micro macro examples clean
+.PHONY: all ci build vet test race bench chaos validate micro macro examples clean
 
 all: build vet test
 
@@ -22,6 +22,14 @@ test:
 
 race:
 	$(GO) test -race ./... -count=1 -timeout 1800s
+
+# chaos builds with failpoints compiled in and runs the fault-injection
+# suite: the chaos matrices plus the fault/epoch/provider robustness tests.
+chaos:
+	$(GO) build -tags failpoints ./...
+	$(GO) test -race -tags failpoints -count=1 -timeout 1800s \
+		-run 'Chaos|Fault|Stall|Watchdog|Deregister|TryRegister|Abort|Panic' \
+		./internal/fault/ ./internal/epoch/ ./internal/rqprov/ ./internal/dstest/ .
 
 bench:
 	$(GO) test -bench=. -benchmem ./... -timeout 1800s

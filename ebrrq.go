@@ -325,14 +325,60 @@ func (s *Set) Technique() Technique { return s.tech }
 // such as the global timestamp or emulated-HTM abort counts.
 func (s *Set) Provider() *rqprov.Provider { return s.prov }
 
-// NewThread registers a goroutine with the set.
+// NewThread registers a goroutine with the set, panicking when every thread
+// slot is held by a live thread. Prefer TryNewThread where running out of
+// slots is survivable.
 func (s *Set) NewThread() *Thread {
+	t, err := s.TryNewThread()
+	if err != nil {
+		panic("ebrrq: " + err.Error())
+	}
+	return t
+}
+
+// TryNewThread registers a goroutine with the set. Slots released by
+// Thread.Close are reused, so the thread count bounds concurrency, not the
+// set's lifetime total. RLU sets have no slot recovery; for them
+// TryNewThread is NewThread. The returned Thread must only be used by a
+// single goroutine.
+func (s *Set) TryNewThread() (*Thread, error) {
 	var pt *rqprov.Thread
 	if s.prov != nil {
-		pt = s.prov.Register()
+		var err error
+		pt, err = s.prov.TryRegister()
+		if err != nil {
+			return nil, err
+		}
 	}
 	return &Thread{set: s, impl: s.impl.newThread(pt), pt: pt,
-		mtid: int(s.mtids.Add(1)) - 1}
+		mtid: int(s.mtids.Add(1)) - 1}, nil
+}
+
+// Close releases the thread's slot for reuse by a future NewThread or
+// TryNewThread. Any in-flight provider state is cleared, so a thread being
+// closed by a supervisor after its goroutine panicked stops pinning the
+// epoch (its abandoned limbo nodes are reclaimed by the orphan sweep once
+// they age out). Idempotent; a no-op for RLU sets. After Close the handle
+// must not be used again.
+func (t *Thread) Close() {
+	if t.pt != nil {
+		t.pt.Deregister()
+	}
+}
+
+// guard is deferred by every public operation: a panic that unwinds
+// data-structure code mid-operation (a bug, or fault injection in the chaos
+// suite) would otherwise leave this thread announced in an old epoch —
+// blocking reclamation domain-wide — and possibly holding a deletion
+// announcement that wedges every future range query. Abort clears both, then
+// the panic continues to the caller, who may keep using the thread.
+func (t *Thread) guard() {
+	if r := recover(); r != nil {
+		if t.pt != nil {
+			t.pt.Abort()
+		}
+		panic(r)
+	}
 }
 
 // opStart begins set-layer accounting for one point operation and reports
@@ -357,6 +403,7 @@ func (t *Thread) opDone(op int, t0 time.Time, sampled bool) {
 // Insert adds key with the given value; it returns false (without
 // overwriting) if key is already present.
 func (t *Thread) Insert(key, value int64) bool {
+	defer t.guard()
 	if t.set.met == nil {
 		return t.impl.insert(key, value)
 	}
@@ -368,6 +415,7 @@ func (t *Thread) Insert(key, value int64) bool {
 
 // Delete removes key, reporting whether it was present.
 func (t *Thread) Delete(key int64) bool {
+	defer t.guard()
 	if t.set.met == nil {
 		return t.impl.remove(key)
 	}
@@ -379,6 +427,7 @@ func (t *Thread) Delete(key int64) bool {
 
 // Contains returns the value stored under key.
 func (t *Thread) Contains(key int64) (int64, bool) {
+	defer t.guard()
 	if t.set.met == nil {
 		return t.impl.contains(key)
 	}
@@ -392,6 +441,7 @@ func (t *Thread) Contains(key int64) (int64, bool) {
 // every technique except Unsafe the result is linearizable. The returned
 // slice is valid until this thread's next range query.
 func (t *Thread) RangeQuery(low, high int64) []KV {
+	defer t.guard()
 	m := t.set.met
 	if m == nil {
 		return t.impl.rangeQuery(low, high)

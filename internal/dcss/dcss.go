@@ -33,6 +33,7 @@ import (
 	"unsafe"
 
 	"ebrrq/internal/epoch"
+	"ebrrq/internal/fault"
 )
 
 const (
@@ -189,6 +190,7 @@ func (d *Descriptor) StatusNow() Status { return Status(d.status.Load()) }
 // may run it concurrently; the first status CAS decides the outcome and the
 // finalising slot CAS is idempotent.
 func (d *Descriptor) complete() Status {
+	fault.Inject("dcss.help")
 	if Status(d.status.Load()) == Undecided {
 		dec := Succeeded
 		if d.A1.Load() != d.Exp1 {

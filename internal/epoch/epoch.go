@@ -22,9 +22,13 @@
 package epoch
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
+	"time"
 
+	"ebrrq/internal/fault"
 	"ebrrq/internal/obs"
 )
 
@@ -168,7 +172,7 @@ const scanInterval = 32
 type bag struct {
 	epoch atomic.Uint64
 	head  atomic.Pointer[Node]
-	count int // owner-only approximate count
+	count atomic.Int64 // approximate; written by the owner and orphan sweeps
 }
 
 // FreeFunc receives nodes whose reclamation is safe. Implementations
@@ -197,11 +201,24 @@ type Domain struct {
 	registered atomic.Int32
 	free       FreeFunc
 
+	// Registration bookkeeping. mu guards freeIDs and slot adoption; the
+	// orphans counter lets tryAdvance skip the orphan sweep entirely while
+	// no thread has ever deregistered.
+	mu      sync.Mutex
+	freeIDs []int
+	orphans atomic.Int32
+
+	wd atomic.Pointer[Watchdog]
+
 	// Stats.
 	reclaimed atomic.Uint64
 	advances  atomic.Uint64
 	met       Metrics
 }
+
+// ErrTooManyThreads is returned by TryRegister when every slot is occupied
+// by a live (non-deregistered) thread.
+var ErrTooManyThreads = errors.New("epoch: too many threads registered")
 
 // NewDomain creates an EBR domain supporting up to maxThreads registered
 // threads. The global epoch starts at numBags so bag-age arithmetic never
@@ -225,12 +242,34 @@ func (d *Domain) SetFreeFunc(f FreeFunc) { d.free = f }
 // partial wiring is fine).
 func (d *Domain) SetMetrics(m Metrics) { d.met = m }
 
-// Register allocates a thread slot in the domain. It is safe to call
-// concurrently. The returned Thread must only be used by a single goroutine.
+// Register allocates a thread slot in the domain, panicking when the domain
+// is full. It is a thin wrapper around TryRegister kept for existing
+// callers; new code should prefer TryRegister. The returned Thread must only
+// be used by a single goroutine.
 func (d *Domain) Register() *Thread {
-	id := int(d.registered.Add(1)) - 1
-	if id >= len(d.threads) {
+	t, err := d.TryRegister()
+	if err != nil {
 		panic(fmt.Sprintf("epoch: more than %d threads registered", len(d.threads)))
+	}
+	return t
+}
+
+// TryRegister allocates a thread slot in the domain, reusing slots released
+// by Deregister before extending the high-water mark. It is safe to call
+// concurrently and returns ErrTooManyThreads when every slot is held by a
+// live thread.
+func (d *Domain) TryRegister() (*Thread, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n := len(d.freeIDs); n > 0 {
+		id := d.freeIDs[n-1]
+		d.freeIDs = d.freeIDs[:n-1]
+		d.orphans.Add(-1)
+		return d.adopt(id), nil
+	}
+	id := int(d.registered.Load())
+	if id >= len(d.threads) {
+		return nil, ErrTooManyThreads
 	}
 	t := &Thread{dom: d, id: id}
 	t.ann.Store(quiescentBit) // quiescent
@@ -243,7 +282,60 @@ func (d *Domain) Register() *Thread {
 	}
 	t.localEpoch = e
 	d.threads[id].Store(t)
+	d.registered.Store(int32(id + 1))
+	return t, nil
+}
+
+// adopt builds a fresh Thread over the slot of a deregistered one. Limbo
+// bags still holding the most recent epoch of their slot are inherited in
+// place: their chains may contain nodes a concurrent range query must still
+// find (COLLECT), and the dead thread's bag keeps pointing at the shared
+// chain so readers that captured the old Thread pointer stay correct — by
+// the time the new owner rotates an inherited bag, every operation
+// concurrent with the adoption has finished (rotation requires two further
+// epoch advances, which active operations block). Stale bags (at least
+// numBags epochs old, unreachable through any active operation's limbo
+// view) are reclaimed immediately; Swap arbitrates with concurrent orphan
+// sweeps. Caller holds d.mu.
+func (d *Domain) adopt(id int) *Thread {
+	old := d.threads[id].Load()
+	t := &Thread{dom: d, id: id}
+	t.ann.Store(quiescentBit)
+	e := d.global.Load()
+	for k := uint64(0); k < numBags; k++ {
+		slot := (e - k) % numBags
+		nb, ob := &t.bags[slot], &old.bags[slot]
+		nb.epoch.Store(e - k)
+		if ob.epoch.Load() == e-k {
+			nb.head.Store(ob.head.Load())
+			nb.count.Store(ob.count.Load())
+		} else if head := ob.head.Swap(nil); head != nil {
+			d.reclaimChain(id, head)
+			ob.count.Store(0)
+		}
+	}
+	t.localEpoch = e
+	d.threads[id].Store(t)
 	return t
+}
+
+// reclaimChain hands every node of a limbo chain to the free function,
+// crediting the stats. tid selects the receiving free pool.
+func (d *Domain) reclaimChain(tid int, head *Node) {
+	n := 0
+	for head != nil {
+		next := head.limboNext.Load()
+		head.gen.Add(1)
+		if d.free != nil {
+			d.free(tid, head)
+		}
+		head = next
+		n++
+	}
+	if n > 0 {
+		d.reclaimed.Add(uint64(n))
+		d.met.Reclaimed.Add(tid, uint64(n))
+	}
 }
 
 // GlobalEpoch returns the current global epoch (useful for stats/tests).
@@ -266,7 +358,7 @@ func (d *Domain) LimboSize() int {
 			continue
 		}
 		for b := range t.bags {
-			total += t.bags[b].count
+			total += int(t.bags[b].count.Load())
 		}
 	}
 	return total
@@ -282,9 +374,17 @@ type Thread struct {
 	// ann is (epoch<<1) | quiescentBit. Written by the owner, read by all.
 	ann atomic.Uint64
 
+	// ops counts operations started. Single writer (the owner); the
+	// watchdog reads it to tell "stuck in one long operation" from "many
+	// short operations at the same epoch".
+	ops atomic.Uint64
+
+	// dead is set by Deregister; the slot is then skipped by stall scans
+	// and its limbo bags become eligible for orphan sweeping.
+	dead atomic.Bool
+
 	bags       [numBags]bag
 	localEpoch uint64
-	opCount    int
 	inOp       bool
 }
 
@@ -301,6 +401,9 @@ func (t *Thread) StartOp() {
 	if t.inOp {
 		panic("epoch: nested StartOp")
 	}
+	if t.dead.Load() {
+		panic("epoch: StartOp on a deregistered thread")
+	}
 	t.inOp = true
 	e := t.dom.global.Load()
 	if e != t.localEpoch {
@@ -308,8 +411,10 @@ func (t *Thread) StartOp() {
 		t.localEpoch = e
 	}
 	t.ann.Store(e << 1)
-	t.opCount++
-	if t.opCount%scanInterval == 0 {
+	fault.Inject("epoch.startop.announced")
+	c := t.ops.Load() + 1
+	t.ops.Store(c)
+	if c%scanInterval == 0 {
 		t.tryAdvance()
 	}
 }
@@ -322,6 +427,39 @@ func (t *Thread) EndOp() {
 	}
 	t.inOp = false
 	t.ann.Store(t.ann.Load() | quiescentBit)
+}
+
+// AbortOp force-ends the current operation, if any. Unlike EndOp it is safe
+// to call on a quiescent thread; panic-recovery paths use it to guarantee a
+// thread that died mid-operation stops pinning the global epoch. It must be
+// called from the owner goroutine or, after the owner died, from exactly one
+// recovering goroutine.
+func (t *Thread) AbortOp() {
+	if !t.inOp {
+		return
+	}
+	t.inOp = false
+	t.ann.Store(t.ann.Load() | quiescentBit)
+}
+
+// Deregister releases the thread's slot: any in-flight operation is aborted,
+// the announcement becomes permanently quiescent (so the dead thread never
+// again blocks epoch advancement) and the slot id is queued for reuse by a
+// future TryRegister. The thread's limbo bags remain visible to concurrent
+// range queries until they age out; once they are numBags epochs stale, the
+// next epoch advance reclaims them (orphan sweep). Idempotent; the same
+// ownership rule as AbortOp applies.
+func (t *Thread) Deregister() {
+	if !t.dead.CompareAndSwap(false, true) {
+		return
+	}
+	t.inOp = false
+	t.ann.Store(t.ann.Load() | quiescentBit)
+	d := t.dom
+	d.mu.Lock()
+	d.freeIDs = append(d.freeIDs, t.id)
+	d.orphans.Add(1)
+	d.mu.Unlock()
 }
 
 // CurrentEpoch returns the epoch announced by the thread's current operation.
@@ -338,7 +476,7 @@ func (t *Thread) Retire(n *Node) {
 	b := &t.bags[t.localEpoch%numBags]
 	n.limboNext.Store(b.head.Load())
 	b.head.Store(n) // single producer; readers snapshot head and walk links
-	b.count++
+	b.count.Add(1)
 	t.dom.met.Retires.Inc(t.id)
 }
 
@@ -357,22 +495,10 @@ func (t *Thread) rotate(e uint64) {
 	}
 	b.head.Store(nil)
 	b.epoch.Store(e)
-	n := 0
-	for old != nil {
-		next := old.limboNext.Load()
-		old.gen.Add(1)
-		if t.dom.free != nil {
-			t.dom.free(t.id, old)
-		}
-		old = next
-		n++
-	}
-	b.count = 0
+	fault.Inject("epoch.rotate.mid")
+	t.dom.reclaimChain(t.id, old)
+	b.count.Store(0)
 	t.dom.met.Rotations.Inc(t.id)
-	if n > 0 {
-		t.dom.reclaimed.Add(uint64(n))
-		t.dom.met.Reclaimed.Add(t.id, uint64(n))
-	}
 }
 
 // tryAdvance attempts to advance the global epoch: it succeeds if every
@@ -394,7 +520,117 @@ func (t *Thread) tryAdvance() {
 	if d.global.CompareAndSwap(e, e+1) {
 		d.advances.Add(1)
 		d.met.Advances.Inc(t.id)
+		if d.orphans.Load() > 0 {
+			d.sweepOrphans(e+1, t.id)
+		}
 	}
+}
+
+// sweepOrphans reclaims limbo bags of deregistered threads once they are
+// numBags epochs stale — no active operation's limbo view (which reaches
+// back at most one epoch before the operation's own) can still include
+// them. Without this, a thread that dies with retired nodes would pin those
+// nodes forever, since only a bag's owner ever rotates it. d.mu arbitrates
+// with slot adoption; head.Swap arbitrates chain ownership.
+func (d *Domain) sweepOrphans(e uint64, tid int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := int(d.registered.Load())
+	for i := 0; i < n; i++ {
+		t := d.threads[i].Load()
+		if t == nil || !t.dead.Load() {
+			continue
+		}
+		for b := range t.bags {
+			bg := &t.bags[b]
+			if bg.epoch.Load()+numBags > e {
+				continue
+			}
+			if head := bg.head.Swap(nil); head != nil {
+				d.reclaimChain(tid, head)
+			}
+			bg.count.Store(0)
+		}
+	}
+}
+
+// Stall describes one thread pinning the global epoch.
+type Stall struct {
+	// ThreadID is the slot index of the stalled thread.
+	ThreadID int
+	// Epoch is the epoch announced by the thread's in-flight operation.
+	Epoch uint64
+	// Global is the global epoch at observation time.
+	Global uint64
+	// Stuck is how long the thread has been inside the same operation.
+	// Only the watchdog can measure it; it is zero in Stalls results.
+	Stuck time.Duration
+}
+
+// Lag returns how many epochs the stalled thread is behind the global epoch.
+func (s Stall) Lag() uint64 { return s.Global - s.Epoch }
+
+// Stalls returns every live thread currently inside an operation whose
+// announced epoch lags the global epoch by at least minLag (clamped to 1).
+// Note that a single stalled thread caps the achievable lag at one — the
+// global epoch can advance at most once past its announcement — so lag-based
+// detection alone cannot see it; the Watchdog's duration-based detection
+// exists for exactly that case (the DEBRA+ observation).
+func (d *Domain) Stalls(minLag uint64) []Stall {
+	if minLag < 1 {
+		minLag = 1
+	}
+	e := d.global.Load()
+	var out []Stall
+	n := int(d.registered.Load())
+	for i := 0; i < n; i++ {
+		t := d.threads[i].Load()
+		if t == nil || t.dead.Load() {
+			continue
+		}
+		a := t.ann.Load()
+		if a&quiescentBit != 0 {
+			continue
+		}
+		if ae := a >> 1; ae+minLag <= e {
+			out = append(out, Stall{ThreadID: i, Epoch: ae, Global: e})
+		}
+	}
+	return out
+}
+
+// MaxLag returns the largest epoch lag among active threads (0 when every
+// thread is quiescent or current).
+func (d *Domain) MaxLag() uint64 {
+	e := d.global.Load()
+	var max uint64
+	n := int(d.registered.Load())
+	for i := 0; i < n; i++ {
+		t := d.threads[i].Load()
+		if t == nil || t.dead.Load() {
+			continue
+		}
+		a := t.ann.Load()
+		if a&quiescentBit != 0 {
+			continue
+		}
+		if ae := a >> 1; ae < e && e-ae > max {
+			max = e - ae
+		}
+	}
+	return max
+}
+
+// StalledThreads reports the domain's current stall set: the running
+// watchdog's duration-based observation when one is attached, otherwise the
+// instantaneous lag-based Stalls(2). The lag-based fallback is conservative
+// (transient lag-1 threads are normal); attach a Watchdog for real
+// detection. Observability gauges and health checks read this.
+func (d *Domain) StalledThreads() []Stall {
+	if w := d.wd.Load(); w != nil {
+		return w.Stalls()
+	}
+	return d.Stalls(2)
 }
 
 // ForEachLimboList implements GetLimboLists from the paper's EBR ADT: it

@@ -1,0 +1,192 @@
+package epoch
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// churn drives t through n empty operations, giving tryAdvance plenty of
+// chances to move the global epoch and run orphan sweeps.
+func churn(t *Thread, n int) {
+	for i := 0; i < n; i++ {
+		t.StartOp()
+		t.EndOp()
+	}
+}
+
+// TestDeregisterMidOpUnblocksAdvance is the recovery half of the stall story:
+// a thread that dies mid-operation pins the epoch until Deregister makes its
+// announcement permanently quiescent, after which the epoch advances and the
+// orphan sweep reclaims the nodes it abandoned in limbo.
+func TestDeregisterMidOpUnblocksAdvance(t *testing.T) {
+	d := NewDomain(2)
+	freed := 0
+	d.SetFreeFunc(func(tid int, n *Node) { freed++ })
+	worker := d.Register()
+	victim := d.Register()
+
+	victim.StartOp()
+	for i := 0; i < 10; i++ {
+		n := &Node{}
+		n.InitKey(int64(i), 0)
+		victim.Retire(n)
+	}
+	// victim "crashes" here, still inside the operation.
+
+	churn(worker, 4*scanInterval)
+	base := d.Advances()
+	churn(worker, 4*scanInterval)
+	if d.Advances() != base {
+		t.Fatalf("epoch advanced %d times while a thread was stalled mid-op",
+			d.Advances()-base)
+	}
+
+	victim.Deregister()
+	churn(worker, 10*scanInterval)
+	if d.Advances() == base {
+		t.Fatal("epoch did not resume advancing after Deregister")
+	}
+	if freed < 10 {
+		t.Fatalf("orphan sweep reclaimed %d of the dead thread's 10 nodes", freed)
+	}
+}
+
+// TestTryRegisterSlotReuse: a full domain rejects registration with
+// ErrTooManyThreads instead of panicking, and Deregister releases the slot
+// for reuse so registration capacity is not a one-way ratchet.
+func TestTryRegisterSlotReuse(t *testing.T) {
+	d := NewDomain(1)
+	a, err := d.TryRegister()
+	if err != nil {
+		t.Fatalf("first TryRegister: %v", err)
+	}
+	if _, err := d.TryRegister(); !errors.Is(err, ErrTooManyThreads) {
+		t.Fatalf("full domain returned %v, want ErrTooManyThreads", err)
+	}
+
+	a.Deregister()
+	a.Deregister() // idempotent
+	b, err := d.TryRegister()
+	if err != nil {
+		t.Fatalf("TryRegister after Deregister: %v", err)
+	}
+	if b.ID() != a.ID() {
+		t.Fatalf("reused slot id = %d, want %d", b.ID(), a.ID())
+	}
+	churn(b, 2*scanInterval) // adopted slot must be fully operational
+
+	// The dead handle must refuse further operations.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("StartOp on a deregistered thread did not panic")
+		}
+	}()
+	a.StartOp()
+}
+
+// TestAdoptPreservesNodesNoDoubleFree: nodes retired by a thread that
+// deregisters are each freed exactly once — whether by slot adoption, the
+// orphan sweep, or normal rotation after adoption — and none are lost.
+func TestAdoptPreservesNodesNoDoubleFree(t *testing.T) {
+	d := NewDomain(2)
+	frees := map[*Node]int{}
+	d.SetFreeFunc(func(tid int, n *Node) { frees[n]++ })
+	worker := d.Register()
+
+	retired := 0
+	// Several generations of: register into the second slot, retire nodes
+	// across a few epochs, deregister (sometimes mid-op), re-register
+	// (adopting the slot and its leftover bags).
+	for gen := 0; gen < 5; gen++ {
+		v, err := d.TryRegister()
+		if err != nil {
+			t.Fatalf("gen %d: %v", gen, err)
+		}
+		for i := 0; i < 3; i++ {
+			v.StartOp()
+			n := &Node{}
+			n.InitKey(int64(retired), 0)
+			v.Retire(n)
+			retired++
+			if gen%2 == 0 && i == 2 {
+				v.Deregister() // die mid-op, node still in the open bag
+			} else {
+				v.EndOp()
+			}
+			churn(worker, scanInterval) // let epochs move between retirements
+		}
+		v.Deregister()
+		churn(worker, 2*scanInterval)
+	}
+	churn(worker, 10*scanInterval) // drain the last generation's bags
+
+	for n, c := range frees {
+		if c != 1 {
+			t.Fatalf("node %d freed %d times", n.Key(), c)
+		}
+	}
+	if len(frees) != retired {
+		t.Fatalf("freed %d distinct nodes, retired %d", len(frees), retired)
+	}
+}
+
+// TestConcurrentRegisterDeregister hammers slot churn from many goroutines
+// against a smaller domain, relying on the race detector for the
+// registration/adoption/sweep interlocks.
+func TestConcurrentRegisterDeregister(t *testing.T) {
+	const slots, workers, rounds = 4, 8, 200
+	d := NewDomain(slots)
+	d.SetFreeFunc(func(tid int, n *Node) {})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; {
+				th, err := d.TryRegister()
+				if err != nil {
+					continue // domain full; another goroutine holds the slot
+				}
+				th.StartOp()
+				n := &Node{}
+				n.InitKey(int64(r), 0)
+				th.Retire(n)
+				th.EndOp()
+				th.Deregister()
+				r++
+			}
+		}()
+	}
+	wg.Wait()
+	// Final owner drains what the churned threads left behind.
+	th := d.Register()
+	churn(th, 10*scanInterval)
+	if got := int(d.Reclaimed()); got > workers*rounds {
+		t.Fatalf("reclaimed %d nodes, retired only %d", got, workers*rounds)
+	}
+}
+
+// TestAbortOp: aborting is a no-op while quiescent, unpins the epoch when
+// mid-op, and leaves the thread reusable.
+func TestAbortOp(t *testing.T) {
+	d := NewDomain(2)
+	worker := d.Register()
+	th := d.Register()
+
+	th.AbortOp() // quiescent: must not panic
+
+	th.StartOp()
+	churn(worker, 4*scanInterval) // absorb the one advance the announcement permits
+	base := d.Advances()
+	churn(worker, 4*scanInterval)
+	if d.Advances() != base {
+		t.Fatal("setup failed: epoch advanced despite an in-flight op")
+	}
+	th.AbortOp()
+	churn(worker, 4*scanInterval)
+	if d.Advances() == base {
+		t.Fatal("epoch did not advance after AbortOp")
+	}
+	churn(th, scanInterval) // thread stays usable after an abort
+}

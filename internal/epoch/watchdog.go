@@ -1,0 +1,156 @@
+package epoch
+
+import (
+	"sync"
+	"time"
+)
+
+// WatchdogConfig tunes a Domain's stall watchdog.
+type WatchdogConfig struct {
+	// Interval is the sampling period. Default 2ms.
+	Interval time.Duration
+	// StallAfter is how long a thread may sit inside one operation before
+	// it is reported as stalled. Default 50ms.
+	StallAfter time.Duration
+	// OnStall, if non-nil, is called (on the watchdog goroutine) when the
+	// stall set transitions from empty to non-empty.
+	OnStall func([]Stall)
+	// OnRecover, if non-nil, is called when the stall set transitions back
+	// to empty.
+	OnRecover func()
+}
+
+// Watchdog detects threads pinning the global epoch. Epoch lag alone cannot
+// expose the classic EBR failure mode — a single stalled thread caps the
+// global epoch at one past its announcement, so its lag never exceeds one —
+// therefore the watchdog samples each thread's (announcement, operation
+// count) pair: a thread that stays non-quiescent on the same operation for
+// longer than StallAfter is stalled, whatever its lag. This is the detection
+// half of DEBRA+'s answer to stalled reclaimers; our recovery half is
+// Deregister plus the orphan sweep.
+type Watchdog struct {
+	d    *Domain
+	cfg  WatchdogConfig
+	stop chan struct{}
+	done chan struct{}
+
+	samples []wdSample
+
+	mu  sync.Mutex
+	cur []Stall
+}
+
+type wdSample struct {
+	ops    uint64
+	since  time.Time
+	active bool
+}
+
+// StartWatchdog attaches a watchdog to the domain and starts its sampling
+// goroutine. Any previously attached watchdog is stopped first. Stop the
+// returned watchdog when done.
+func (d *Domain) StartWatchdog(cfg WatchdogConfig) *Watchdog {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Millisecond
+	}
+	if cfg.StallAfter <= 0 {
+		cfg.StallAfter = 50 * time.Millisecond
+	}
+	w := &Watchdog{
+		d:       d,
+		cfg:     cfg,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		samples: make([]wdSample, len(d.threads)),
+	}
+	if prev := d.wd.Swap(w); prev != nil {
+		prev.Stop()
+	}
+	go w.run()
+	return w
+}
+
+// Watchdog returns the currently attached watchdog, or nil.
+func (d *Domain) Watchdog() *Watchdog { return d.wd.Load() }
+
+// Stop halts the watchdog goroutine and detaches the watchdog from its
+// domain (unless a newer one already replaced it). Idempotent.
+func (w *Watchdog) Stop() {
+	select {
+	case <-w.stop:
+	default:
+		close(w.stop)
+	}
+	<-w.done
+	w.d.wd.CompareAndSwap(w, nil)
+}
+
+// Stalls returns the most recent observation (threads stuck in one
+// operation for at least StallAfter).
+func (w *Watchdog) Stalls() []Stall {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Stall, len(w.cur))
+	copy(out, w.cur)
+	return out
+}
+
+func (w *Watchdog) run() {
+	defer close(w.done)
+	ticker := time.NewTicker(w.cfg.Interval)
+	defer ticker.Stop()
+	stalled := false
+	for {
+		select {
+		case <-w.stop:
+			return
+		case now := <-ticker.C:
+			cur := w.sample(now)
+			w.mu.Lock()
+			w.cur = cur
+			w.mu.Unlock()
+			if len(cur) > 0 && !stalled {
+				stalled = true
+				if w.cfg.OnStall != nil {
+					w.cfg.OnStall(cur)
+				}
+			} else if len(cur) == 0 && stalled {
+				stalled = false
+				if w.cfg.OnRecover != nil {
+					w.cfg.OnRecover()
+				}
+			}
+		}
+	}
+}
+
+// sample takes one observation of every registered thread.
+func (w *Watchdog) sample(now time.Time) []Stall {
+	d := w.d
+	e := d.global.Load()
+	var cur []Stall
+	n := int(d.registered.Load())
+	for i := 0; i < n; i++ {
+		s := &w.samples[i]
+		t := d.threads[i].Load()
+		if t == nil || t.dead.Load() {
+			s.active = false
+			continue
+		}
+		a := t.ann.Load()
+		if a&quiescentBit != 0 {
+			s.active = false
+			continue
+		}
+		ops := t.ops.Load()
+		if !s.active || s.ops != ops {
+			// New operation (or first sighting): restart the clock.
+			s.active, s.ops, s.since = true, ops, now
+			continue
+		}
+		if stuck := now.Sub(s.since); stuck >= w.cfg.StallAfter {
+			cur = append(cur, Stall{ThreadID: i, Epoch: a >> 1, Global: e, Stuck: stuck})
+		}
+	}
+	return cur
+}

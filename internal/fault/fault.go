@@ -1,0 +1,210 @@
+// Package fault is a deterministic fault-injection framework for the
+// concurrency-critical windows of the EBR range-query stack. Code under test
+// marks interesting interleaving points with named failpoints:
+//
+//	fault.Inject("rqprov.update.announced")
+//
+// and tests arm per-site actions — delay, stall-until-released, panic, or an
+// arbitrary hook — through the package registry:
+//
+//	fault.Arm("rqprov.update.announced", fault.Panic("die").After(10).Times(1))
+//
+// Arming is gated twice. At build time, Inject compiles to an empty function
+// unless the `failpoints` build tag is set (fault.Enabled reports which build
+// this is), so production binaries pay nothing — not even a branch. At run
+// time (failpoints builds only), Inject is a single atomic load while no site
+// is armed, so an instrumented test binary runs at full speed outside the
+// chaos suite.
+//
+// The stalled-thread scenarios this package exists to create are the classic
+// EBR failure mode described by DEBRA+ (Brown, PODC '15): one thread
+// preempted or crashed inside an operation pins the global epoch and limbo
+// lists grow without bound. The chaos harness (internal/dstest) arms
+// failpoints in exactly those windows and asserts the stack degrades and
+// recovers as designed.
+package fault
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Action describes what an armed failpoint does when hit. Actions are values:
+// the With*/After/Times modifiers return copies, so a prototype can be armed
+// at several sites.
+type Action struct {
+	kind  kind
+	dur   time.Duration
+	msg   string
+	fn    func(site string)
+	gate  chan struct{}
+	skip  int // skip the first `skip` hits
+	times int // fire at most `times` hits (0 = unlimited)
+}
+
+type kind int
+
+const (
+	kindDelay kind = iota
+	kindPanic
+	kindHook
+	kindStall
+)
+
+// Delay returns an action that sleeps for d at the failpoint ("stall-for-N").
+func Delay(d time.Duration) Action { return Action{kind: kindDelay, dur: d} }
+
+// Panic returns an action that panics with PanicError{Site, Msg}. The panic
+// unwinds the hitting goroutine exactly as a programming error would; the
+// chaos harness recovers it at the worker's top level.
+func Panic(msg string) Action { return Action{kind: kindPanic, msg: msg} }
+
+// Hook returns an action that runs fn(site) at the failpoint. fn may block;
+// it runs on the hitting goroutine.
+func Hook(fn func(site string)) Action { return Action{kind: kindHook, fn: fn} }
+
+// Stall returns an action that blocks the hitting goroutine until release is
+// called (idempotently — release may be called once regardless of how many
+// goroutines are blocked; it opens the gate for all of them, forever).
+func Stall() (Action, func()) {
+	gate := make(chan struct{})
+	var once sync.Once
+	release := func() { once.Do(func() { close(gate) }) }
+	return Action{kind: kindStall, gate: gate}, release
+}
+
+// After returns a copy of the action that ignores the first n hits.
+func (a Action) After(n int) Action { a.skip = n; return a }
+
+// Times returns a copy of the action that fires at most n times (later hits
+// are counted but otherwise ignored).
+func (a Action) Times(n int) Action { a.times = n; return a }
+
+// Once is Times(1).
+func (a Action) Once() Action { return a.Times(1) }
+
+// PanicError is the value a Panic action panics with.
+type PanicError struct {
+	Site string
+	Msg  string
+}
+
+func (e PanicError) Error() string { return "fault: injected panic at " + e.Site + ": " + e.Msg }
+
+// site is the armed state of one failpoint.
+type site struct {
+	hits  atomic.Uint64 // all hits while armed (skipped, spent and fired)
+	fired atomic.Uint64 // hits on which the action actually ran
+	mu    sync.Mutex
+	act   Action
+	seen  int
+	shot  int
+	live  bool
+}
+
+var (
+	armed atomic.Int32 // number of currently armed sites: Inject's fast path
+	sites sync.Map     // string -> *site
+)
+
+// Arm installs (or replaces) the action at the named failpoint.
+func Arm(name string, a Action) {
+	v, loaded := sites.LoadOrStore(name, &site{})
+	s := v.(*site)
+	s.mu.Lock()
+	if !s.live {
+		s.live = true
+		armed.Add(1)
+	}
+	s.act = a
+	s.seen = 0
+	s.shot = 0
+	s.mu.Unlock()
+	_ = loaded
+}
+
+// Disarm removes the action at the named failpoint. Hit counts are kept.
+func Disarm(name string) {
+	v, ok := sites.Load(name)
+	if !ok {
+		return
+	}
+	s := v.(*site)
+	s.mu.Lock()
+	if s.live {
+		s.live = false
+		armed.Add(-1)
+	}
+	s.mu.Unlock()
+}
+
+// Reset disarms every failpoint and forgets all hit counts.
+func Reset() {
+	sites.Range(func(k, v any) bool {
+		s := v.(*site)
+		s.mu.Lock()
+		if s.live {
+			s.live = false
+			armed.Add(-1)
+		}
+		s.mu.Unlock()
+		sites.Delete(k)
+		return true
+	})
+}
+
+// Hits returns how many times the named failpoint was reached while armed.
+func Hits(name string) uint64 {
+	if v, ok := sites.Load(name); ok {
+		return v.(*site).hits.Load()
+	}
+	return 0
+}
+
+// Fired returns how many times the named failpoint's action actually ran.
+func Fired(name string) uint64 {
+	if v, ok := sites.Load(name); ok {
+		return v.(*site).fired.Load()
+	}
+	return 0
+}
+
+// fire evaluates the failpoint; called by Inject (failpoints builds) once the
+// armed fast path says at least one site is live.
+func fire(name string) {
+	v, ok := sites.Load(name)
+	if !ok {
+		return
+	}
+	s := v.(*site)
+	s.mu.Lock()
+	if !s.live {
+		s.mu.Unlock()
+		return
+	}
+	s.hits.Add(1)
+	s.seen++
+	if s.seen <= s.act.skip || (s.act.times > 0 && s.shot >= s.act.times) {
+		s.mu.Unlock()
+		return
+	}
+	s.shot++
+	a := s.act
+	s.mu.Unlock()
+	s.fired.Add(1)
+
+	// Run the action outside the site lock so a blocked goroutine never
+	// prevents other goroutines from evaluating (or tests from disarming)
+	// the same site.
+	switch a.kind {
+	case kindDelay:
+		time.Sleep(a.dur)
+	case kindPanic:
+		panic(PanicError{Site: name, Msg: a.msg})
+	case kindHook:
+		a.fn(name)
+	case kindStall:
+		<-a.gate
+	}
+}

@@ -1,0 +1,118 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRegistryBookkeeping exercises Arm/Disarm/Reset through the internal
+// fire path so it runs in both builds (Inject compiles to a no-op without
+// the failpoints tag; fire is the common implementation behind it).
+func TestRegistryBookkeeping(t *testing.T) {
+	defer Reset()
+	Reset()
+
+	ran := 0
+	Arm("bk.site", Hook(func(site string) {
+		if site != "bk.site" {
+			t.Fatalf("hook got site %q", site)
+		}
+		ran++
+	}))
+	fire("bk.site")
+	fire("bk.site")
+	if ran != 2 || Hits("bk.site") != 2 || Fired("bk.site") != 2 {
+		t.Fatalf("ran=%d hits=%d fired=%d, want 2/2/2", ran, Hits("bk.site"), Fired("bk.site"))
+	}
+
+	Disarm("bk.site")
+	fire("bk.site")
+	if ran != 2 || Hits("bk.site") != 2 {
+		t.Fatalf("disarmed site still fired (ran=%d hits=%d)", ran, Hits("bk.site"))
+	}
+
+	fire("bk.never-armed") // must not panic or create state
+	if Hits("bk.never-armed") != 0 {
+		t.Fatal("unarmed site recorded hits")
+	}
+
+	Reset()
+	if Hits("bk.site") != 0 {
+		t.Fatal("Reset kept hit counts")
+	}
+}
+
+func TestAfterAndTimes(t *testing.T) {
+	defer Reset()
+	ran := 0
+	Arm("at.site", Hook(func(string) { ran++ }).After(2).Times(3))
+	for i := 0; i < 10; i++ {
+		fire("at.site")
+	}
+	if ran != 3 {
+		t.Fatalf("After(2).Times(3): fired %d times, want 3", ran)
+	}
+	if Hits("at.site") != 10 {
+		t.Fatalf("hits=%d, want 10 (skipped and spent hits still count)", Hits("at.site"))
+	}
+	if Fired("at.site") != 3 {
+		t.Fatalf("Fired=%d, want 3", Fired("at.site"))
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	defer Reset()
+	Arm("p.site", Panic("boom").Once())
+	func() {
+		defer func() {
+			r := recover()
+			pe, ok := r.(PanicError)
+			if !ok || pe.Site != "p.site" || pe.Msg != "boom" {
+				t.Fatalf("recovered %#v, want PanicError{p.site, boom}", r)
+			}
+		}()
+		fire("p.site")
+		t.Fatal("Panic action did not panic")
+	}()
+	fire("p.site") // spent: must not panic again
+}
+
+func TestStallBlocksUntilReleased(t *testing.T) {
+	defer Reset()
+	act, release := Stall()
+	Arm("s.site", act)
+
+	done := make(chan struct{})
+	go func() {
+		fire("s.site")
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("stalled goroutine ran through the gate")
+	case <-time.After(20 * time.Millisecond):
+	}
+	release()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("release did not unblock the stalled goroutine")
+	}
+	release() // idempotent
+
+	// The gate stays open: later hits pass immediately.
+	fire("s.site")
+}
+
+func TestInjectMatchesBuildTag(t *testing.T) {
+	defer Reset()
+	ran := 0
+	Arm("b.site", Hook(func(string) { ran++ }))
+	Inject("b.site")
+	if Enabled && ran != 1 {
+		t.Fatalf("failpoints build: Inject did not fire (ran=%d)", ran)
+	}
+	if !Enabled && ran != 0 {
+		t.Fatalf("production build: Inject fired (ran=%d)", ran)
+	}
+}

@@ -1,0 +1,10 @@
+//go:build !failpoints
+
+package fault
+
+// Enabled reports whether this binary was built with the `failpoints` tag.
+const Enabled = false
+
+// Inject is the production no-op: the constant-false guard lets the compiler
+// delete the call entirely, so instrumented hot paths cost nothing.
+func Inject(name string) {}

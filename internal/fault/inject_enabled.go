@@ -1,0 +1,16 @@
+//go:build failpoints
+
+package fault
+
+// Enabled reports whether this binary was built with the `failpoints` tag.
+const Enabled = true
+
+// Inject evaluates the named failpoint. While no site is armed this is a
+// single atomic load, so an instrumented test binary runs at full speed
+// outside the chaos suite.
+func Inject(name string) {
+	if armed.Load() == 0 {
+		return
+	}
+	fire(name)
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -239,6 +240,69 @@ func TestHandler(t *testing.T) {
 	}
 	if code, _ := get("/nope"); code != http.StatusNotFound {
 		t.Errorf("/nope: code=%d, want 404", code)
+	}
+	// No checks configured: /healthz is unconditionally healthy.
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz: code=%d body=%q", code, body)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	r := NewRegistry(1)
+	var failing error
+	ts := httptest.NewServer(Handler(r,
+		HealthCheck{Name: "always-ok", Check: func() error { return nil }},
+		HealthCheck{Name: "toggled", Check: func() error { return failing }},
+	))
+	defer ts.Close()
+
+	get := func() (int, string) {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get(); code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Errorf("healthy: code=%d body=%q", code, body)
+	}
+	failing = errors.New("2 thread(s) stalled")
+	code, body := get()
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("unhealthy: code=%d, want 503", code)
+	}
+	if !strings.Contains(body, "fail toggled: 2 thread(s) stalled") {
+		t.Errorf("unhealthy body = %q, want the failing check listed", body)
+	}
+	if strings.Contains(body, "always-ok") {
+		t.Errorf("unhealthy body names a passing check: %q", body)
+	}
+	failing = nil
+	if code, _ := get(); code != http.StatusOK {
+		t.Errorf("recovered: code=%d", code)
+	}
+}
+
+// TestServeCloseJoins: Close must not return until the serving goroutine has
+// exited, and a clean shutdown reports no error.
+func TestServeCloseJoins(t *testing.T) {
+	r := NewRegistry(1)
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	if err := srv.Err(); err != nil {
+		t.Fatalf("Err() while serving = %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// After Close the goroutine is done; ErrServerClosed is filtered.
+	if err := srv.Err(); err != nil {
+		t.Fatalf("Err() after clean Close = %v", err)
 	}
 }
 

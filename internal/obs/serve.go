@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"errors"
 	"expvar"
 	"fmt"
 	"net"
@@ -9,14 +10,40 @@ import (
 	"time"
 )
 
+// HealthCheck is a named liveness probe exposed at /healthz. Check returns
+// nil when healthy; the error message is reported verbatim in the response
+// body. Checks must be safe for concurrent use.
+type HealthCheck struct {
+	Name  string
+	Check func() error
+}
+
 // Handler returns the observability HTTP handler: /metrics (Prometheus
-// text), /debug/vars (expvar JSON, including this registry once published)
-// and the net/http/pprof profile endpoints under /debug/pprof/.
-func Handler(r *Registry) http.Handler {
+// text), /debug/vars (expvar JSON, including this registry once published),
+// the net/http/pprof profile endpoints under /debug/pprof/, and /healthz,
+// which answers 200 while every supplied check passes and 503 (listing the
+// failing checks) otherwise. With no checks /healthz always answers 200.
+func Handler(r *Registry, checks ...HealthCheck) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WriteProm(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		failed := false
+		for _, c := range checks {
+			if err := c.Check(); err != nil {
+				if !failed {
+					failed = true
+					w.WriteHeader(http.StatusServiceUnavailable)
+				}
+				fmt.Fprintf(w, "fail %s: %v\n", c.Name, err)
+			}
+		}
+		if !failed {
+			fmt.Fprintln(w, "ok")
+		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -29,34 +56,59 @@ func Handler(r *Registry) http.Handler {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprintf(w, "ebrrq observability: /metrics /debug/vars /debug/pprof/\n")
+		fmt.Fprintf(w, "ebrrq observability: /metrics /healthz /debug/vars /debug/pprof/\n")
 	})
 	return mux
 }
 
 // Server is a running observability endpoint.
 type Server struct {
-	srv *http.Server
-	ln  net.Listener
+	srv  *http.Server
+	ln   net.Listener
+	done chan struct{}
+	err  error
 }
 
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the endpoint down.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close shuts the endpoint down and waits for the serving goroutine to
+// exit, so no goroutine outlives the Server.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}
+
+// Err reports why the serving goroutine exited, once it has (nil before
+// Close and while serving normally; http.ErrServerClosed is filtered out).
+func (s *Server) Err() error {
+	select {
+	case <-s.done:
+		return s.err
+	default:
+		return nil
+	}
+}
 
 // Serve starts the observability endpoint on addr (e.g. ":9090" or
 // "127.0.0.1:0") in a background goroutine and publishes the registry to
 // expvar. It returns once the listener is bound, so a subsequent
-// `curl <Addr()>/metrics` cannot race the bind.
-func Serve(addr string, r *Registry) (*Server, error) {
+// `curl <Addr()>/metrics` cannot race the bind. Optional health checks are
+// exposed at /healthz.
+func Serve(addr string, r *Registry, checks ...HealthCheck) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	r.PublishExpvar("ebrrq")
-	srv := &http.Server{Handler: Handler(r), ReadHeaderTimeout: 5 * time.Second}
-	go func() { _ = srv.Serve(ln) }()
-	return &Server{srv: srv, ln: ln}, nil
+	srv := &http.Server{Handler: Handler(r, checks...), ReadHeaderTimeout: 5 * time.Second}
+	s := &Server{srv: srv, ln: ln, done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.err = err
+		}
+	}()
+	return s, nil
 }

@@ -1,0 +1,244 @@
+package rqprov
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+	"unsafe"
+
+	"ebrrq/internal/dcss"
+	"ebrrq/internal/epoch"
+	"ebrrq/internal/obs"
+)
+
+// TestTryRegisterSlotReuse: registration capacity is no longer a one-way
+// ratchet — a full provider refuses politely, and Deregister releases the
+// slot (in lockstep with the epoch domain, or TryRegister would panic on the
+// id mismatch).
+func TestTryRegisterSlotReuse(t *testing.T) {
+	p := New(Config{MaxThreads: 2, Mode: ModeLockFree})
+	a := p.Register()
+	b, err := p.TryRegister()
+	if err != nil {
+		t.Fatalf("second TryRegister: %v", err)
+	}
+	if _, err := p.TryRegister(); !errors.Is(err, ErrTooManyThreads) {
+		t.Fatalf("full provider returned %v, want ErrTooManyThreads", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Register on a full provider did not panic")
+			}
+		}()
+		p.Register()
+	}()
+
+	a.Deregister()
+	a.Deregister() // idempotent
+	c, err := p.TryRegister()
+	if err != nil {
+		t.Fatalf("TryRegister after Deregister: %v", err)
+	}
+	if c.ID() != a.ID() {
+		t.Fatalf("reused slot id = %d, want %d", c.ID(), a.ID())
+	}
+	// The adopted slot is fully operational: run an update and a range
+	// query through it.
+	n := &epoch.Node{}
+	n.InitKey(7, 70)
+	c.StartOp()
+	var slot dcss.Slot
+	if !c.UpdateCAS(&slot, nil, unsafe.Pointer(n), []*epoch.Node{n}, nil, false) {
+		t.Fatal("update through the adopted slot failed")
+	}
+	c.EndOp()
+	b.StartOp()
+	b.TraversalStart(0, 100)
+	b.Visit(n)
+	got := b.TraversalEnd()
+	b.EndOp()
+	if len(got) != 1 || got[0].Key != 7 {
+		t.Fatalf("RQ after slot reuse = %v, want [7]", got)
+	}
+}
+
+// TestDeregisterMidUpdateUnblocksRQ: an updater that wedges after announcing
+// a deletion blocks range queries (they wait for the announced node's
+// dtime); Deregister withdraws the announcement, so the query completes and
+// decides from what the dead updater actually published — here, nothing.
+func TestDeregisterMidUpdateUnblocksRQ(t *testing.T) {
+	p := New(Config{MaxThreads: 2, Mode: ModeLock})
+	up := p.Register()
+	rq := p.Register()
+
+	victim := &epoch.Node{}
+	victim.InitKey(5, 50)
+	victim.SetITime(1)
+	// Simulate the wedge: announced, but the linearizing CAS never ran.
+	up.StartOp()
+	up.announceAll([]*epoch.Node{victim})
+
+	done := make(chan []epoch.KV, 1)
+	go func() {
+		rq.StartOp()
+		rq.TraversalStart(0, 100)
+		out := rq.TraversalEnd() // traversal saw nothing; sweeps announcements
+		rq.EndOp()
+		done <- out
+	}()
+	up.Deregister()
+	out := <-done
+	if len(out) != 0 {
+		t.Fatalf("RQ returned %v; the announced node was never deleted and the traversal did not see it", out)
+	}
+}
+
+// TestWaitBudgetFallbacks: with a positive WaitBudget a range query survives
+// an updater wedged before timestamp publication, resolving the wait
+// conservatively — unpublished itime excludes the node, unpublished dtime
+// includes it — and counts both the escalation and the fallback.
+func TestWaitBudgetFallbacks(t *testing.T) {
+	p := New(Config{MaxThreads: 1, Mode: ModeLock, SpinBudget: 16, WaitBudget: 64})
+	reg := obs.NewRegistry(p.MaxThreads())
+	p.EnableMetrics(reg)
+	th := p.Register()
+
+	inserted := &epoch.Node{}
+	inserted.InitKey(1, 10) // itime still ⊥: inserter wedged pre-publication
+	deleted := &epoch.Node{}
+	deleted.InitKey(2, 20)
+	deleted.SetITime(1) // deleter wedged: marked, dtime still ⊥
+
+	th.StartOp()
+	th.TraversalStart(0, 100)
+	th.Visit(inserted)                  // would hang forever without WaitBudget
+	th.VisitMaybeMarked(deleted, true)  // likewise
+	got := th.TraversalEnd()
+	th.EndOp()
+	if len(got) != 1 || got[0].Key != 2 {
+		t.Fatalf("RQ = %v, want [2] (unpublished itime excluded, unpublished dtime included)", got)
+	}
+	s := reg.Snapshot()
+	if n := s.Counter("ebrrq_await_fallbacks_total"); n != 2 {
+		t.Fatalf("fallbacks = %d, want 2 (one itime, one dtime)", n)
+	}
+	if n := s.Counter("ebrrq_await_escalations_total"); n < 2 {
+		t.Fatalf("escalations = %d, want >= 2 (budgets: spin 16 < wait 64)", n)
+	}
+}
+
+// TestAbortRestoresThread: Abort after a simulated mid-operation panic
+// leaves the thread quiescent, announcement-free, and reusable.
+func TestAbortRestoresThread(t *testing.T) {
+	p := New(Config{MaxThreads: 2, Mode: ModeLockFree})
+	th := p.Register()
+	rq := p.Register()
+
+	n := &epoch.Node{}
+	n.InitKey(3, 30)
+	n.SetITime(1)
+	th.StartOp()
+	th.announceAll([]*epoch.Node{n})
+	th.TraversalStart(0, 100) // also abandon an RQ mid-flight
+	th.Abort()
+	th.Abort() // safe to repeat
+
+	// The announcement is withdrawn: another thread's RQ must not wait on it.
+	rq.StartOp()
+	rq.TraversalStart(0, 100)
+	if out := rq.TraversalEnd(); len(out) != 0 {
+		t.Fatalf("RQ after Abort = %v, want empty", out)
+	}
+	rq.EndOp()
+
+	// The aborted thread is reusable.
+	th.StartOp()
+	var slot dcss.Slot
+	if !th.UpdateCAS(&slot, nil, unsafe.Pointer(n), []*epoch.Node{n}, nil, false) {
+		t.Fatal("update after Abort failed")
+	}
+	th.EndOp()
+}
+
+// TestConcurrentRegisterDeregisterChurn hammers provider slot churn from
+// more goroutines than slots, with real updates flowing through the reused
+// slots; the race detector guards the interlocks.
+func TestConcurrentRegisterDeregisterChurn(t *testing.T) {
+	const slots, workers, rounds = 3, 6, 100
+	p := New(Config{MaxThreads: slots, Mode: ModeLockFree})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; {
+				th, err := p.TryRegister()
+				if errors.Is(err, ErrTooManyThreads) {
+					continue
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				n := &epoch.Node{}
+				n.InitKey(int64(r), 0)
+				th.StartOp()
+				var slot dcss.Slot
+				th.UpdateCAS(&slot, nil, unsafe.Pointer(n), []*epoch.Node{n}, nil, false)
+				th.TraversalStart(0, 10)
+				th.TraversalEnd()
+				th.EndOp()
+				th.Deregister()
+				r++
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestHealth: the provider's health check fails exactly while a thread is
+// stalled (per the domain's stall view) and recovers with it.
+func TestHealth(t *testing.T) {
+	p := New(Config{MaxThreads: 2, Mode: ModeLockFree})
+	hc := p.Health()
+	if hc.Name != "epoch" {
+		t.Fatalf("health check name = %q", hc.Name)
+	}
+	if err := hc.Check(); err != nil {
+		t.Fatalf("idle provider unhealthy: %v", err)
+	}
+	worker := p.Register()
+	staller := p.Register()
+	staller.StartOp()
+	for i := 0; i < 256; i++ {
+		worker.StartOp()
+		worker.EndOp()
+	}
+	// Lag-based fallback view: a single staller shows lag 1, below the
+	// conservative threshold, so health stays green without a watchdog...
+	if err := hc.Check(); err != nil {
+		t.Fatalf("lag-1 staller tripped the watchdog-free check: %v", err)
+	}
+	// ...and an attached watchdog supplies the duration-based view.
+	w := p.Domain().StartWatchdog(epoch.WatchdogConfig{
+		Interval:   time.Millisecond,
+		StallAfter: 5 * time.Millisecond,
+	})
+	defer w.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for hc.Check() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("health check never failed for a stalled thread")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	staller.EndOp()
+	for hc.Check() != nil {
+		if time.Now().After(deadline) {
+			t.Fatal("health check never recovered after the stall ended")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

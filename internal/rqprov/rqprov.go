@@ -34,13 +34,17 @@
 package rqprov
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"unsafe"
 
 	"ebrrq/internal/dcss"
 	"ebrrq/internal/epoch"
+	"ebrrq/internal/fault"
 	"ebrrq/internal/obs"
 	"ebrrq/internal/rwlock"
 )
@@ -94,6 +98,20 @@ type Config struct {
 	// Recorder, if non-nil, observes every successful timestamped update;
 	// used by the validation harness. Must be safe for concurrent use.
 	Recorder Recorder
+	// SpinBudget is how many iterations a timestamp wait spins before
+	// escalating to yielding the processor (and counting the escalation).
+	// 0 selects the default of 128; negative means escalate immediately.
+	SpinBudget int
+	// WaitBudget, when positive, bounds the total iterations a timestamp
+	// wait may take before giving up with a conservative answer: an
+	// unresolved itime excludes the node (treated as inserted after the
+	// query), an unresolved dtime includes it (treated as deleted after).
+	// Both answers match what offline validation replays, because the
+	// Recorder only observes updates whose timestamps were published — they
+	// diverge only if the stalled updater later wakes and publishes. The
+	// default 0 waits forever (always linearizable); enable a budget when
+	// surviving a wedged updater matters more than that corner.
+	WaitBudget int
 }
 
 // Recorder observes timestamped updates for offline validation.
@@ -118,8 +136,17 @@ type Provider struct {
 	maxAnnounce int
 	limboSorted bool
 	recorder    Recorder
+	spinBudget  int
+	waitBudget  int
 	met         provMetrics
+
+	mu      sync.Mutex // guards freeIDs and the register/deregister pairing
+	freeIDs []int
 }
+
+// ErrTooManyThreads is returned by TryRegister when every slot is held by a
+// live thread.
+var ErrTooManyThreads = errors.New("rqprov: too many threads registered")
 
 // provMetrics holds the provider-layer observability handles. All fields
 // are nil-safe no-ops until EnableMetrics wires them, so the default path
@@ -134,6 +161,16 @@ type provMetrics struct {
 	awaitDSpins  *obs.Counter   // ebrrq_await_dtime_spins_total
 	poolHits     *obs.Counter // ebrrq_pool_hits_total
 	poolMisses   *obs.Counter // ebrrq_pool_misses_total
+
+	// Timestamp-wait escalation family: escalations count waits that
+	// exhausted SpinBudget and began yielding; fallbacks count waits that
+	// exhausted WaitBudget and resolved conservatively.
+	escI *obs.Counter // ebrrq_await_escalations_total{kind="itime"}
+	escD *obs.Counter // ebrrq_await_escalations_total{kind="dtime"}
+	escA *obs.Counter // ebrrq_await_escalations_total{kind="announce"}
+	fbI  *obs.Counter // ebrrq_await_fallbacks_total{kind="itime"}
+	fbD  *obs.Counter // ebrrq_await_fallbacks_total{kind="dtime"}
+	fbA  *obs.Counter // ebrrq_await_fallbacks_total{kind="announce"}
 }
 
 // EnableMetrics registers the provider's metrics (and those of its EBR
@@ -153,6 +190,14 @@ func (p *Provider) EnableMetrics(reg *obs.Registry) {
 		poolHits:   reg.Counter("ebrrq_pool_hits_total", "node allocations served from a free pool"),
 		poolMisses: reg.Counter("ebrrq_pool_misses_total", "node allocations that went to the heap"),
 	}
+	const escHelp = "timestamp waits that exhausted the spin budget and began yielding"
+	const fbHelp = "timestamp waits that exhausted the wait budget and resolved conservatively"
+	p.met.escI = reg.CounterL("ebrrq_await_escalations_total", `kind="itime"`, escHelp)
+	p.met.escD = reg.CounterL("ebrrq_await_escalations_total", `kind="dtime"`, escHelp)
+	p.met.escA = reg.CounterL("ebrrq_await_escalations_total", `kind="announce"`, escHelp)
+	p.met.fbI = reg.CounterL("ebrrq_await_fallbacks_total", `kind="itime"`, fbHelp)
+	p.met.fbD = reg.CounterL("ebrrq_await_fallbacks_total", `kind="dtime"`, fbHelp)
+	p.met.fbA = reg.CounterL("ebrrq_await_fallbacks_total", `kind="announce"`, fbHelp)
 	// The HTM abort series exists in every mode so exposition is stable;
 	// only the emulated-HTM lock feeds it. The emulation has a single
 	// abort cause: the fallback lock was held.
@@ -171,6 +216,24 @@ func (p *Provider) EnableMetrics(reg *obs.Registry) {
 		func() int64 { return int64(p.dom.LimboSize()) })
 	reg.GaugeFunc("ebrrq_global_timestamp", "current range-query timestamp TS",
 		func() int64 { return int64(p.ts.Load()) })
+	reg.GaugeFunc("ebrrq_epoch_stalled_threads", "threads currently stalled mid-operation (watchdog view when attached)",
+		func() int64 { return int64(len(p.dom.StalledThreads())) })
+	reg.GaugeFunc("ebrrq_epoch_max_lag", "largest epoch lag across active threads",
+		func() int64 { return int64(p.dom.MaxLag()) })
+}
+
+// Health returns a health check for obs.Serve's /healthz endpoint: it fails
+// while any thread is stalled mid-operation (pinning the epoch). Attach an
+// epoch watchdog to the provider's domain for duration-based detection;
+// without one the check only reports the (conservative) lag-based view.
+func (p *Provider) Health() obs.HealthCheck {
+	return obs.HealthCheck{Name: "epoch", Check: func() error {
+		if stalls := p.dom.StalledThreads(); len(stalls) > 0 {
+			return fmt.Errorf("%d thread(s) stalled mid-operation, max epoch lag %d",
+				len(stalls), p.dom.MaxLag())
+		}
+		return nil
+	}}
 }
 
 // New creates a provider (and its EBR domain) from cfg.
@@ -188,6 +251,11 @@ func New(cfg Config) *Provider {
 			cfg.MaxAnnounce = 16
 		}
 	}
+	if cfg.SpinBudget == 0 {
+		cfg.SpinBudget = 128
+	} else if cfg.SpinBudget < 0 {
+		cfg.SpinBudget = 0
+	}
 	p := &Provider{
 		mode:        cfg.Mode,
 		dom:         epoch.NewDomain(cfg.MaxThreads),
@@ -195,6 +263,8 @@ func New(cfg Config) *Provider {
 		maxAnnounce: cfg.MaxAnnounce,
 		limboSorted: cfg.LimboSorted,
 		recorder:    cfg.Recorder,
+		spinBudget:  cfg.SpinBudget,
+		waitBudget:  cfg.WaitBudget,
 	}
 	p.ts.Store(1) // 0 is reserved for ⊥ in itime/dtime
 	if cfg.Mode == ModeHTM {
@@ -227,24 +297,60 @@ func (p *Provider) HTMAborts() uint64 {
 	return p.dist.Aborts.Load()
 }
 
-// Register allocates a provider thread handle. Each goroutine operating on
+// Register allocates a provider thread handle, panicking when the provider
+// is full. It is a thin wrapper around TryRegister kept for existing
+// callers; new code should prefer TryRegister. Each goroutine operating on
 // the data structure must register exactly once and use its own handle.
 func (p *Provider) Register() *Thread {
-	id := int(p.registered.Add(1)) - 1
-	if id >= len(p.threads) {
+	t, err := p.TryRegister()
+	if err != nil {
 		panic("rqprov: too many threads registered")
+	}
+	return t
+}
+
+// TryRegister allocates a provider thread handle, reusing slots released by
+// Deregister before extending the high-water mark. Safe for concurrent use;
+// returns ErrTooManyThreads when every slot is held by a live thread.
+func (p *Provider) TryRegister() (*Thread, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fresh := true
+	var id int
+	if n := len(p.freeIDs); n > 0 {
+		id = p.freeIDs[n-1]
+		p.freeIDs = p.freeIDs[:n-1]
+		fresh = false
+	} else {
+		id = int(p.registered.Load())
+		if id >= len(p.threads) {
+			return nil, ErrTooManyThreads
+		}
+	}
+	// The provider's free list moves in lockstep with the epoch domain's:
+	// Deregister pushes onto both under p.mu, so popping here yields the
+	// matching epoch slot.
+	ep, err := p.dom.TryRegister()
+	if err != nil {
+		if !fresh {
+			p.freeIDs = append(p.freeIDs, id)
+		}
+		return nil, err
+	}
+	if ep.ID() != id {
+		panic("rqprov: thread id mismatch with epoch domain")
 	}
 	t := &Thread{
 		prov:     p,
-		ep:       p.dom.Register(),
+		ep:       ep,
 		id:       id,
 		announce: make([]atomic.Pointer[epoch.Node], p.maxAnnounce),
 	}
-	if t.ep.ID() != id {
-		panic("rqprov: thread id mismatch with epoch domain")
-	}
 	p.threads[id].Store(t)
-	return t
+	if fresh {
+		p.registered.Store(int32(id + 1))
+	}
+	return t, nil
 }
 
 // Thread is a per-goroutine provider handle. It embeds the EBR thread: data
@@ -253,6 +359,7 @@ type Thread struct {
 	prov *Provider
 	ep   *epoch.Thread
 	id   int
+	dead atomic.Bool
 
 	// announce holds pointers to nodes this thread is about to delete
 	// (single-writer, multi-reader), per §4.3.
@@ -296,6 +403,40 @@ func (t *Thread) StartOp() { t.ep.StartOp() }
 
 // EndOp ends the current data-structure operation.
 func (t *Thread) EndOp() { t.ep.EndOp() }
+
+// Abort clears the thread's provider-visible state — the announced DCSS
+// descriptor, the deletion announcements, any range-query in progress — and
+// force-ends its EBR operation. Panic-recovery wrappers call it after a
+// panic unwound data-structure code mid-operation; the thread remains
+// registered and usable. Clearing the announcements is a withdrawal: a
+// concurrent range query that was waiting on one re-reads dtime and decides
+// from whatever the aborted update actually published.
+func (t *Thread) Abort() {
+	t.desc.Store(nil)
+	t.unannounceAll(len(t.announce))
+	t.rqActive = false
+	t.ep.AbortOp()
+}
+
+// Deregister permanently releases the thread's slot: in-flight state is
+// aborted as in Abort, the EBR slot quiesces (so a thread that died
+// mid-operation stops pinning the global epoch and its limbo bags age out
+// via the orphan sweep), and the slot id becomes reusable by a future
+// TryRegister. Idempotent. Must be called by the owner goroutine or, after
+// the owner died, by exactly one recovering goroutine.
+func (t *Thread) Deregister() {
+	if !t.dead.CompareAndSwap(false, true) {
+		return
+	}
+	t.desc.Store(nil)
+	t.unannounceAll(len(t.announce))
+	t.rqActive = false
+	p := t.prov
+	p.mu.Lock()
+	t.ep.Deregister() // pushes the epoch slot; pair it with ours under p.mu
+	p.freeIDs = append(p.freeIDs, t.id)
+	p.mu.Unlock()
+}
 
 // LastUpdateTS returns the timestamp of this thread's most recent successful
 // timestamped update (validation support).
@@ -347,6 +488,10 @@ func (t *Thread) unannounceAll(n int) {
 // the exact value TS held when the CAS took effect.
 func (t *Thread) UpdateCAS(slot *dcss.Slot, old, new unsafe.Pointer, inodes, dnodes []*epoch.Node, retireDeleted bool) bool {
 	p := t.prov
+	if p.mode != ModeUnsafe {
+		t.announceAll(dnodes)
+		fault.Inject("rqprov.update.announced")
+	}
 	switch p.mode {
 	case ModeUnsafe:
 		if !slot.CAS(old, new) {
@@ -360,7 +505,6 @@ func (t *Thread) UpdateCAS(slot *dcss.Slot, old, new unsafe.Pointer, inodes, dno
 		return true
 
 	case ModeLock:
-		t.announceAll(dnodes)
 		p.lock.AcquireShared()
 		ts := p.ts.Load()
 		ok := slot.CAS(old, new)
@@ -369,7 +513,6 @@ func (t *Thread) UpdateCAS(slot *dcss.Slot, old, new unsafe.Pointer, inodes, dno
 		return ok
 
 	case ModeHTM:
-		t.announceAll(dnodes)
 		// Software emulation of: XBEGIN; abort if L exclusively held;
 		// read TS; CAS; XEND. AcquireShared touches only this thread's
 		// slot and validates the writer bit, retrying on "abort".
@@ -381,7 +524,6 @@ func (t *Thread) UpdateCAS(slot *dcss.Slot, old, new unsafe.Pointer, inodes, dno
 		return ok
 
 	case ModeLockFree:
-		t.announceAll(dnodes)
 		for {
 			ts := p.ts.Load()
 			d := &dcss.Descriptor{
@@ -390,6 +532,7 @@ func (t *Thread) UpdateCAS(slot *dcss.Slot, old, new unsafe.Pointer, inodes, dno
 				INodes: inodes, DNodes: dnodes,
 			}
 			t.desc.Store(d)
+			fault.Inject("rqprov.update.desc")
 			st := d.Exec()
 			if st == dcss.Succeeded {
 				t.finishUpdate(true, ts, inodes, dnodes, retireDeleted)
@@ -429,6 +572,7 @@ func (t *Thread) finishUpdate(ok bool, ts uint64, inodes, dnodes []*epoch.Node, 
 		}
 	}
 	t.unannounceAll(len(dnodes))
+	fault.Inject("rqprov.update.finished")
 }
 
 // UpdateWrite replaces a linearizing *write* (as opposed to CAS): the new
@@ -460,6 +604,7 @@ func (t *Thread) PhysicalDelete(dnodes []*epoch.Node, unlink func() bool) bool {
 		return ok
 	}
 	t.announceAll(dnodes)
+	fault.Inject("rqprov.physdel.announced")
 	ok := unlink()
 	if ok {
 		for _, d := range dnodes {
@@ -506,6 +651,7 @@ func (t *Thread) TraversalStart(low, high int64) {
 	case ModeLockFree:
 		t.ts = p.ts.Add(1)
 	}
+	fault.Inject("rqprov.rq.started")
 }
 
 // Visit is invoked by the data structure's traversal for every node it
@@ -573,6 +719,7 @@ func (t *Thread) TraversalEnd() []epoch.KV {
 		}
 	}
 	p.met.annScans.Add(t.id, scanned)
+	fault.Inject("rqprov.rq.annsweep")
 	for _, ar := range t.annScratch {
 		t.tryAddFromAnnouncement(ar.node, ar.slot)
 	}
@@ -582,6 +729,7 @@ func (t *Thread) TraversalEnd() []epoch.KV {
 	endTS := p.ts.Load()
 	sorted := p.limboSorted
 	visited := uint64(0)
+	fault.Inject("rqprov.rq.limbosweep")
 	t.ep.ForEachLimboList(func(head *epoch.Node) {
 		for n := head; n != nil; n = n.LimboNext() {
 			visited++
@@ -636,9 +784,18 @@ func (t *Thread) tryAddFromAnnouncement(n *epoch.Node, slot *atomic.Pointer[epoc
 		return
 	}
 	var dtime uint64
+	wb := t.prov.waitBudget
 	for i := 0; ; i++ {
 		dtime = n.DTime()
 		if dtime != 0 || slot.Load() != n {
+			break
+		}
+		if wb > 0 && i >= wb {
+			// The announcer is wedged between announcing and deciding.
+			// Include the node conservatively: if it is never deleted the
+			// traversal also saw it and finishResult deduplicates.
+			t.prov.met.fbA.Inc(t.id)
+			dtime = ^uint64(0)
 			break
 		}
 		t.helpOrYield(n, i)
@@ -662,13 +819,18 @@ func (t *Thread) tryAddFromAnnouncement(n *epoch.Node, slot *atomic.Pointer[epoc
 
 // awaitITime returns the node's insertion timestamp, waiting (lock/HTM
 // modes) or helping the announced DCSS operations (lock-free mode) until it
-// is available.
+// is available. Waits escalate through the provider's budgets: past
+// SpinBudget iterations the waiter starts yielding the processor; past a
+// positive WaitBudget it gives up and returns the maximum timestamp, which
+// every caller reads as "inserted after the range query" — the conservative
+// answer when the inserting thread is wedged before publication.
 func (t *Thread) awaitITime(n *epoch.Node) uint64 {
 	if ts := n.ITime(); ts != 0 {
 		return ts
 	}
+	p := t.prov
 	for i := 0; ; i++ {
-		t.prov.met.awaitISpins.Inc(t.id)
+		p.met.awaitISpins.Inc(t.id)
 		if ts := n.ITime(); ts != 0 {
 			return ts
 		}
@@ -679,20 +841,30 @@ func (t *Thread) awaitITime(n *epoch.Node) uint64 {
 		if ts := n.ITime(); ts != 0 {
 			return ts
 		}
-		if i > 8 {
+		if p.waitBudget > 0 && i >= p.waitBudget {
+			p.met.fbI.Inc(t.id)
+			return ^uint64(0)
+		}
+		if i >= p.spinBudget {
+			if i == p.spinBudget {
+				p.met.escI.Inc(t.id)
+			}
 			runtime.Gosched()
 		}
 	}
 }
 
 // awaitDTime returns the node's deletion timestamp, for nodes known to have
-// been (or to be being) deleted.
+// been (or to be being) deleted. Budgets escalate as in awaitITime; here the
+// maximum-timestamp fallback reads as "deleted after the range query", so a
+// wedged deleter's victim stays in the result.
 func (t *Thread) awaitDTime(n *epoch.Node) uint64 {
 	if ts := n.DTime(); ts != 0 {
 		return ts
 	}
+	p := t.prov
 	for i := 0; ; i++ {
-		t.prov.met.awaitDSpins.Inc(t.id)
+		p.met.awaitDSpins.Inc(t.id)
 		if ts := n.DTime(); ts != 0 {
 			return ts
 		}
@@ -703,7 +875,14 @@ func (t *Thread) awaitDTime(n *epoch.Node) uint64 {
 		if ts := n.DTime(); ts != 0 {
 			return ts
 		}
-		if i > 8 {
+		if p.waitBudget > 0 && i >= p.waitBudget {
+			p.met.fbD.Inc(t.id)
+			return ^uint64(0)
+		}
+		if i >= p.spinBudget {
+			if i == p.spinBudget {
+				p.met.escD.Inc(t.id)
+			}
 			runtime.Gosched()
 		}
 	}
@@ -712,15 +891,19 @@ func (t *Thread) awaitDTime(n *epoch.Node) uint64 {
 // helpOrYield makes progress while waiting on an announced node: in
 // lock-free mode it helps the in-flight DCSS operations and publishes the
 // deletion timestamp it derives (idempotent — every helper stores the same
-// value); otherwise it yields.
+// value); otherwise it yields once past the spin budget.
 func (t *Thread) helpOrYield(n *epoch.Node, i int) {
-	if t.prov.mode == ModeLockFree {
+	p := t.prov
+	if p.mode == ModeLockFree {
 		if ts, ok := t.timeFromDescriptors(n, false); ok {
 			n.SetDTime(ts)
 			return
 		}
 	}
-	if i > 8 {
+	if i >= p.spinBudget {
+		if i == p.spinBudget {
+			p.met.escA.Inc(t.id)
+		}
 		runtime.Gosched()
 	}
 }

@@ -1,0 +1,114 @@
+package ebrrq_test
+
+import (
+	"errors"
+	"testing"
+
+	"ebrrq"
+	"ebrrq/internal/epoch"
+	"ebrrq/internal/rqprov"
+)
+
+// TestTryNewThreadAndClose: thread slots are reusable through the public
+// API — Close releases a slot, TryNewThread reports exhaustion as an error,
+// and NewThread keeps its panicking contract.
+func TestTryNewThreadAndClose(t *testing.T) {
+	s, err := ebrrq.New(ebrrq.SkipList, ebrrq.LockFree, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s.NewThread()
+	b, err := s.TryNewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.TryNewThread(); !errors.Is(err, rqprov.ErrTooManyThreads) {
+		t.Fatalf("full set returned %v, want ErrTooManyThreads", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("NewThread on a full set did not panic")
+			}
+		}()
+		s.NewThread()
+	}()
+
+	a.Insert(1, 10)
+	a.Close()
+	a.Close() // idempotent
+	c, err := s.TryNewThread()
+	if err != nil {
+		t.Fatalf("TryNewThread after Close: %v", err)
+	}
+	c.Insert(2, 20)
+	if got := b.RangeQuery(0, 100); len(got) != 2 {
+		t.Fatalf("RangeQuery after slot reuse = %v, want two keys", got)
+	}
+}
+
+// panickyRecorder fires on the Nth recorded update. The Recorder runs on
+// the updater's goroutine inside the operation, after the timestamps were
+// published — so a panic here models a crash at the latest point of an
+// update, and recovery must leave the set fully consistent.
+type panickyRecorder struct {
+	n     int
+	count int
+}
+
+func (r *panickyRecorder) RecordUpdate(tid int, ts uint64, inodes, dnodes []*epoch.Node) {
+	r.count++
+	if r.count == r.n {
+		panic("recorder exploded")
+	}
+}
+
+// TestPanicInRecorderLeavesSetUsable: a panic escaping a Thread operation
+// must not wedge the epoch domain (blocking reclamation and, in lock-free
+// mode, future range queries). The guard aborts the provider state, the
+// panic propagates, and both the panicked thread and its peers keep working.
+func TestPanicInRecorderLeavesSetUsable(t *testing.T) {
+	for _, tech := range []ebrrq.Technique{ebrrq.Lock, ebrrq.LockFree} {
+		s, err := ebrrq.NewWithOptions(ebrrq.LFList, tech, 2,
+			ebrrq.Options{Recorder: &panickyRecorder{n: 3}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		th := s.NewThread()
+		peer := s.NewThread()
+		th.Insert(1, 10)
+		th.Insert(2, 20)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%v: recorder panic did not propagate", tech)
+				}
+			}()
+			th.Insert(3, 30)
+		}()
+
+		// The third insert's CAS succeeded and its timestamps were
+		// published before the recorder ran, so the key is in the set; the
+		// guard's Abort must have unpinned the epoch and cleared the
+		// announcements, so updates and RQs proceed on both threads.
+		if got := peer.RangeQuery(0, 100); len(got) != 3 {
+			t.Fatalf("%v: peer RQ after panic = %v, want 3 keys", tech, got)
+		}
+		if !th.Delete(2) {
+			t.Fatalf("%v: panicked thread cannot update afterwards", tech)
+		}
+		if got := th.RangeQuery(0, 100); len(got) != 2 {
+			t.Fatalf("%v: RQ on panicked thread = %v, want 2 keys", tech, got)
+		}
+
+		// Reclamation still works: churn and check the epoch advances.
+		base := s.Provider().Domain().Advances()
+		for i := int64(0); i < 2048; i++ {
+			th.Insert(100+i%64, i)
+			th.Delete(100 + i%64)
+		}
+		if s.Provider().Domain().Advances() == base {
+			t.Fatalf("%v: epoch wedged after recorder panic", tech)
+		}
+	}
+}
