@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race bench chaos validate micro macro examples clean
+.PHONY: all ci build vet test race bench bench-quick rebaseline chaos validate micro macro examples clean
 
 all: build vet test
 
@@ -33,6 +33,18 @@ chaos:
 
 bench:
 	$(GO) test -bench=. -benchmem ./... -timeout 1800s
+
+# bench-quick runs the RQ-heavy mixed workload on a fixed small matrix,
+# writes the machine-readable BENCH_rq.json report, and gates against the
+# committed baseline (>20% throughput regression fails). The baseline is
+# host-specific: refresh it with `make rebaseline` when the reference
+# hardware changes.
+bench-quick:
+	$(GO) run ./cmd/rqbench -out BENCH_rq.json \
+		-baseline results/bench_rq_baseline.json
+
+rebaseline:
+	$(GO) run ./cmd/rqbench -out results/bench_rq_baseline.json
 
 validate:
 	$(GO) run ./cmd/validate

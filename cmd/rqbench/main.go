@@ -1,0 +1,183 @@
+// Command rqbench runs the RQ-heavy mixed benchmark (50% range queries /
+// 50% updates by default) across data structures, provider techniques and
+// thread counts, writes the machine-readable BENCH_rq.json report, and —
+// when given a committed baseline — fails if throughput regressed beyond
+// the gate. `make bench-quick` and the CI bench-smoke job are thin wrappers
+// around this command.
+//
+//	rqbench -out BENCH_rq.json                        # measure
+//	rqbench -out BENCH_rq.json -baseline results/bench_rq_baseline.json
+//	                                                  # measure + gate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"ebrrq"
+	"ebrrq/internal/bench"
+)
+
+func main() {
+	var (
+		dsFlag    = flag.String("ds", "skiplist,lflist", "comma-separated structures: lflist,lazylist,skiplist,lfbst,citrus,abtree,bslack")
+		techFlag  = flag.String("tech", "lock,lockfree", "comma-separated techniques: lock,htm,lockfree,unsafe")
+		thrFlag   = flag.String("threads", "8", "comma-separated worker counts")
+		rqPct     = flag.Int("rq-pct", 50, "percent of operations that are range queries")
+		rqSize    = flag.Int64("rq-size", 64, "keys spanned per range query")
+		scale     = flag.Int64("scale", 10, "key-range divisor (1 = paper sizes)")
+		trials    = flag.Int("trials", 3, "trials per cell (results are merged)")
+		duration  = flag.Duration("duration", 200*time.Millisecond, "duration per trial")
+		seed      = flag.Int64("seed", 42, "base RNG seed")
+		out       = flag.String("out", "BENCH_rq.json", "output report path ('-' for stdout)")
+		baseline  = flag.String("baseline", "", "baseline BENCH_rq.json to gate against (missing file: gate skipped)")
+		maxRegres = flag.Float64("max-regress", 0.20, "maximum allowed throughput regression vs baseline (fraction)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+	)
+	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	cfg := bench.RQBenchCfg{
+		RQPct: *rqPct, RQSize: *rqSize, Scale: *scale,
+		Trials: *trials, Duration: *duration, Seed: *seed,
+		Out: os.Stderr,
+	}
+	var err error
+	if cfg.DSs, err = parseDSs(*dsFlag); err != nil {
+		fatal(err)
+	}
+	if cfg.Techs, err = parseTechs(*techFlag); err != nil {
+		fatal(err)
+	}
+	if cfg.Threads, err = parseInts(*thrFlag); err != nil {
+		fatal(err)
+	}
+
+	rep, err := bench.RunRQBench(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *out == "-" {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d points)\n", *out, len(rep.Points))
+	}
+
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "baseline %s not found; regression gate skipped\n", *baseline)
+			return
+		}
+		if err != nil {
+			fatal(err)
+		}
+		base, err := bench.ReadRQReport(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("parsing baseline %s: %w", *baseline, err))
+		}
+		if msgs := bench.CompareRQReports(base, rep, *maxRegres); len(msgs) > 0 {
+			for _, m := range msgs {
+				fmt.Fprintln(os.Stderr, "REGRESSION: "+m)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "regression gate passed (max allowed %.0f%%)\n", 100**maxRegres)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rqbench:", err)
+	os.Exit(2)
+}
+
+func parseDSs(s string) ([]ebrrq.DataStructure, error) {
+	var out []ebrrq.DataStructure
+	for _, part := range strings.Split(s, ",") {
+		switch strings.ToLower(strings.TrimSpace(part)) {
+		case "lflist":
+			out = append(out, ebrrq.LFList)
+		case "lazylist":
+			out = append(out, ebrrq.LazyList)
+		case "skiplist":
+			out = append(out, ebrrq.SkipList)
+		case "lfbst":
+			out = append(out, ebrrq.LFBST)
+		case "citrus":
+			out = append(out, ebrrq.Citrus)
+		case "abtree":
+			out = append(out, ebrrq.ABTree)
+		case "bslack":
+			out = append(out, ebrrq.BSlack)
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown data structure %q", part)
+		}
+	}
+	return out, nil
+}
+
+func parseTechs(s string) ([]ebrrq.Technique, error) {
+	var out []ebrrq.Technique
+	for _, part := range strings.Split(s, ",") {
+		switch strings.ToLower(strings.TrimSpace(part)) {
+		case "lock":
+			out = append(out, ebrrq.Lock)
+		case "htm":
+			out = append(out, ebrrq.HTM)
+		case "lockfree", "lock-free":
+			out = append(out, ebrrq.LockFree)
+		case "unsafe":
+			out = append(out, ebrrq.Unsafe)
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown technique %q", part)
+		}
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

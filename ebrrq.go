@@ -471,6 +471,26 @@ func (t *Thread) LimboVisitedLast() uint64 {
 	return t.pt.LimboVisitedLast()
 }
 
+// BagsSkippedTotal returns how many limbo bags this thread's range queries
+// have skipped entirely via the max-dtime bag fence (provider-based
+// techniques only); BagsSweptTotal counts the bags actually walked. The
+// ratio shows how much of the sweep the fence elides (DESIGN.md §8).
+func (t *Thread) BagsSkippedTotal() uint64 {
+	if t.pt == nil {
+		return 0
+	}
+	return t.pt.BagsSkippedTotal()
+}
+
+// BagsSweptTotal returns how many limbo bags this thread's range queries
+// have walked (provider-based techniques only).
+func (t *Thread) BagsSweptTotal() uint64 {
+	if t.pt == nil {
+		return 0
+	}
+	return t.pt.BagsSweptTotal()
+}
+
 // ProviderThread exposes the underlying provider thread handle (nil for
 // RLU) for advanced uses such as the validation harness.
 func (t *Thread) ProviderThread() *rqprov.Thread { return t.pt }

@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"ebrrq"
+)
+
+// RQPoint is one machine-readable data point of the RQ-mix benchmark: a
+// (structure, technique, thread-count) cell of the mixed update/range-query
+// workload, with throughput split by class, RQ latency percentiles and the
+// provider's hot-path counters (timestamp sharing and bag-fence skips).
+type RQPoint struct {
+	DS       string `json:"ds"`
+	Tech     string `json:"tech"`
+	Threads  int    `json:"threads"`
+	RQPct    int    `json:"rq_pct"`
+	RQSize   int64  `json:"rq_size"`
+	KeyRange int64  `json:"key_range"`
+	Trials   int    `json:"trials"`
+
+	ElapsedMs    int64   `json:"elapsed_ms"`
+	Ops          uint64  `json:"ops"`
+	OpsPerUs     float64 `json:"ops_per_us"`
+	UpdatesPerUs float64 `json:"updates_per_us"`
+	RQsPerUs     float64 `json:"rqs_per_us"`
+
+	RQP50ns int64 `json:"rq_p50_ns"`
+	RQP90ns int64 `json:"rq_p90_ns"`
+	RQP99ns int64 `json:"rq_p99_ns"`
+
+	LimboVisited uint64 `json:"limbo_visited"`
+	TSShared     uint64 `json:"ts_shared"`
+	TSAdvanced   uint64 `json:"ts_advanced"`
+	FenceShared  uint64 `json:"fence_shared"`
+	BagsSkipped  uint64 `json:"bags_skipped"`
+	BagsSwept    uint64 `json:"bags_swept"`
+}
+
+// Key identifies the point's workload cell for baseline comparison.
+func (p RQPoint) Key() string {
+	return fmt.Sprintf("%s/%s/t%d/rq%d", p.DS, p.Tech, p.Threads, p.RQPct)
+}
+
+// RQReport is the BENCH_rq.json document: the host fingerprint plus one
+// point per workload cell.
+type RQReport struct {
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	NumCPU     int       `json:"num_cpu"`
+	GoVersion  string    `json:"go_version"`
+	Points     []RQPoint `json:"points"`
+}
+
+// RQBenchCfg parameterizes RunRQBench. Zero values select the quick
+// configuration used by `make bench-quick` and the CI bench-smoke job.
+type RQBenchCfg struct {
+	DSs      []ebrrq.DataStructure
+	Techs    []ebrrq.Technique
+	Threads  []int
+	RQPct    int   // percent of operations that are range queries
+	RQSize   int64 // keys spanned per range query
+	Scale    int64 // key-range divisor (see DefaultKeyRange)
+	Trials   int
+	Duration time.Duration
+	Seed     int64
+	Out      io.Writer // progress lines; nil silences
+}
+
+func (c *RQBenchCfg) defaults() {
+	if len(c.DSs) == 0 {
+		c.DSs = []ebrrq.DataStructure{ebrrq.SkipList, ebrrq.LFList}
+	}
+	if len(c.Techs) == 0 {
+		c.Techs = []ebrrq.Technique{ebrrq.Lock, ebrrq.LockFree}
+	}
+	if len(c.Threads) == 0 {
+		c.Threads = []int{8}
+	}
+	if c.RQPct <= 0 {
+		c.RQPct = 50
+	}
+	if c.RQSize <= 0 {
+		c.RQSize = 64
+	}
+	if c.Scale <= 0 {
+		c.Scale = 10
+	}
+	if c.Trials <= 0 {
+		c.Trials = 3
+	}
+	if c.Duration <= 0 {
+		c.Duration = 200 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+}
+
+// RunRQBench runs the RQ-heavy mixed workload across every configured
+// (structure, technique, thread-count) cell: each worker thread performs
+// RQPct% range queries of RQSize keys and splits the remainder evenly
+// between inserts and deletes.
+func RunRQBench(cfg RQBenchCfg) (RQReport, error) {
+	cfg.defaults()
+	rep := RQReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+	}
+	upd := (100 - cfg.RQPct) / 2
+	for _, ds := range cfg.DSs {
+		for _, tech := range cfg.Techs {
+			if !ebrrq.Supported(ds, tech) {
+				continue
+			}
+			for _, nt := range cfg.Threads {
+				mix := Mix{InsertPct: upd, DeletePct: upd,
+					RQPct: 100 - 2*upd, RQSize: cfg.RQSize}
+				threads := make([]Mix, nt)
+				for i := range threads {
+					threads[i] = mix
+				}
+				keyRange := DefaultKeyRange(ds, cfg.Scale)
+				var total Result
+				for trial := 0; trial < cfg.Trials; trial++ {
+					res, err := RunTrial(TrialCfg{
+						DS: ds, Tech: tech, KeyRange: keyRange,
+						Threads: threads, Duration: cfg.Duration,
+						Seed: cfg.Seed + int64(trial)*31337,
+					})
+					if err != nil {
+						return rep, err
+					}
+					total.Merge(&res)
+				}
+				pt := RQPoint{
+					DS: ds.String(), Tech: tech.String(), Threads: nt,
+					RQPct: mix.RQPct, RQSize: cfg.RQSize, KeyRange: keyRange,
+					Trials:       cfg.Trials,
+					ElapsedMs:    total.Elapsed.Milliseconds(),
+					Ops:          total.Ops,
+					OpsPerUs:     total.TotalOpsPerUs(),
+					UpdatesPerUs: total.UpdatesPerUs(),
+					RQsPerUs:     total.RQsPerUs(),
+					RQP50ns:      int64(total.RQLatencyPercentile(50)),
+					RQP90ns:      int64(total.RQLatencyPercentile(90)),
+					RQP99ns:      int64(total.RQLatencyPercentile(99)),
+					LimboVisited: total.LimboVisit,
+					TSShared:     total.Obs.Counter("ebrrq_rq_ts_shared"),
+					TSAdvanced:   total.Obs.Counter("ebrrq_rq_ts_advanced"),
+					FenceShared:  total.Obs.Counter("ebrrq_rq_fence_shared"),
+					BagsSkipped:  total.Obs.Counter("ebrrq_rq_bags_skipped"),
+					BagsSwept:    total.Obs.Counter("ebrrq_rq_bags_swept"),
+				}
+				rep.Points = append(rep.Points, pt)
+				if cfg.Out != nil {
+					fmt.Fprintf(cfg.Out,
+						"%-20s %6.3f ops/us  %6.3f rq/us  p50 %s  p99 %s  ts_shared %d  bags_skipped %d\n",
+						pt.Key(), pt.OpsPerUs, pt.RQsPerUs,
+						time.Duration(pt.RQP50ns), time.Duration(pt.RQP99ns),
+						pt.TSShared, pt.BagsSkipped)
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r RQReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadRQReport parses a BENCH_rq.json document.
+func ReadRQReport(rd io.Reader) (RQReport, error) {
+	var r RQReport
+	err := json.NewDecoder(rd).Decode(&r)
+	return r, err
+}
+
+// CompareRQReports checks current against baseline: for every workload cell
+// present in both, total throughput must not fall more than maxRegress
+// (a fraction, e.g. 0.20) below the baseline. It returns one message per
+// regressed cell; an empty slice means the gate passes. Cells only present
+// on one side are ignored (the benchmark matrix may grow).
+func CompareRQReports(baseline, current RQReport, maxRegress float64) []string {
+	base := make(map[string]RQPoint, len(baseline.Points))
+	for _, p := range baseline.Points {
+		base[p.Key()] = p
+	}
+	var msgs []string
+	for _, p := range current.Points {
+		b, ok := base[p.Key()]
+		if !ok || b.OpsPerUs <= 0 {
+			continue
+		}
+		if p.OpsPerUs < b.OpsPerUs*(1-maxRegress) {
+			msgs = append(msgs, fmt.Sprintf(
+				"%s: %.3f ops/us is %.1f%% below baseline %.3f ops/us (gate: %.0f%%)",
+				p.Key(), p.OpsPerUs, 100*(1-p.OpsPerUs/b.OpsPerUs),
+				b.OpsPerUs, 100*maxRegress))
+		}
+	}
+	return msgs
+}

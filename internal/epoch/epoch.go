@@ -173,6 +173,16 @@ type bag struct {
 	epoch atomic.Uint64
 	head  atomic.Pointer[Node]
 	count atomic.Int64 // approximate; written by the owner and orphan sweeps
+
+	// maxDTime is a monotone fence over the deletion timestamps of every
+	// node currently in the bag: Retire raises it before publishing the
+	// node (so a reader that observes a node in the chain also observes a
+	// fence at least as large as its dtime), and rotate resets it before
+	// re-tagging the bag. A node retired before its dtime was published
+	// (helpers may physically unlink another thread's victim) forces the
+	// fence to ^uint64(0) — "unknown, never skip". Range queries use the
+	// fence to skip entire bags whose contents predate their timestamp.
+	maxDTime atomic.Uint64
 }
 
 // FreeFunc receives nodes whose reclamation is safe. Implementations
@@ -307,6 +317,7 @@ func (d *Domain) adopt(id int) *Thread {
 		nb, ob := &t.bags[slot], &old.bags[slot]
 		nb.epoch.Store(e - k)
 		if ob.epoch.Load() == e-k {
+			nb.maxDTime.Store(ob.maxDTime.Load()) // fence before head, as in Retire
 			nb.head.Store(ob.head.Load())
 			nb.count.Store(ob.count.Load())
 		} else if head := ob.head.Swap(nil); head != nil {
@@ -474,6 +485,18 @@ func (t *Thread) Retire(n *Node) {
 		panic("epoch: Retire outside operation")
 	}
 	b := &t.bags[t.localEpoch%numBags]
+	// Raise the bag's dtime fence before the node becomes reachable via
+	// head: a reader that finds n in the chain is then guaranteed to read a
+	// fence >= n's dtime (both sides are sequentially consistent atomics).
+	// A node whose dtime is not yet published poisons the fence — the bag
+	// can never be skipped until it rotates.
+	dt := n.dtime.Load()
+	if dt == 0 {
+		dt = ^uint64(0)
+	}
+	if b.maxDTime.Load() < dt { // single writer: the owner
+		b.maxDTime.Store(dt)
+	}
 	n.limboNext.Store(b.head.Load())
 	b.head.Store(n) // single producer; readers snapshot head and walk links
 	b.count.Add(1)
@@ -494,6 +517,7 @@ func (t *Thread) rotate(e uint64) {
 		panic("epoch: rotating a bag that is too young")
 	}
 	b.head.Store(nil)
+	b.maxDTime.Store(0) // reset with head cleared, before the re-tag below
 	b.epoch.Store(e)
 	fault.Inject("epoch.rotate.mid")
 	t.dom.reclaimChain(t.id, old)
@@ -633,34 +657,79 @@ func (d *Domain) StalledThreads() []Stall {
 	return d.Stalls(2)
 }
 
-// ForEachLimboList implements GetLimboLists from the paper's EBR ADT: it
-// invokes f with the head of every limbo list that may contain nodes retired
-// during the calling thread's current operation (i.e. every bag whose epoch
-// is at least the caller's announced epoch minus one — older bags can only
-// hold nodes retired strictly before the operation began, and may be
-// reclaimed concurrently). f walks the list via Node.LimboNext; the portion
-// of the chain reachable from the returned head is immutable while the
-// caller remains in its operation.
-func (t *Thread) ForEachLimboList(f func(head *Node)) {
+// LimboBags is a zero-allocation pull iterator over the limbo bags visible
+// to the calling thread's current operation — the bag-level refinement of
+// GetLimboLists from the paper's EBR ADT. Obtain one with Thread.LimboBags
+// and drain it with Next. The iterator is a plain value: it lives on the
+// caller's stack, so the range-query hot path pays no closure or interface
+// allocation per sweep.
+type LimboBags struct {
+	d   *Domain
+	cur *Thread
+	min uint64
+	i   int // next thread slot to load once cur is exhausted
+	b   int // next bag index within cur
+	n   int // registered-thread snapshot
+}
+
+// LimboBags returns an iterator over every limbo bag that may contain nodes
+// retired during the calling thread's current operation: every bag whose
+// epoch is at least the caller's announced epoch minus one. Older bags can
+// only hold nodes retired strictly before the operation began, and may be
+// reclaimed concurrently.
+func (t *Thread) LimboBags() LimboBags {
 	if !t.inOp {
-		panic("epoch: ForEachLimboList outside operation")
+		panic("epoch: LimboBags outside operation")
 	}
-	min := t.localEpoch - 1
 	d := t.dom
-	n := int(d.registered.Load())
-	for i := 0; i < n; i++ {
-		other := d.threads[i].Load()
-		if other == nil {
-			continue
-		}
-		for b := range other.bags {
-			bg := &other.bags[b]
-			if bg.epoch.Load() < min {
+	return LimboBags{d: d, min: t.localEpoch - 1, n: int(d.registered.Load())}
+}
+
+// Next returns the head of the next non-empty visible limbo bag together
+// with the bag's maxDTime fence: a monotone upper bound on the deletion
+// timestamp of every node reachable from head. The fence lets a range query
+// with timestamp ts skip the whole bag when fence < ts — no node in it can
+// be missing from the query's traversal view. The chain reachable from head
+// is immutable while the caller remains in its operation; walk it via
+// Node.LimboNext. ok is false when the iterator is exhausted.
+func (it *LimboBags) Next() (head *Node, maxDTime uint64, ok bool) {
+	for {
+		if it.cur == nil {
+			if it.i >= it.n {
+				return nil, 0, false
+			}
+			it.cur = it.d.threads[it.i].Load()
+			it.i++
+			it.b = 0
+			if it.cur == nil {
 				continue
 			}
+		}
+		for it.b < numBags {
+			bg := &it.cur.bags[it.b]
+			it.b++
+			if bg.epoch.Load() < it.min {
+				continue
+			}
+			// Head before fence: paired with Retire (fence before head),
+			// sequential consistency guarantees fence >= dtime of every
+			// node observed in the chain.
 			if head := bg.head.Load(); head != nil {
-				f(head)
+				return head, bg.maxDTime.Load(), true
 			}
 		}
+		it.cur = nil
+	}
+}
+
+// ForEachLimboList implements GetLimboLists from the paper's EBR ADT: it
+// invokes f with the head of every limbo list that may contain nodes retired
+// during the calling thread's current operation. It is the closure-based
+// veneer over LimboBags kept for callers that do not need the bag fence or
+// the allocation-free pull interface.
+func (t *Thread) ForEachLimboList(f func(head *Node)) {
+	it := t.LimboBags()
+	for head, _, ok := it.Next(); ok; head, _, ok = it.Next() {
+		f(head)
 	}
 }

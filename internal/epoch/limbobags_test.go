@@ -1,0 +1,174 @@
+package epoch
+
+import (
+	"sync"
+	"testing"
+)
+
+func retireWithDTime(t *Thread, key int64, dtime uint64) *Node {
+	n := &Node{}
+	n.InitKey(key, 0)
+	n.SetITime(1)
+	if dtime != 0 {
+		n.SetDTime(dtime)
+	}
+	t.Retire(n)
+	return n
+}
+
+// collectBags snapshots every visible limbo bag (caller must be in-op).
+func collectBags(t *Thread) (heads []*Node, fences []uint64) {
+	it := t.LimboBags()
+	for h, f, ok := it.Next(); ok; h, f, ok = it.Next() {
+		heads = append(heads, h)
+		fences = append(fences, f)
+	}
+	return
+}
+
+func chainLen(h *Node) int {
+	n := 0
+	for ; h != nil; h = h.LimboNext() {
+		n++
+	}
+	return n
+}
+
+// TestBagFenceTracksMaxDTime: Retire raises the bag fence to the maximum
+// dtime seen, regardless of retirement order.
+func TestBagFenceTracksMaxDTime(t *testing.T) {
+	d := NewDomain(1)
+	th := d.Register()
+	th.StartOp()
+	defer th.EndOp()
+	retireWithDTime(th, 1, 5)
+	retireWithDTime(th, 2, 3)
+	retireWithDTime(th, 3, 9)
+	heads, fences := collectBags(th)
+	if len(heads) != 1 || chainLen(heads[0]) != 3 {
+		t.Fatalf("want one bag of 3 nodes, got %d bags", len(heads))
+	}
+	if fences[0] != 9 {
+		t.Fatalf("fence = %d, want max dtime 9", fences[0])
+	}
+}
+
+// TestBagFencePoisonOnUnpublishedDTime: a node retired before its dtime is
+// published (helper unlinked another thread's victim) must poison the fence
+// to "never skip" for the bag's whole lifetime.
+func TestBagFencePoisonOnUnpublishedDTime(t *testing.T) {
+	d := NewDomain(1)
+	th := d.Register()
+	th.StartOp()
+	defer th.EndOp()
+	retireWithDTime(th, 1, 6)
+	retireWithDTime(th, 2, 0) // dtime ⊥ at retirement
+	retireWithDTime(th, 3, 4)
+	_, fences := collectBags(th)
+	if len(fences) != 1 || fences[0] != ^uint64(0) {
+		t.Fatalf("fence = %v, want poisoned (max uint64)", fences)
+	}
+}
+
+// TestBagFenceResetOnRotate: after a bag rotates, its fence must restart
+// from the new contents — the previous generation's maximum must not leak
+// and permanently disable skipping.
+func TestBagFenceResetOnRotate(t *testing.T) {
+	d := NewDomain(1)
+	th := d.Register()
+	th.StartOp()
+	retireWithDTime(th, 1, 99)
+	th.EndOp()
+	// Drive the global epoch forward numBags times: the slot holding the
+	// dtime-99 node rotates (its contents age out and are reclaimed).
+	for i := 0; i < numBags; i++ {
+		th.StartOp()
+		th.tryAdvance()
+		th.EndOp()
+	}
+	th.StartOp()
+	defer th.EndOp()
+	retireWithDTime(th, 2, 2)
+	heads, fences := collectBags(th)
+	if len(heads) != 1 || chainLen(heads[0]) != 1 {
+		t.Fatalf("want exactly the fresh node in limbo, got %d bags", len(heads))
+	}
+	if fences[0] != 2 {
+		t.Fatalf("fence = %d after rotation, want 2 (old max 99 must not leak)", fences[0])
+	}
+}
+
+// TestBagFenceInheritedOnAdopt: a slot adopted from a deregistered thread
+// keeps both the limbo chain and its fence, so range queries keep skipping
+// (or sweeping) inherited bags correctly.
+func TestBagFenceInheritedOnAdopt(t *testing.T) {
+	d := NewDomain(1)
+	t1 := d.Register()
+	t1.StartOp()
+	retireWithDTime(t1, 1, 7)
+	t1.EndOp()
+	t1.Deregister()
+	t2, err := d.TryRegister()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2.StartOp()
+	defer t2.EndOp()
+	heads, fences := collectBags(t2)
+	if len(heads) != 1 || chainLen(heads[0]) != 1 {
+		t.Fatalf("adopted limbo chain lost: %d bags", len(heads))
+	}
+	if fences[0] != 7 {
+		t.Fatalf("adopted fence = %d, want 7", fences[0])
+	}
+}
+
+// TestBagFenceVisibilityUnderConcurrentRetire checks the fence's memory
+// ordering contract directly: a reader that observes a node through a bag
+// head must observe a fence at least as large as that node's dtime (Retire
+// publishes fence before head; Next loads head before fence). Run with
+// -race for the full effect.
+func TestBagFenceVisibilityUnderConcurrentRetire(t *testing.T) {
+	d := NewDomain(2)
+	writer := d.Register()
+	reader := d.Register()
+
+	// The reader stays in one operation, pinning the epoch: the writer's
+	// chain only grows, so bound both sides to keep the walk subquadratic
+	// under -race.
+	const retires = 1500
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for dtime := uint64(1); dtime <= retires; dtime++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			writer.StartOp()
+			retireWithDTime(writer, int64(dtime), dtime)
+			writer.EndOp()
+		}
+	}()
+
+	reader.StartOp()
+	for i := 0; i < 500; i++ {
+		it := reader.LimboBags()
+		for h, fence, ok := it.Next(); ok; h, fence, ok = it.Next() {
+			for n := h; n != nil; n = n.LimboNext() {
+				if dt := n.DTime(); dt > fence {
+					t.Errorf("observed node dtime %d above bag fence %d", dt, fence)
+				}
+			}
+		}
+		if t.Failed() {
+			break
+		}
+	}
+	reader.EndOp()
+	close(stop)
+	wg.Wait()
+}

@@ -37,7 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"unsafe"
@@ -127,6 +127,23 @@ type Provider struct {
 	mode Mode
 	ts   atomic.Uint64
 
+	// tsFenced (Lock/HTM modes) is the largest published *fence*: a drain
+	// of the update lock loads TS inside its exclusive section and publishes
+	// the value here, certifying that every update with a smaller timestamp
+	// has finished its linearizing CAS (updates that entered the lock before
+	// the drain completed with it; updates after it read TS >= the fence).
+	// A range query that loses the advance race adopts a fenced timestamp
+	// newer than its TS read instead of acquiring the exclusive lock itself,
+	// and a winner whose timestamp a concurrent drain already fenced skips
+	// its own drain — one drain serves every advance that preceded its TS
+	// read (see DESIGN.md §8).
+	tsFenced atomic.Uint64
+
+	// drainers counts range queries currently inside drainAndFence, so a
+	// winner can tell "wait for the in-flight drain" apart from "no drain
+	// coming; do it myself".
+	drainers atomic.Int32
+
 	lock rwlock.FetchAddRW // ModeLock
 	dist *rwlock.DistRW    // ModeHTM
 
@@ -162,6 +179,16 @@ type provMetrics struct {
 	poolHits     *obs.Counter // ebrrq_pool_hits_total
 	poolMisses   *obs.Counter // ebrrq_pool_misses_total
 
+	// RQ hot-path scaling family: tsShared counts range queries that
+	// adopted a concurrently installed timestamp, tsAdvanced those that won
+	// the advance CAS; bagsSkipped/bagsSwept count limbo bags elided by the
+	// max-dtime fence vs. actually walked.
+	tsShared    *obs.Counter // ebrrq_rq_ts_shared
+	tsAdvanced  *obs.Counter // ebrrq_rq_ts_advanced
+	fenceShared *obs.Counter // ebrrq_rq_fence_shared
+	bagsSkipped *obs.Counter // ebrrq_rq_bags_skipped
+	bagsSwept   *obs.Counter // ebrrq_rq_bags_swept
+
 	// Timestamp-wait escalation family: escalations count waits that
 	// exhausted SpinBudget and began yielding; fallbacks count waits that
 	// exhausted WaitBudget and resolved conservatively.
@@ -189,6 +216,11 @@ func (p *Provider) EnableMetrics(reg *obs.Registry) {
 		awaitDSpins:  reg.Counter("ebrrq_await_dtime_spins_total", "spin iterations waiting for deletion timestamps"),
 		poolHits:   reg.Counter("ebrrq_pool_hits_total", "node allocations served from a free pool"),
 		poolMisses: reg.Counter("ebrrq_pool_misses_total", "node allocations that went to the heap"),
+		tsShared:    reg.Counter("ebrrq_rq_ts_shared", "range queries that adopted a concurrently installed timestamp"),
+		tsAdvanced:  reg.Counter("ebrrq_rq_ts_advanced", "range queries that advanced the global timestamp themselves"),
+		fenceShared: reg.Counter("ebrrq_rq_fence_shared", "timestamp advances whose update-lock drain was satisfied by a concurrent drain"),
+		bagsSkipped: reg.Counter("ebrrq_rq_bags_skipped", "limbo bags skipped entirely by the max-dtime fence"),
+		bagsSwept:   reg.Counter("ebrrq_rq_bags_swept", "limbo bags walked by range-query sweeps"),
 	}
 	const escHelp = "timestamp waits that exhausted the spin budget and began yielding"
 	const fbHelp = "timestamp waits that exhausted the wait budget and resolved conservatively"
@@ -267,6 +299,7 @@ func New(cfg Config) *Provider {
 		waitBudget:  cfg.WaitBudget,
 	}
 	p.ts.Store(1) // 0 is reserved for ⊥ in itime/dtime
+	p.tsFenced.Store(1)
 	if cfg.Mode == ModeHTM {
 		p.dist = rwlock.NewDistRW(cfg.MaxThreads)
 	}
@@ -362,7 +395,14 @@ type Thread struct {
 	dead atomic.Bool
 
 	// announce holds pointers to nodes this thread is about to delete
-	// (single-writer, multi-reader), per §4.3.
+	// (single-writer, multi-reader), per §4.3. annCount over-approximates
+	// the number of occupied slots: it is raised before any slot is filled
+	// and cleared only after every slot is nil again, so a range query that
+	// reads zero may skip the thread's slots entirely — an announcement it
+	// misses that way was published after the query's scan, meaning the
+	// deletion linearizes after the traversal finished and the traversal
+	// itself saw the node.
+	annCount atomic.Int32
 	announce []atomic.Pointer[epoch.Node]
 
 	// desc is the announced DCSS descriptor of the thread's in-flight
@@ -381,7 +421,16 @@ type Thread struct {
 	limboVisitedLast  uint64
 	limboVisitedTotal uint64
 	rqCount           uint64
+	bagsSkippedTotal  uint64
+	bagsSweptTotal    uint64
 	annScratch        []annRef
+
+	// High-water marks of the reusable buffers: if a buffer was dropped
+	// (Abort after a panic mid-append, say), the next range query restores
+	// its observed steady-state capacity in one allocation instead of
+	// re-growing through the append doubling schedule.
+	resultHWM int
+	annHWM    int
 }
 
 type annRef struct {
@@ -457,6 +506,14 @@ func (t *Thread) LimboVisitedTotal() uint64 { return t.limboVisitedTotal }
 // RQCount returns the number of range queries this thread has completed.
 func (t *Thread) RQCount() uint64 { return t.rqCount }
 
+// BagsSkippedTotal returns how many limbo bags this thread's range queries
+// skipped entirely via the max-dtime fence.
+func (t *Thread) BagsSkippedTotal() uint64 { return t.bagsSkippedTotal }
+
+// BagsSweptTotal returns how many limbo bags this thread's range queries
+// actually walked.
+func (t *Thread) BagsSweptTotal() uint64 { return t.bagsSweptTotal }
+
 // ---------------------------------------------------------------------------
 // Update path
 // ---------------------------------------------------------------------------
@@ -465,6 +522,10 @@ func (t *Thread) announceAll(dnodes []*epoch.Node) {
 	if len(dnodes) > len(t.announce) {
 		panic("rqprov: update deletes more nodes than MaxAnnounce")
 	}
+	if len(dnodes) == 0 {
+		return
+	}
+	t.annCount.Store(int32(len(dnodes))) // count before slots: see annCount
 	for i, d := range dnodes {
 		t.announce[i].Store(d)
 	}
@@ -474,6 +535,7 @@ func (t *Thread) unannounceAll(n int) {
 	for i := 0; i < n; i++ {
 		t.announce[i].Store(nil)
 	}
+	t.annCount.Store(0) // slots before count: see annCount
 }
 
 // UpdateCAS replaces the write/CAS at which an update that changes the key
@@ -630,28 +692,160 @@ func (t *Thread) PoolMiss() { t.prov.met.poolMisses.Inc(t.id) }
 // Range-query path
 // ---------------------------------------------------------------------------
 
-// TraversalStart begins a range query over [low, high] and linearizes it:
-// the query's timestamp is the incremented value of TS.
+// TraversalStart begins a range query over [low, high] and linearizes it.
+//
+// Timestamp sharing (DESIGN.md §8): instead of unconditionally incrementing
+// TS — which serializes every range query on one cache line, and in Lock/HTM
+// modes additionally on the exclusive update lock — the query reads TS = v
+// and attempts a single CAS to v+1. The winner advances; every loser adopts
+// the timestamp another query just installed rather than retrying, so N
+// concurrent queries collapse into ~1 increment and legally share one
+// linearization timestamp (no update can be ordered between them: an update
+// that read TS < w finished its linearizing CAS before TS was fenced at w,
+// and one that read TS >= w is excluded by the itime/dtime >= ts checks).
+//
+// In Lock/HTM modes a drain of the update lock (acquire+release exclusive,
+// waiting out every update critical section in flight) certifies a fence:
+// the TS value read inside the drained section is published in tsFenced,
+// and every update with a smaller timestamp has completed its linearizing
+// CAS. Drains combine — a winner whose advance preceded an in-flight
+// drain's TS read is fenced by that drain and skips the exclusive lock,
+// and adopters wait for any fence newer than their read — so N concurrent
+// queries cost ~1 increment and ~1 drain. In lock-free mode DCSS already
+// guarantees an update's CAS took effect while TS held its timestamp, so
+// adopters simply re-read TS.
 func (t *Thread) TraversalStart(low, high int64) {
 	t.low, t.high = low, high
+	if cap(t.result) < t.resultHWM {
+		t.result = make([]epoch.KV, 0, t.resultHWM)
+	}
 	t.result = t.result[:0]
 	t.rqActive = true
 	p := t.prov
 	switch p.mode {
 	case ModeUnsafe:
 		t.ts = 0
-	case ModeLock:
-		p.lock.AcquireExclusive()
-		t.ts = p.ts.Add(1)
-		p.lock.ReleaseExclusive()
-	case ModeHTM:
-		p.dist.AcquireExclusive()
-		t.ts = p.ts.Add(1)
-		p.dist.ReleaseExclusive()
+	case ModeLock, ModeHTM:
+		v := p.ts.Load()
+		fault.Inject("rqprov.rq.tsadvance")
+		if p.ts.CompareAndSwap(v, v+1) {
+			p.ensureFenced(t.id, v+1)
+			t.ts = v + 1
+			p.met.tsAdvanced.Inc(t.id)
+		} else {
+			t.ts = p.adoptFenced(t.id, v)
+			p.met.tsShared.Inc(t.id)
+		}
 	case ModeLockFree:
-		t.ts = p.ts.Add(1)
+		v := p.ts.Load()
+		fault.Inject("rqprov.rq.tsadvance")
+		if p.ts.CompareAndSwap(v, v+1) {
+			t.ts = v + 1
+			p.met.tsAdvanced.Inc(t.id)
+		} else {
+			// The CAS failed because another query installed v+1 (only
+			// range queries write TS): adopt the newer value. Every update
+			// with a timestamp below it linearized while TS held that
+			// timestamp (DCSS validates TS at the linearizing CAS), hence
+			// before this load — so it is visible to our traversal.
+			t.ts = p.ts.Load()
+			p.met.tsShared.Inc(t.id)
+		}
 	}
 	fault.Inject("rqprov.rq.started")
+}
+
+// drainUpdates waits out every update critical section that began before the
+// exclusive acquisition succeeds (Lock/HTM modes) and returns the TS value
+// read while the lock was held. The returned value is a valid fence: updates
+// that entered the lock before the drain completed with it, and updates that
+// enter after the release read TS at or above the returned value.
+func (p *Provider) drainUpdates() uint64 {
+	if p.mode == ModeHTM {
+		p.dist.AcquireExclusive()
+		f := p.ts.Load()
+		p.dist.ReleaseExclusive()
+		return f
+	}
+	p.lock.AcquireExclusive()
+	f := p.ts.Load()
+	p.lock.ReleaseExclusive()
+	return f
+}
+
+// drainAndFence performs one drain and publishes the fence it certifies.
+func (p *Provider) drainAndFence() uint64 {
+	p.drainers.Add(1)
+	f := p.drainUpdates()
+	maxStore(&p.tsFenced, f)
+	p.drainers.Add(-1)
+	return f
+}
+
+// ensureFenced makes the winner's freshly installed timestamp `need` fenced:
+// every update with a smaller timestamp must have completed before the range
+// query starts traversing. The fast path discovers that a concurrent drain
+// already certified `need` (its in-lock TS read happened after our advance)
+// and skips the exclusive lock entirely; otherwise the winner waits out an
+// in-flight drain for a bounded number of yields before draining itself.
+func (p *Provider) ensureFenced(tid int, need uint64) {
+	if p.tsFenced.Load() >= need {
+		p.met.fenceShared.Inc(tid)
+		return
+	}
+	spin := p.spinBudget
+	for i := 0; p.drainers.Load() > 0 && i <= spin+adoptYieldBudget; i++ {
+		if p.tsFenced.Load() >= need {
+			p.met.fenceShared.Inc(tid)
+			return
+		}
+		if i >= spin {
+			runtime.Gosched()
+		}
+	}
+	if p.tsFenced.Load() >= need {
+		p.met.fenceShared.Inc(tid)
+		return
+	}
+	p.drainAndFence()
+}
+
+// adoptFenced returns the timestamp a losing range query adopts: the first
+// fenced timestamp newer than v, its failed TS read. The common case is a
+// short wait for the concurrent winner to finish its drain; if the winner
+// stalls past the spin budget (and a grace period of yields), the adopter
+// performs its own drain on whatever TS now holds, so a descheduled winner
+// cannot wedge every other range query.
+func (p *Provider) adoptFenced(tid int, v uint64) uint64 {
+	spin := p.spinBudget
+	for i := 0; i <= spin+adoptYieldBudget; i++ {
+		if f := p.tsFenced.Load(); f > v {
+			return f
+		}
+		if i >= spin {
+			runtime.Gosched()
+		}
+	}
+	// The winner is wedged between its CAS and its fence publication: drain
+	// privately. The drain's in-lock TS read is > v (our CAS failed, so TS
+	// is at least v+1), and it certifies every smaller timestamp.
+	return p.drainAndFence()
+}
+
+// adoptYieldBudget bounds how many scheduler yields an adopter grants the
+// winning range query to publish its fenced timestamp before draining
+// privately. Yields, not spins: on oversubscribed hosts the winner needs the
+// processor to finish its drain.
+const adoptYieldBudget = 64
+
+// maxStore raises *a to v if v is larger (monotone max; concurrent-safe).
+func maxStore(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if cur >= v || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // Visit is invoked by the data structure's traversal for every node it
@@ -701,6 +895,9 @@ func (t *Thread) TraversalEnd() []epoch.KV {
 	}
 
 	// Collect pointers to all announcement slots first, then process.
+	if cap(t.annScratch) < t.annHWM {
+		t.annScratch = make([]annRef, 0, t.annHWM)
+	}
 	t.annScratch = t.annScratch[:0]
 	p := t.prov
 	nthreads := int(p.registered.Load())
@@ -708,6 +905,14 @@ func (t *Thread) TraversalEnd() []epoch.KV {
 	for i := 0; i < nthreads; i++ {
 		u := p.threads[i].Load()
 		if u == nil || u == t {
+			continue
+		}
+		// One-load fast path past threads with no announcement up: a store
+		// this skip races with was published after our scan, so its deletion
+		// linearizes after our traversal ended (which therefore saw the
+		// node). Slots are still scanned in full when the count is nonzero —
+		// it is an over-approximation, never an index.
+		if u.annCount.Load() == 0 {
 			continue
 		}
 		scanned += uint64(len(u.announce))
@@ -723,21 +928,60 @@ func (t *Thread) TraversalEnd() []epoch.KV {
 	for _, ar := range t.annScratch {
 		t.tryAddFromAnnouncement(ar.node, ar.slot)
 	}
+	if len(t.annScratch) > t.annHWM {
+		t.annHWM = len(t.annScratch)
+	}
+	// Drop the node references before truncating: a stale annRef beyond the
+	// slice length would otherwise keep a recycled node (and its limbo
+	// chain) live across range queries.
+	clear(t.annScratch)
+	t.annScratch = t.annScratch[:0]
 
-	// Optimization 2 (§4.3): nodes deleted after this point were either
-	// inserted after the RQ or already visited by the traversal.
-	endTS := p.ts.Load()
-	sorted := p.limboSorted
-	visited := uint64(0)
 	fault.Inject("rqprov.rq.limbosweep")
-	t.ep.ForEachLimboList(func(head *epoch.Node) {
+	visited, skipped, swept := t.sweepLimbo(p.ts.Load())
+	t.limboVisitedLast = visited
+	t.limboVisitedTotal += visited
+	t.bagsSkippedTotal += skipped
+	t.bagsSweptTotal += swept
+	t.rqCount++
+	p.met.rqs.Inc(t.id)
+	p.met.limboVisited.Add(t.id, visited)
+	p.met.limboPerRQ.Observe(visited)
+	p.met.bagsSkipped.Add(t.id, skipped)
+	p.met.bagsSwept.Add(t.id, swept)
+	return t.finishResult()
+}
+
+// sweepLimbo recovers deleted-but-relevant keys from the EBR limbo bags:
+// every node with itime < ts and dtime >= ts must enter the result even
+// though the traversal may have missed it. Two prunings keep this sweep off
+// the O(total limbo) path:
+//
+//   - Bag fence: a bag whose maxDTime fence is below the query timestamp
+//     contains only nodes deleted before the query linearized — already
+//     handled by the traversal — and is skipped without touching a node.
+//     This covers the unsorted (!limboSorted) case, which previously always
+//     full-scanned.
+//   - Early exit (Optimization 1, §4.3): within a dtime-sorted bag, the
+//     first node below the query timestamp ends the walk.
+//
+// Nodes with dtime > endTS (deleted after the sweep began) were either
+// inserted after the RQ or already visited by the traversal (Optimization
+// 2, §4.3) and are filtered without the await machinery.
+func (t *Thread) sweepLimbo(endTS uint64) (visited, skipped, swept uint64) {
+	sorted := t.prov.limboSorted
+	it := t.ep.LimboBags()
+	for head, fence, ok := it.Next(); ok; head, fence, ok = it.Next() {
+		if fence < t.ts {
+			skipped++
+			continue
+		}
+		swept++
 		for n := head; n != nil; n = n.LimboNext() {
 			visited++
 			dtime := n.DTime()
 			if dtime != 0 && dtime < t.ts {
 				if sorted {
-					// Optimization 1: the rest of this list was
-					// deleted before the RQ.
 					break
 				}
 				continue
@@ -747,14 +991,8 @@ func (t *Thread) TraversalEnd() []epoch.KV {
 			}
 			t.tryAddFromLimbo(n)
 		}
-	})
-	t.limboVisitedLast = visited
-	t.limboVisitedTotal += visited
-	t.rqCount++
-	p.met.rqs.Inc(t.id)
-	p.met.limboVisited.Add(t.id, visited)
-	p.met.limboPerRQ.Observe(visited)
-	return t.finishResult()
+	}
+	return visited, skipped, swept
 }
 
 func (t *Thread) tryAddFromLimbo(n *epoch.Node) {
@@ -965,10 +1203,21 @@ func (t *Thread) addKeys(n *epoch.Node) {
 
 // finishResult sorts the collected keys and removes duplicates (the same key
 // can legitimately be found both in the structure and in a limbo list, or —
-// in Citrus — at two nodes during a successor swap).
+// in Citrus — at two nodes during a successor swap). The concrete-typed
+// slices.SortFunc keeps this allocation-free, unlike sort.Slice, whose
+// interface conversion and reflect-based swapper allocate on every call —
+// on the hot path of every range query.
 func (t *Thread) finishResult() []epoch.KV {
 	r := t.result
-	sort.Slice(r, func(i, j int) bool { return r[i].Key < r[j].Key })
+	if len(r) > t.resultHWM {
+		t.resultHWM = len(r)
+	}
+	// Ordered traversals (lists, skip list) append in key order and the
+	// recovery sweeps usually add nothing, so most results arrive sorted:
+	// one O(n) scan beats re-proving it to the sort.
+	if !slices.IsSortedFunc(r, compareKV) {
+		slices.SortFunc(r, compareKV)
+	}
 	out := r[:0]
 	for i := range r {
 		if i == 0 || r[i].Key != r[i-1].Key {
@@ -977,4 +1226,16 @@ func (t *Thread) finishResult() []epoch.KV {
 	}
 	t.result = out
 	return out
+}
+
+// compareKV orders key-value pairs by key (package-level so finishResult's
+// sort call carries no closure allocation).
+func compareKV(a, b epoch.KV) int {
+	switch {
+	case a.Key < b.Key:
+		return -1
+	case a.Key > b.Key:
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,131 @@
+package rqprov
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"ebrrq/internal/epoch"
+	"ebrrq/internal/fault"
+	"ebrrq/internal/obs"
+)
+
+// TestFaultTimestampSharingAdopts forces the timestamp-sharing race
+// deterministically: a hook at the advance window (between a range query's
+// TS read and its CAS) runs a complete second range query, so the outer
+// query's CAS must fail and it must adopt the winner's timestamp instead of
+// retrying. Both queries must return the full key set, the adopter's
+// timestamp must not precede the winner's, and the ts_shared/ts_advanced
+// counters must account for exactly one of each.
+func TestFaultTimestampSharingAdopts(t *testing.T) {
+	if !fault.Enabled {
+		t.Skip("timestamp-sharing fault test requires -tags failpoints")
+	}
+	for _, mode := range []Mode{ModeLock, ModeHTM, ModeLockFree} {
+		t.Run(mode.String(), func(t *testing.T) {
+			defer fault.Reset()
+			reg := obs.NewRegistry(2)
+			p := New(Config{MaxThreads: 2, Mode: mode})
+			p.EnableMetrics(reg)
+			outer := p.Register()
+			inner := p.Register()
+
+			// Two keys inserted before either query begins.
+			n5 := newNode(5, 50)
+			n5.SetITime(1)
+			n7 := newNode(7, 70)
+			n7.SetITime(1)
+
+			var innerRes []epoch.KV
+			var innerTS uint64
+			// Once(): the inner query hits the same failpoint; the spent
+			// action ignores it, so the hook does not recurse.
+			fault.Arm("rqprov.rq.tsadvance", fault.Hook(func(string) {
+				inner.StartOp()
+				inner.TraversalStart(0, 100)
+				inner.Visit(n5)
+				inner.Visit(n7)
+				innerRes = inner.TraversalEnd()
+				innerTS = inner.LastRQTS()
+				inner.EndOp()
+			}).Once())
+
+			outer.StartOp()
+			outer.TraversalStart(0, 100)
+			outer.Visit(n5)
+			outer.Visit(n7)
+			res := outer.TraversalEnd()
+			outer.EndOp()
+
+			if len(innerRes) != 2 {
+				t.Fatalf("winner result = %v, want both keys", innerRes)
+			}
+			if len(res) != 2 || res[0].Key != 5 || res[1].Key != 7 {
+				t.Fatalf("adopter result = %v, want [5 7]", res)
+			}
+			if outer.LastRQTS() < innerTS {
+				t.Fatalf("adopter ts %d precedes winner ts %d",
+					outer.LastRQTS(), innerTS)
+			}
+			snap := reg.Snapshot()
+			if got := snap.Counter("ebrrq_rq_ts_shared"); got != 1 {
+				t.Fatalf("ts_shared = %d, want 1", got)
+			}
+			if got := snap.Counter("ebrrq_rq_ts_advanced"); got != 1 {
+				t.Fatalf("ts_advanced = %d, want 1", got)
+			}
+		})
+	}
+}
+
+// TestTimestampSharingAccounting hammers TraversalStart from many goroutines
+// and checks the advance/adopt bookkeeping: every range query either won its
+// CAS or adopted, and the global timestamp moved by exactly the number of
+// wins. Genuine adoption needs a preemption inside the two-instruction
+// advance window, so on a single-CPU host ts_shared may legitimately stay
+// zero — the deterministic fault test above covers that path; this test pins
+// the accounting invariant wherever it runs.
+func TestTimestampSharingAccounting(t *testing.T) {
+	const goroutines = 8
+	const rqsEach = 2000
+	for _, mode := range []Mode{ModeLock, ModeHTM, ModeLockFree} {
+		t.Run(mode.String(), func(t *testing.T) {
+			reg := obs.NewRegistry(goroutines)
+			p := New(Config{MaxThreads: goroutines, Mode: mode})
+			p.EnableMetrics(reg)
+			before := p.Timestamp()
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					th := p.Register()
+					defer th.Deregister()
+					for i := 0; i < rqsEach; i++ {
+						th.StartOp()
+						th.TraversalStart(0, 10)
+						th.TraversalEnd()
+						th.EndOp()
+						if i%64 == 0 {
+							runtime.Gosched()
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			snap := reg.Snapshot()
+			shared := snap.Counter("ebrrq_rq_ts_shared")
+			advanced := snap.Counter("ebrrq_rq_ts_advanced")
+			if shared+advanced != goroutines*rqsEach {
+				t.Fatalf("shared %d + advanced %d != %d range queries",
+					shared, advanced, goroutines*rqsEach)
+			}
+			if delta := p.Timestamp() - before; delta != advanced {
+				t.Fatalf("TS moved by %d but ts_advanced = %d", delta, advanced)
+			}
+			if f := p.tsFenced.Load(); mode != ModeLockFree && f > p.Timestamp() {
+				t.Fatalf("fence %d ran ahead of TS %d", f, p.Timestamp())
+			}
+		})
+	}
+}

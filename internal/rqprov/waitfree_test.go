@@ -83,6 +83,7 @@ func TestHelpingDerivesDTimeFromStalledDelete(t *testing.T) {
 	ts := p.ts.Load() // 2
 	d := &dcss.Descriptor{A1: &p.ts, Exp1: ts, S: &slot,
 		Old: unsafe.Pointer(n), New: nil, DNodes: []*epoch.Node{n}}
+	up.annCount.Store(1)    // what announceAll does: count before slot
 	up.announce[0].Store(n) // announced for deletion
 	up.desc.Store(d)
 	if d.Exec() != dcss.Succeeded {
