@@ -29,7 +29,8 @@ chaos:
 	$(GO) build -tags failpoints ./...
 	$(GO) test -race -tags failpoints -count=1 -timeout 1800s \
 		-run 'Chaos|Fault|Stall|Watchdog|Deregister|TryRegister|Abort|Panic' \
-		./internal/fault/ ./internal/epoch/ ./internal/rqprov/ ./internal/dstest/ .
+		./internal/fault/ ./internal/epoch/ ./internal/rqprov/ \
+		./internal/ds/skiplist/ ./internal/dstest/ .
 
 bench:
 	$(GO) test -bench=. -benchmem ./... -timeout 1800s

@@ -28,6 +28,7 @@ func main() {
 		dsFlag    = flag.String("ds", "skiplist,lflist", "comma-separated structures: lflist,lazylist,skiplist,lfbst,citrus,abtree,bslack")
 		techFlag  = flag.String("tech", "lock,lockfree", "comma-separated techniques: lock,htm,lockfree,unsafe")
 		thrFlag   = flag.String("threads", "8", "comma-separated worker counts")
+		shardFlag = flag.String("shards", "1", "comma-separated shard counts (1 = plain set)")
 		rqPct     = flag.Int("rq-pct", 50, "percent of operations that are range queries")
 		rqSize    = flag.Int64("rq-size", 64, "keys spanned per range query")
 		scale     = flag.Int64("scale", 10, "key-range divisor (1 = paper sizes)")
@@ -65,6 +66,9 @@ func main() {
 		fatal(err)
 	}
 	if cfg.Threads, err = parseInts(*thrFlag); err != nil {
+		fatal(err)
+	}
+	if cfg.Shards, err = parseInts(*shardFlag); err != nil {
 		fatal(err)
 	}
 
@@ -175,7 +179,7 @@ func parseInts(s string) ([]int, error) {
 		}
 		n, err := strconv.Atoi(part)
 		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("bad thread count %q", part)
+			return nil, fmt.Errorf("bad count %q", part)
 		}
 		out = append(out, n)
 	}

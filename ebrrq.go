@@ -186,6 +186,24 @@ type Options struct {
 	// internal/obs). When nil — the default — no instrumentation runs and
 	// the hot paths are identical to a build without the layer.
 	Metrics *obs.Registry
+
+	// MetricLabels, when non-empty, is a Prometheus label list (e.g.
+	// `shard="3"`) stamped on every metric this set registers, so several
+	// sets can share one registry without their series colliding. The
+	// sharded constructor labels each shard this way.
+	MetricLabels string
+
+	// Clock is the timestamp source the set's RQ provider linearizes on.
+	// Nil gives the set a private clock (the default, single-structure
+	// setup); the sharded constructor passes one shared clock to every
+	// shard. Ignored by Snap and RLU, which have no provider.
+	Clock rqprov.TimestampSource
+
+	// WaitBudget, when positive, bounds how long a range query waits on an
+	// unresolved concurrent update before resolving it conservatively; 0
+	// (the default) waits indefinitely. See rqprov.Config.WaitBudget.
+	// Ignored by Snap and RLU.
+	WaitBudget int
 }
 
 // opClass indexes the set-layer per-operation metrics.
@@ -241,8 +259,10 @@ func NewWithOptions(d DataStructure, t Technique, maxThreads int, opt Options) (
 		return nil, fmt.Errorf("ebrrq: maxThreads must be positive")
 	}
 	s := &Set{ds: d, tech: t}
-	if opt.Metrics != nil {
-		s.met = newSetMetrics(opt.Metrics)
+	reg := opt.Metrics
+	if reg != nil {
+		reg = reg.WithLabels(opt.MetricLabels)
+		s.met = newSetMetrics(reg)
 	}
 	if t == RLU {
 		switch d {
@@ -280,9 +300,11 @@ func NewWithOptions(d DataStructure, t Technique, maxThreads int, opt Options) (
 		LimboSorted: limboSorted,
 		MaxAnnounce: maxAnnounce,
 		Recorder:    opt.Recorder,
+		Clock:       opt.Clock,
+		WaitBudget:  opt.WaitBudget,
 	})
-	if opt.Metrics != nil {
-		s.prov.EnableMetrics(opt.Metrics)
+	if reg != nil {
+		s.prov.EnableMetrics(reg)
 	}
 	switch d {
 	case LFList:

@@ -39,6 +39,11 @@ type TrialCfg struct {
 	Duration time.Duration
 	Seed     int64
 
+	// Shards > 1 runs the trial against an ebrrq.Sharded set partitioning
+	// [0, KeyRange) across that many shards on one shared clock; 0 or 1
+	// selects the plain single-provider Set.
+	Shards int
+
 	// Metrics, if non-nil, is the observability registry the trial's set
 	// reports to — typically shared with a live obs.Serve endpoint. When
 	// nil, RunTrial creates a private registry so Result accounting always
@@ -136,6 +141,17 @@ func (r Result) RQsPerUs() float64 {
 	return float64(r.RQs) / float64(r.Elapsed.Microseconds())
 }
 
+// opHandle is the per-goroutine operation surface the workers drive; both
+// *ebrrq.Thread and *ebrrq.ShardedThread satisfy it, so one worker loop
+// benchmarks plain and sharded sets alike.
+type opHandle interface {
+	Insert(key, value int64) bool
+	Delete(key int64) bool
+	Contains(key int64) (int64, bool)
+	RangeQuery(low, high int64) []ebrrq.KV
+	Close()
+}
+
 // RunTrial prefills the structure to half the key range and runs the
 // configured worker threads for the configured duration.
 func RunTrial(cfg TrialCfg) (Result, error) {
@@ -146,20 +162,50 @@ func RunTrial(cfg TrialCfg) (Result, error) {
 		cfg.Duration = time.Second
 	}
 	reg := cfg.Metrics
-	var opts ebrrq.Options
-	if !cfg.NoMetrics {
-		if reg == nil {
-			reg = obs.NewRegistry(len(cfg.Threads) + 1)
-		}
-		opts.Metrics = reg
-	} else {
+	if !cfg.NoMetrics && reg == nil {
+		reg = obs.NewRegistry(len(cfg.Threads) + 1)
+	}
+	if cfg.NoMetrics {
 		reg = nil
 	}
-	set, err := ebrrq.NewWithOptions(cfg.DS, cfg.Tech, len(cfg.Threads)+1, opts)
-	if err != nil {
-		return Result{}, err
+	// newHandle registers a worker; limboSize and htmAborts read the
+	// end-of-trial provider stats (summed across shards when sharded).
+	var newHandle func() opHandle
+	var limboSize func() int
+	var htmAborts func() uint64
+	if cfg.Shards > 1 {
+		sh, err := ebrrq.NewShardedWithOptions(cfg.DS, cfg.Tech, len(cfg.Threads)+1,
+			cfg.Shards, ebrrq.ShardedOptions{
+				Metrics: reg, KeyMin: 0, KeyMax: cfg.KeyRange - 1})
+		if err != nil {
+			return Result{}, err
+		}
+		newHandle = func() opHandle { return sh.NewThread() }
+		limboSize = func() (n int) {
+			for i := 0; i < sh.Shards(); i++ {
+				n += sh.Shard(i).Provider().Domain().LimboSize()
+			}
+			return n
+		}
+		htmAborts = func() (n uint64) {
+			for i := 0; i < sh.Shards(); i++ {
+				n += sh.Shard(i).Provider().HTMAborts()
+			}
+			return n
+		}
+	} else {
+		set, err := ebrrq.NewWithOptions(cfg.DS, cfg.Tech, len(cfg.Threads)+1,
+			ebrrq.Options{Metrics: reg})
+		if err != nil {
+			return Result{}, err
+		}
+		newHandle = func() opHandle { return set.NewThread() }
+		if p := set.Provider(); p != nil {
+			limboSize = func() int { return p.Domain().LimboSize() }
+			htmAborts = p.HTMAborts
+		}
 	}
-	Prefill(set, cfg.KeyRange, cfg.Seed)
+	prefill(newHandle(), cfg.KeyRange, cfg.Seed)
 
 	type counters struct {
 		ops, upd, srch, rqs, rqKeys uint64
@@ -176,7 +222,7 @@ func RunTrial(cfg TrialCfg) (Result, error) {
 		stop.Add(1)
 		go func(w int, mix Mix) {
 			defer stop.Done()
-			th := set.NewThread()
+			th := newHandle()
 			r := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
 			c := &counts[w]
 			start.Wait()
@@ -254,13 +300,13 @@ func RunTrial(cfg TrialCfg) (Result, error) {
 			}
 		}
 	}
-	if p := set.Provider(); p != nil {
-		res.LimboSize = p.Domain().LimboSize()
-		if reg == nil {
-			// Observability disabled: fall back to the lock's raw abort
-			// count so the overhead A/B still reports aborts.
-			res.HTMAborts = p.HTMAborts()
-		}
+	if limboSize != nil {
+		res.LimboSize = limboSize()
+	}
+	if reg == nil && htmAborts != nil {
+		// Observability disabled: fall back to the lock's raw abort
+		// count so the overhead A/B still reports aborts.
+		res.HTMAborts = htmAborts()
 	}
 	return res, nil
 }
@@ -286,7 +332,12 @@ func BucketLabel(b int) string {
 // Prefill inserts random keys until the set holds KeyRange/2 of them
 // (paper §5: "data structures are prefilled with approximately K/2 keys").
 func Prefill(set *ebrrq.Set, keyRange int64, seed int64) {
-	th := set.NewThread()
+	prefill(set.NewThread(), keyRange, seed)
+}
+
+// prefill is Prefill over any operation handle (plain or sharded). The
+// handle is left open: callers budget one extra thread slot for it.
+func prefill(th opHandle, keyRange int64, seed int64) {
 	r := rand.New(rand.NewSource(seed + 424243))
 	for inserted := int64(0); inserted < keyRange/2; {
 		k := r.Int63n(keyRange)

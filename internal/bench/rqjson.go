@@ -22,6 +22,10 @@ type RQPoint struct {
 	RQSize   int64  `json:"rq_size"`
 	KeyRange int64  `json:"key_range"`
 	Trials   int    `json:"trials"`
+	// Shards is the shard count of the sharded-set cell; 0 or 1 means the
+	// plain single-provider Set (omitted from JSON for compatibility with
+	// pre-sharding baselines).
+	Shards int `json:"shards,omitempty"`
 
 	ElapsedMs    int64   `json:"elapsed_ms"`
 	Ops          uint64  `json:"ops"`
@@ -41,9 +45,16 @@ type RQPoint struct {
 	BagsSwept    uint64 `json:"bags_swept"`
 }
 
-// Key identifies the point's workload cell for baseline comparison.
+// Key identifies the point's workload cell for baseline comparison. Plain
+// (unsharded) cells keep their historical key, so refactored single-shard
+// runs gate against pre-sharding baselines; sharded cells get a distinct
+// suffix and are ignored by baselines that predate them.
 func (p RQPoint) Key() string {
-	return fmt.Sprintf("%s/%s/t%d/rq%d", p.DS, p.Tech, p.Threads, p.RQPct)
+	k := fmt.Sprintf("%s/%s/t%d/rq%d", p.DS, p.Tech, p.Threads, p.RQPct)
+	if p.Shards > 1 {
+		k += fmt.Sprintf("/s%d", p.Shards)
+	}
+	return k
 }
 
 // RQReport is the BENCH_rq.json document: the host fingerprint plus one
@@ -68,6 +79,9 @@ type RQBenchCfg struct {
 	Duration time.Duration
 	Seed     int64
 	Out      io.Writer // progress lines; nil silences
+	// Shards lists the shard counts to run each cell at; values <= 1 mean
+	// the plain Set. Default [1].
+	Shards []int
 }
 
 func (c *RQBenchCfg) defaults() {
@@ -98,6 +112,9 @@ func (c *RQBenchCfg) defaults() {
 	if c.Seed == 0 {
 		c.Seed = 42
 	}
+	if len(c.Shards) == 0 {
+		c.Shards = []int{1}
+	}
 }
 
 // RunRQBench runs the RQ-heavy mixed workload across every configured
@@ -118,51 +135,59 @@ func RunRQBench(cfg RQBenchCfg) (RQReport, error) {
 				continue
 			}
 			for _, nt := range cfg.Threads {
-				mix := Mix{InsertPct: upd, DeletePct: upd,
-					RQPct: 100 - 2*upd, RQSize: cfg.RQSize}
-				threads := make([]Mix, nt)
-				for i := range threads {
-					threads[i] = mix
-				}
-				keyRange := DefaultKeyRange(ds, cfg.Scale)
-				var total Result
-				for trial := 0; trial < cfg.Trials; trial++ {
-					res, err := RunTrial(TrialCfg{
-						DS: ds, Tech: tech, KeyRange: keyRange,
-						Threads: threads, Duration: cfg.Duration,
-						Seed: cfg.Seed + int64(trial)*31337,
-					})
-					if err != nil {
-						return rep, err
+				for _, shards := range cfg.Shards {
+					mix := Mix{InsertPct: upd, DeletePct: upd,
+						RQPct: 100 - 2*upd, RQSize: cfg.RQSize}
+					threads := make([]Mix, nt)
+					for i := range threads {
+						threads[i] = mix
 					}
-					total.Merge(&res)
-				}
-				pt := RQPoint{
-					DS: ds.String(), Tech: tech.String(), Threads: nt,
-					RQPct: mix.RQPct, RQSize: cfg.RQSize, KeyRange: keyRange,
-					Trials:       cfg.Trials,
-					ElapsedMs:    total.Elapsed.Milliseconds(),
-					Ops:          total.Ops,
-					OpsPerUs:     total.TotalOpsPerUs(),
-					UpdatesPerUs: total.UpdatesPerUs(),
-					RQsPerUs:     total.RQsPerUs(),
-					RQP50ns:      int64(total.RQLatencyPercentile(50)),
-					RQP90ns:      int64(total.RQLatencyPercentile(90)),
-					RQP99ns:      int64(total.RQLatencyPercentile(99)),
-					LimboVisited: total.LimboVisit,
-					TSShared:     total.Obs.Counter("ebrrq_rq_ts_shared"),
-					TSAdvanced:   total.Obs.Counter("ebrrq_rq_ts_advanced"),
-					FenceShared:  total.Obs.Counter("ebrrq_rq_fence_shared"),
-					BagsSkipped:  total.Obs.Counter("ebrrq_rq_bags_skipped"),
-					BagsSwept:    total.Obs.Counter("ebrrq_rq_bags_swept"),
-				}
-				rep.Points = append(rep.Points, pt)
-				if cfg.Out != nil {
-					fmt.Fprintf(cfg.Out,
-						"%-20s %6.3f ops/us  %6.3f rq/us  p50 %s  p99 %s  ts_shared %d  bags_skipped %d\n",
-						pt.Key(), pt.OpsPerUs, pt.RQsPerUs,
-						time.Duration(pt.RQP50ns), time.Duration(pt.RQP99ns),
-						pt.TSShared, pt.BagsSkipped)
+					keyRange := DefaultKeyRange(ds, cfg.Scale)
+					var total Result
+					for trial := 0; trial < cfg.Trials; trial++ {
+						res, err := RunTrial(TrialCfg{
+							DS: ds, Tech: tech, KeyRange: keyRange,
+							Threads: threads, Duration: cfg.Duration,
+							Seed:   cfg.Seed + int64(trial)*31337,
+							Shards: shards,
+						})
+						if err != nil {
+							return rep, err
+						}
+						total.Merge(&res)
+					}
+					ptShards := 0
+					if shards > 1 {
+						ptShards = shards
+					}
+					pt := RQPoint{
+						DS: ds.String(), Tech: tech.String(), Threads: nt,
+						RQPct: mix.RQPct, RQSize: cfg.RQSize, KeyRange: keyRange,
+						Trials:       cfg.Trials,
+						Shards:       ptShards,
+						ElapsedMs:    total.Elapsed.Milliseconds(),
+						Ops:          total.Ops,
+						OpsPerUs:     total.TotalOpsPerUs(),
+						UpdatesPerUs: total.UpdatesPerUs(),
+						RQsPerUs:     total.RQsPerUs(),
+						RQP50ns:      int64(total.RQLatencyPercentile(50)),
+						RQP90ns:      int64(total.RQLatencyPercentile(90)),
+						RQP99ns:      int64(total.RQLatencyPercentile(99)),
+						LimboVisited: total.LimboVisit,
+						TSShared:     total.Obs.Counter("ebrrq_rq_ts_shared"),
+						TSAdvanced:   total.Obs.Counter("ebrrq_rq_ts_advanced"),
+						FenceShared:  total.Obs.Counter("ebrrq_rq_fence_shared"),
+						BagsSkipped:  total.Obs.Counter("ebrrq_rq_bags_skipped"),
+						BagsSwept:    total.Obs.Counter("ebrrq_rq_bags_swept"),
+					}
+					rep.Points = append(rep.Points, pt)
+					if cfg.Out != nil {
+						fmt.Fprintf(cfg.Out,
+							"%-20s %6.3f ops/us  %6.3f rq/us  p50 %s  p99 %s  ts_shared %d  bags_skipped %d\n",
+							pt.Key(), pt.OpsPerUs, pt.RQsPerUs,
+							time.Duration(pt.RQP50ns), time.Duration(pt.RQP99ns),
+							pt.TSShared, pt.BagsSkipped)
+					}
 				}
 			}
 		}

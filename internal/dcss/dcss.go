@@ -180,8 +180,30 @@ func (d *Descriptor) Exec() Status {
 
 // Help completes the operation if it has been installed; any thread may call
 // it. It is used by range queries that find the descriptor in the provider's
-// announcement array.
-func (d *Descriptor) Help() Status { return d.complete() }
+// announcement array — which the owner publishes BEFORE installing the
+// descriptor in the slot — so unlike complete (whose callers found the
+// descriptor in the slot), Help must tolerate an uninstalled descriptor: it
+// returns Undecided without deciding. Deciding an uninstalled DCSS would
+// linearize the update while the slot still shows the old value to plain
+// readers; concretely, a helper could publish a deletion's dtime from a
+// pre-advance timestamp while the node is still unmarked in the structure,
+// and a later range query at a newer timestamp would observe the "deleted"
+// key — the spurious-key validation failures reproduced by the skiplist
+// schedule-stress harness.
+//
+// The check is race-free: once installed, a descriptor leaves the slot only
+// after its status is decided, and every attempt uses a fresh descriptor
+// (no reinstallation), so observing status == Undecided and the descriptor
+// in the slot guarantees it is still installed when complete decides.
+func (d *Descriptor) Help() Status {
+	if Status(d.status.Load()) != Undecided {
+		return d.complete() // decided; finalisation is idempotent
+	}
+	if atomic.LoadPointer(&d.S.p) != packDesc(d) {
+		return Undecided // announced but not yet installed: cannot decide
+	}
+	return d.complete()
+}
 
 // StatusNow returns the operation's current status without helping.
 func (d *Descriptor) StatusNow() Status { return Status(d.status.Load()) }

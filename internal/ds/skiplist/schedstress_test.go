@@ -1,0 +1,108 @@
+package skiplist
+
+// Deterministic schedule-stress repro harness for the rare
+// TestValidatedFullIteration validation failures (see ROADMAP.md). The rig
+// replaces "run it thousands of times and hope" with seeded schedules: each
+// schedule arms a random subset of the failpoints at the skiplist/provider
+// integration sites with seeded delays (site, first hit, repetition count
+// and duration all derived from the schedule seed), forces a GOMAXPROCS
+// value, and runs the full-iteration validated workload. A failure names
+// the exact (seed, procs, mode) triple, which replays by itself.
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"ebrrq/internal/dstest"
+	"ebrrq/internal/fault"
+	"ebrrq/internal/rqprov"
+)
+
+// envInt reads an integer override for schedule scanning/bisection runs,
+// e.g. EBRRQ_SCHED_COUNT=200 EBRRQ_SCHED_SEED0=6000 go test -tags failpoints
+// -run ScheduleStress ./internal/ds/skiplist/.
+func envInt(name string, def int) int {
+	if s := os.Getenv(name); s != "" {
+		if v, err := strconv.Atoi(s); err == nil {
+			return v
+		}
+	}
+	return def
+}
+
+// stressSites are the handoff points a schedule can delay: the windows
+// between physical linking and linearization (insert), between logical and
+// physical deletion, between unlink and retire, and between the query's
+// timestamp acquisition, traversal and recovery sweeps.
+var stressSites = []string{
+	"skiplist.insert.linked",
+	"skiplist.delete.marked",
+	"skiplist.delete.unlinked",
+	"skiplist.rq.bottomwalk",
+	"rqprov.update.announced",
+	"rqprov.update.desc",
+	"rqprov.update.finished",
+	"rqprov.physdel.announced",
+	"rqprov.rq.tsadvance",
+	"rqprov.rq.annsweep",
+	"rqprov.rq.limbosweep",
+	"epoch.startop.stale",
+	"epoch.startop.announced",
+}
+
+func armSchedule(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, name := range stressSites {
+		if rng.Intn(3) == 0 {
+			continue // leave ~1/3 of the sites alone each schedule
+		}
+		d := time.Duration(20+rng.Intn(180)) * time.Microsecond
+		after, times := rng.Intn(400), 1+rng.Intn(64)
+		fault.Arm(name, fault.Delay(d).After(after).Times(times))
+		t.Logf("armed %-28s delay %v after %d times %d", name, d, after, times)
+	}
+}
+
+// TestFaultScheduleStressFullIteration is part of the chaos suite (the
+// "Fault" in its name matches the suite's -run filter). Under normal
+// operation every schedule must validate — delays widen race windows but
+// never change the algorithm — so a failure here is a reproduction of the
+// full-iteration flake with a replayable name.
+func TestFaultScheduleStressFullIteration(t *testing.T) {
+	if !fault.Enabled {
+		t.Skip("schedule stress requires -tags failpoints")
+	}
+	schedules := 18
+	duration := 80 * time.Millisecond
+	if testing.Short() {
+		schedules = 6
+		duration = 50 * time.Millisecond
+	}
+	schedules = envInt("EBRRQ_SCHED_COUNT", schedules)
+	seed0 := envInt("EBRRQ_SCHED_SEED0", 5000)
+	duration = time.Duration(envInt("EBRRQ_SCHED_DURATION_MS", int(duration/time.Millisecond))) * time.Millisecond
+	modes := []rqprov.Mode{rqprov.ModeLock, rqprov.ModeHTM, rqprov.ModeLockFree}
+	procs := []int{2, 4, 8}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for s := 0; s < schedules; s++ {
+		seed := int64(seed0 + s)
+		p := procs[s%len(procs)]
+		mode := modes[s%len(modes)]
+		name := fmt.Sprintf("seed%d/procs%d/%s", seed, p, mode)
+		t.Run(name, func(t *testing.T) {
+			runtime.GOMAXPROCS(p)
+			fault.Reset()
+			defer fault.Reset()
+			armSchedule(t, seed)
+			dstest.RunValidated(t, mode, true, builder, dstest.StressCfg{
+				Seed: seed, RQRange: 1 << 30, KeySpace: 128,
+				Duration: duration,
+			})
+		})
+	}
+}

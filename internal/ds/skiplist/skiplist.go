@@ -22,6 +22,7 @@ import (
 
 	"ebrrq/internal/dcss"
 	"ebrrq/internal/epoch"
+	"ebrrq/internal/fault"
 	"ebrrq/internal/rqprov"
 	"ebrrq/internal/snapc"
 )
@@ -238,6 +239,9 @@ func (l *List) Insert(t *rqprov.Thread, key, value int64) bool {
 				panic("skiplist: locked link CAS failed")
 			}
 		}
+		// The node is physically reachable at every level but its insertion
+		// has not linearized; traversals that find it wait in awaitITime.
+		fault.Inject("skiplist.insert.linked")
 		// Linearization: fullyLinked (records itime).
 		if !t.UpdateCAS(&n.fullyLink, nil, sentinelPtr(),
 			oneNode(hdr(n)), nil, false) {
@@ -290,6 +294,9 @@ func (l *List) Delete(t *rqprov.Thread, key int64) bool {
 			}
 			l.reportDel(t, hdr(victim))
 			isMarkedByUs = true
+			// Logically deleted (dtime published) but still physically
+			// linked at every level.
+			fault.Inject("skiplist.delete.marked")
 		}
 		// Lock predecessors and validate, then unlink every level.
 		valid := true
@@ -314,6 +321,9 @@ func (l *List) Delete(t *rqprov.Thread, key int64) bool {
 					panic("skiplist: locked unlink CAS failed")
 				}
 			}
+			// Unlinked but not yet retired: only the physdel announcement
+			// makes the victim findable by a concurrent range query.
+			fault.Inject("skiplist.delete.unlinked")
 			return true
 		})
 		victim.mu.Unlock()
@@ -366,6 +376,10 @@ func (l *List) RangeQuery(t *rqprov.Thread, low, high int64) []epoch.KV {
 			curr = ptr(curr.next[lv].Load())
 		}
 	}
+	// Timestamp taken, index descent done, bottom-level walk not started:
+	// updates slipping in here must be recovered by the end-of-query
+	// announcement and limbo sweeps.
+	fault.Inject("skiplist.rq.bottomwalk")
 	curr := ptr(pred.next[0].Load())
 	for curr.Key() <= high {
 		t.VisitMaybeMarked(hdr(curr), curr.isMarked())

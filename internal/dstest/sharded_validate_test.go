@@ -1,0 +1,138 @@
+package dstest_test
+
+// Cross-shard linearizability validation for ebrrq.Sharded. This harness
+// lives in the external test package (not dstest proper): package dstest is
+// imported by every data structure's tests, and the sharded router lives in
+// the root ebrrq package which imports those structures, so the import must
+// stay on the test side of the boundary.
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ebrrq"
+	"ebrrq/internal/dstest"
+	"ebrrq/internal/validate"
+)
+
+// runShardedValidated is the cross-shard counterpart of dstest.RunValidated:
+// it runs a concurrent mixed workload against an ebrrq.Sharded set and
+// validates every range query — single-shard and cross-shard alike — with
+// the timestamp-replay checker.
+//
+// The checker is shared by all shards through the router's per-shard
+// recorder offsetting: shard i's provider records update events at
+// tid' = i*n + tid, so one checker sized shards*n sees a globally consistent
+// event log keyed by the shared clock. Range queries are attributed to the
+// querying goroutine's shard-0 provider thread ID, which is unique per
+// goroutine and therefore preserves the checker's single-writer-per-tid
+// contract.
+//
+// RQ threads cycle through three width classes so every run exercises all
+// router paths: cfg.RQRange (typically inside one shard), KeySpace/2 (spans
+// shards), and a periodic full iteration over [0, KeySpace).
+func runShardedValidated(t *testing.T, ds ebrrq.DataStructure, tech ebrrq.Technique, shards int, cfg dstest.StressCfg) {
+	t.Helper()
+	if tech == ebrrq.Unsafe {
+		t.Fatal("runShardedValidated requires a linearizable technique")
+	}
+	if cfg.Updaters == 0 {
+		cfg.Updaters = 4
+	}
+	if cfg.RQThreads == 0 {
+		cfg.RQThreads = 2
+	}
+	if cfg.KeySpace == 0 {
+		cfg.KeySpace = 256
+	}
+	if cfg.RQRange == 0 {
+		cfg.RQRange = 32
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 300 * time.Millisecond
+	}
+	n := cfg.Updaters + cfg.RQThreads + 1 // +1: the prefill thread stays registered
+	checker := validate.NewChecker(shards * n)
+	s, err := ebrrq.NewShardedWithOptions(ds, tech, n, shards, ebrrq.ShardedOptions{
+		Recorder: checker,
+		KeyMin:   0,
+		KeyMax:   cfg.KeySpace - 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Prefill to ~KeySpace/2 so deletes find victims from the start.
+	pre := s.NewThread()
+	rng := rand.New(rand.NewSource(cfg.Seed + 99))
+	for inserted := int64(0); inserted < cfg.KeySpace/2; {
+		k := rng.Int63n(cfg.KeySpace)
+		if pre.Insert(k, k*10) {
+			inserted++
+		}
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Updaters; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			th := s.NewThread()
+			defer th.Close()
+			r := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				k := r.Int63n(cfg.KeySpace)
+				if r.Intn(2) == 0 {
+					th.Insert(k, r.Int63n(1<<30))
+				} else {
+					th.Delete(k)
+				}
+			}
+		}(cfg.Seed + int64(w))
+	}
+	for w := 0; w < cfg.RQThreads; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			th := s.NewThread()
+			defer th.Close()
+			tid := th.ShardThread(0).ProviderThread().ID()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; !stop.Load(); i++ {
+				var width int64
+				switch {
+				case i%8 == 7:
+					width = cfg.KeySpace // full iteration
+				case i%2 == 1:
+					width = cfg.KeySpace / 2 // spans shards
+				default:
+					width = cfg.RQRange
+				}
+				lo := int64(0)
+				if width >= cfg.KeySpace {
+					width = cfg.KeySpace
+				} else {
+					lo = r.Int63n(cfg.KeySpace - width)
+				}
+				res := th.RangeQuery(lo, lo+width-1)
+				checker.AddRQ(tid, th.LastRQTimestamp(), lo, lo+width-1, res)
+			}
+		}(cfg.Seed + 1000 + int64(w))
+	}
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	pre.Close()
+
+	if checker.RQs() == 0 {
+		t.Fatal("no range queries executed")
+	}
+	if err := checker.Check(); err != nil {
+		t.Fatalf("sharded validation failed after %d events / %d rqs: %v",
+			checker.Events(), checker.RQs(), err)
+	}
+}

@@ -397,6 +397,11 @@ type Thread struct {
 	bags       [numBags]bag
 	localEpoch uint64
 	inOp       bool
+
+	// pinned marks a critical section entered with Pin: StartOp/EndOp pairs
+	// nest inside it as no-ops, so a multi-structure operation (a cross-shard
+	// range query) can hold one announcement across several inner operations.
+	pinned bool
 }
 
 // ID returns the thread's slot index within its domain.
@@ -410,6 +415,9 @@ func (t *Thread) Domain() *Domain { return t.dom }
 // StartOp/EndOp. Operations must not nest.
 func (t *Thread) StartOp() {
 	if t.inOp {
+		if t.pinned {
+			return // nested inside a Pin: the pin's announcement covers us
+		}
 		panic("epoch: nested StartOp")
 	}
 	if t.dead.Load() {
@@ -417,11 +425,32 @@ func (t *Thread) StartOp() {
 	}
 	t.inOp = true
 	e := t.dom.global.Load()
+	fault.Inject("epoch.startop.stale")
+	for {
+		t.ann.Store(e << 1)
+		// Announce-then-recheck (classic EBR). Between reading the global
+		// epoch and publishing the announcement this thread is quiescent and
+		// invisible to tryAdvance, so the global may advance arbitrarily far;
+		// announcing that stale value breaks the two invariants the rest of
+		// the system builds on. Reclamation safety: a reader more than one
+		// epoch behind no longer blocks the rotation that frees nodes it can
+		// still reach. Limbo-bag visibility: an updater's retires land in a
+		// bag tagged with its stale epoch, below the localEpoch-1 floor of a
+		// concurrent range query's LimboBags sweep — the query then misses a
+		// node deleted with dtime >= its timestamp (the "missing key"
+		// validation failures; see TestFaultStartOpStaleAnnounce). Once the
+		// re-read confirms the announced value is current, the global can
+		// advance at most once more while we remain in the operation.
+		e2 := t.dom.global.Load()
+		if e2 == e {
+			break
+		}
+		e = e2
+	}
 	if e != t.localEpoch {
 		t.rotate(e)
 		t.localEpoch = e
 	}
-	t.ann.Store(e << 1)
 	fault.Inject("epoch.startop.announced")
 	c := t.ops.Load() + 1
 	t.ops.Store(c)
@@ -433,9 +462,62 @@ func (t *Thread) StartOp() {
 // EndOp announces the end of the current operation. After EndOp the thread is
 // quiescent and does not block epoch advancement.
 func (t *Thread) EndOp() {
+	if t.pinned {
+		return // nested inside a Pin: Unpin ends the critical section
+	}
 	if !t.inOp {
 		panic("epoch: EndOp without StartOp")
 	}
+	t.inOp = false
+	t.ann.Store(t.ann.Load() | quiescentBit)
+}
+
+// Pin enters a critical section like StartOp, but one that tolerates nested
+// StartOp/EndOp pairs (which become no-ops until Unpin). A cross-shard range
+// query pins the epoch of every shard it overlaps BEFORE acquiring its
+// timestamp from the shared clock: from that point this domain cannot advance
+// more than one epoch, so no limbo bag sealed from here on is reclaimed, and
+// every node whose deletion timestamp the query must observe (dtime >= its
+// timestamp, which is acquired after the pin) is still reachable by the
+// limbo sweep when the traversal eventually visits this shard — exactly the
+// retention a single-shard query gets from running StartOp and the timestamp
+// acquisition back to back.
+func (t *Thread) Pin() {
+	if t.inOp {
+		panic("epoch: Pin inside an operation")
+	}
+	if t.dead.Load() {
+		panic("epoch: Pin on a deregistered thread")
+	}
+	t.inOp = true
+	t.pinned = true
+	e := t.dom.global.Load()
+	for {
+		t.ann.Store(e << 1)
+		// Same announce-then-recheck as StartOp: a pin published against a
+		// stale epoch would neither hold back reclamation nor keep the
+		// pinning query's limbo-bag visibility floor below concurrent
+		// retires.
+		e2 := t.dom.global.Load()
+		if e2 == e {
+			break
+		}
+		e = e2
+	}
+	if e != t.localEpoch {
+		t.rotate(e)
+		t.localEpoch = e
+	}
+}
+
+// Unpin leaves a pinned critical section and quiesces the announcement.
+// Idempotent — panic-recovery paths may call it on an already-unpinned
+// thread (AbortOp also clears a pin).
+func (t *Thread) Unpin() {
+	if !t.pinned {
+		return
+	}
+	t.pinned = false
 	t.inOp = false
 	t.ann.Store(t.ann.Load() | quiescentBit)
 }
@@ -446,6 +528,7 @@ func (t *Thread) EndOp() {
 // called from the owner goroutine or, after the owner died, from exactly one
 // recovering goroutine.
 func (t *Thread) AbortOp() {
+	t.pinned = false
 	if !t.inOp {
 		return
 	}
@@ -465,6 +548,7 @@ func (t *Thread) Deregister() {
 		return
 	}
 	t.inOp = false
+	t.pinned = false
 	t.ann.Store(t.ann.Load() | quiescentBit)
 	d := t.dom
 	d.mu.Lock()

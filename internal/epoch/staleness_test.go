@@ -1,0 +1,71 @@
+package epoch
+
+import (
+	"testing"
+
+	"ebrrq/internal/fault"
+)
+
+// TestFaultStartOpStaleAnnounce is the deterministic regression test for the
+// rare "missing key" validation failures (ROADMAP.md): a thread parked
+// between reading the global epoch and publishing its announcement in
+// StartOp is invisible to tryAdvance (its previous announcement is
+// quiescent), so the global can advance two or more epochs before the stale
+// value is announced. The stale-announced updater then retires its victims
+// into a limbo bag tagged below the localEpoch-1 visibility floor of a
+// concurrent range query's LimboBags sweep, making a node deleted with
+// dtime >= the query's timestamp unrecoverable. The announce-then-recheck
+// loop in StartOp closes the window; without it this test fails.
+func TestFaultStartOpStaleAnnounce(t *testing.T) {
+	if !fault.Enabled {
+		t.Skip("requires -tags failpoints")
+	}
+	d := NewDomain(2)
+	rq := d.Register()  // plays the range query, owned by this goroutine
+	del := d.Register() // plays the deleter, owned by the goroutine below
+
+	entered := make(chan struct{})
+	resume := make(chan struct{})
+	fault.Reset()
+	defer fault.Reset()
+	fault.Arm("epoch.startop.stale", fault.Hook(func(string) {
+		entered <- struct{}{}
+		<-resume
+	}).Once())
+
+	done := make(chan *Node)
+	go func() {
+		del.StartOp() // parks in the load->announce window
+		n := retireWithDTime(del, 42, 1<<40)
+		del.EndOp()
+		done <- n
+	}()
+
+	<-entered
+	// While the deleter is parked, advance the global epoch twice: the
+	// deleter's old quiescent announcement does not hold it back.
+	for i := 0; i < 2; i++ {
+		before := d.GlobalEpoch()
+		rq.tryAdvance()
+		if d.GlobalEpoch() != before+1 {
+			t.Fatalf("advance %d did not move the global epoch", i)
+		}
+	}
+	// The query announces at the now-current epoch, then the deleter wakes,
+	// announces, and retires a node whose deletion the query must be able
+	// to observe.
+	rq.StartOp()
+	defer rq.EndOp()
+	close(resume)
+	n := <-done
+
+	heads, _ := collectBags(rq)
+	for _, h := range heads {
+		for c := h; c != nil; c = c.LimboNext() {
+			if c == n {
+				return // the limbo sweep can recover the deletion
+			}
+		}
+	}
+	t.Fatal("node retired by a stale-announced thread is invisible to the query's limbo sweep")
+}

@@ -105,9 +105,9 @@ func (c *Counter) Name() string { return c.name }
 // Histogram is a log-scale (power-of-two bucket) histogram. Observations
 // are uint64 (counts, nanoseconds, ...). A nil *Histogram ignores writes.
 type Histogram struct {
-	name, help string
-	buckets    [NumBuckets]pad64
-	sum        pad64
+	name, labels, help string
+	buckets            [NumBuckets]pad64
+	sum                pad64
 }
 
 // Observe records one observation.
@@ -120,12 +120,15 @@ func (h *Histogram) Observe(v uint64) {
 }
 
 // Gauge is a function-backed instantaneous value, read only at snapshot
-// time. Re-registering a gauge name replaces its function (the most recent
-// live system wins), so successive trials do not accumulate dead sources.
+// time. Re-registering a gauge series (same name and labels) replaces its
+// function (the most recent live system wins), so successive trials do not
+// accumulate dead sources. Two live systems sharing one registry must
+// register under distinct label sets (see Registry.WithLabels), or the later
+// registration silently takes over the series.
 type Gauge struct {
-	name, help string
-	mu         sync.Mutex
-	f          func() int64
+	name, labels, help string
+	mu                 sync.Mutex
+	f                  func() int64
 }
 
 func (g *Gauge) read() int64 {
@@ -144,8 +147,18 @@ func (g *Gauge) set(f func() int64) {
 	g.mu.Unlock()
 }
 
-// Registry owns a set of metrics and produces ordered Snapshots of them.
+// Registry owns a set of metrics and produces ordered Snapshots of them. A
+// Registry value is a view onto a shared core: WithLabels derives views that
+// stamp a constant label set onto every metric registered through them, so
+// several live systems (the shards of a sharded set, say) can share one
+// exposition endpoint without colliding on series.
 type Registry struct {
+	core   *regCore
+	labels string // constant labels stamped on every metric of this view
+}
+
+// regCore is the state shared by every view of one registry.
+type regCore struct {
 	mu        sync.Mutex
 	maxShards int
 	counters  map[string]*Counter
@@ -158,12 +171,46 @@ func NewRegistry(maxThreads int) *Registry {
 	if maxThreads < 1 {
 		maxThreads = 1
 	}
-	return &Registry{
+	return &Registry{core: &regCore{
 		maxShards: maxThreads,
 		counters:  make(map[string]*Counter),
 		hists:     make(map[string]*Histogram),
 		gauges:    make(map[string]*Gauge),
+	}}
+}
+
+// WithLabels returns a view of the registry that adds the given constant
+// label set (e.g. `shard="3"`) to every metric registered through it. Views
+// share the underlying core: one Snapshot/WriteProm over the base registry
+// sees every view's series. Registering the same metric name through views
+// with different labels yields distinct series — the fix for the collision
+// that otherwise occurs when two Sets report into one registry (most acutely
+// for gauges, where the later registration would silently re-point the
+// earlier Set's series).
+func (r *Registry) WithLabels(labels string) *Registry {
+	if labels == "" {
+		return r
 	}
+	return &Registry{core: r.core, labels: joinLabels(r.labels, labels)}
+}
+
+// joinLabels merges two comma-separated constant label lists.
+func joinLabels(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "":
+		return a
+	}
+	return a + "," + b
+}
+
+// seriesKey builds the registration key for a (name, labels) pair.
+func seriesKey(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
 }
 
 // Counter returns the counter registered under name, creating it if needed.
@@ -172,45 +219,50 @@ func (r *Registry) Counter(name, help string) *Counter {
 }
 
 // CounterL is Counter with a constant label set, rendered verbatim inside
-// braces in the Prometheus exposition (e.g. `cause="lock_held"`).
+// braces in the Prometheus exposition (e.g. `cause="lock_held"`). The view's
+// constant labels, if any, are prepended.
 func (r *Registry) CounterL(name, labels, help string) *Counter {
-	key := name
-	if labels != "" {
-		key = name + "{" + labels + "}"
+	labels = joinLabels(r.labels, labels)
+	key := seriesKey(name, labels)
+	c := r.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ct, ok := c.counters[key]; ok {
+		return ct
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if c, ok := r.counters[key]; ok {
-		return c
-	}
-	c := &Counter{name: name, labels: labels, help: help,
-		shards: make([]pad64, r.maxShards)}
-	r.counters[key] = c
-	return c
+	ct := &Counter{name: name, labels: labels, help: help,
+		shards: make([]pad64, c.maxShards)}
+	c.counters[key] = ct
+	return ct
 }
 
-// Histogram returns the histogram registered under name, creating it if
-// needed.
+// Histogram returns the histogram registered under name (with the view's
+// constant labels), creating it if needed.
 func (r *Registry) Histogram(name, help string) *Histogram {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if h, ok := r.hists[name]; ok {
+	key := seriesKey(name, r.labels)
+	c := r.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if h, ok := c.hists[key]; ok {
 		return h
 	}
-	h := &Histogram{name: name, help: help}
-	r.hists[name] = h
+	h := &Histogram{name: name, labels: r.labels, help: help}
+	c.hists[key] = h
 	return h
 }
 
-// GaugeFunc registers (or re-points) the gauge name at f.
+// GaugeFunc registers (or re-points) the gauge series (name + the view's
+// constant labels) at f.
 func (r *Registry) GaugeFunc(name, help string, f func() int64) *Gauge {
-	r.mu.Lock()
-	g, ok := r.gauges[name]
+	key := seriesKey(name, r.labels)
+	c := r.core
+	c.mu.Lock()
+	g, ok := c.gauges[key]
 	if !ok {
-		g = &Gauge{name: name, help: help}
-		r.gauges[name] = g
+		g = &Gauge{name: name, labels: r.labels, help: help}
+		c.gauges[key] = g
 	}
-	r.mu.Unlock()
+	c.mu.Unlock()
 	g.set(f)
 	return g
 }
@@ -229,14 +281,16 @@ type CounterSnap struct {
 
 // GaugeSnap is one gauge's value at snapshot time.
 type GaugeSnap struct {
-	Name  string
-	Help  string
-	Value int64
+	Name   string
+	Labels string
+	Help   string
+	Value  int64
 }
 
 // HistSnap is one histogram's state at snapshot time.
 type HistSnap struct {
 	Name    string
+	Labels  string
 	Help    string
 	Count   uint64
 	Sum     uint64
@@ -264,20 +318,21 @@ type Snapshot struct {
 // concurrently written shards: each individual value is exact at its read
 // point, the set is not a single atomic cut (standard for metrics).
 func (r *Registry) Snapshot() Snapshot {
-	r.mu.Lock()
-	counters := make([]*Counter, 0, len(r.counters))
-	for _, c := range r.counters {
+	core := r.core
+	core.mu.Lock()
+	counters := make([]*Counter, 0, len(core.counters))
+	for _, c := range core.counters {
 		counters = append(counters, c)
 	}
-	hists := make([]*Histogram, 0, len(r.hists))
-	for _, h := range r.hists {
+	hists := make([]*Histogram, 0, len(core.hists))
+	for _, h := range core.hists {
 		hists = append(hists, h)
 	}
-	gauges := make([]*Gauge, 0, len(r.gauges))
-	for _, g := range r.gauges {
+	gauges := make([]*Gauge, 0, len(core.gauges))
+	for _, g := range core.gauges {
 		gauges = append(gauges, g)
 	}
-	r.mu.Unlock()
+	core.mu.Unlock()
 
 	var s Snapshot
 	for _, c := range counters {
@@ -292,7 +347,7 @@ func (r *Registry) Snapshot() Snapshot {
 		return a.Labels < b.Labels
 	})
 	for _, h := range hists {
-		hs := HistSnap{Name: h.name, Help: h.help, Sum: h.sum.Load()}
+		hs := HistSnap{Name: h.name, Labels: h.labels, Help: h.help, Sum: h.sum.Load()}
 		for b := range hs.Buckets {
 			v := h.buckets[b].Load()
 			hs.Buckets[b] = v
@@ -300,11 +355,24 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 		s.Hists = append(s.Hists, hs)
 	}
-	sort.Slice(s.Hists, func(i, j int) bool { return s.Hists[i].Name < s.Hists[j].Name })
+	sort.Slice(s.Hists, func(i, j int) bool {
+		a, b := s.Hists[i], s.Hists[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Labels < b.Labels
+	})
 	for _, g := range gauges {
-		s.Gauges = append(s.Gauges, GaugeSnap{Name: g.name, Help: g.help, Value: g.read()})
+		s.Gauges = append(s.Gauges, GaugeSnap{
+			Name: g.name, Labels: g.labels, Help: g.help, Value: g.read()})
 	}
-	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool {
+		a, b := s.Gauges[i], s.Gauges[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Labels < b.Labels
+	})
 	return s
 }
 
@@ -323,10 +391,10 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	}
 	prevH := make(map[string]HistSnap, len(prev.Hists))
 	for _, h := range prev.Hists {
-		prevH[h.Name] = h
+		prevH[h.Name+"\x00"+h.Labels] = h
 	}
 	for _, h := range s.Hists {
-		if p, ok := prevH[h.Name]; ok {
+		if p, ok := prevH[h.Name+"\x00"+h.Labels]; ok {
 			h.Count -= p.Count
 			h.Sum -= p.Sum
 			for b := range h.Buckets {
@@ -364,11 +432,11 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 	})
 	hidx := make(map[string]int)
 	for _, h := range s.Hists {
-		hidx[h.Name] = len(out.Hists)
+		hidx[h.Name+"\x00"+h.Labels] = len(out.Hists)
 		out.Hists = append(out.Hists, h)
 	}
 	for _, h := range o.Hists {
-		if i, ok := hidx[h.Name]; ok {
+		if i, ok := hidx[h.Name+"\x00"+h.Labels]; ok {
 			out.Hists[i].Count += h.Count
 			out.Hists[i].Sum += h.Sum
 			for b := range h.Buckets {
@@ -378,18 +446,30 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 			out.Hists = append(out.Hists, h)
 		}
 	}
-	sort.Slice(out.Hists, func(i, j int) bool { return out.Hists[i].Name < out.Hists[j].Name })
+	sort.Slice(out.Hists, func(i, j int) bool {
+		a, b := out.Hists[i], out.Hists[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Labels < b.Labels
+	})
 	gidx := make(map[string]bool)
 	for _, g := range s.Gauges {
-		gidx[g.Name] = true
+		gidx[g.Name+"\x00"+g.Labels] = true
 		out.Gauges = append(out.Gauges, g)
 	}
 	for _, g := range o.Gauges {
-		if !gidx[g.Name] {
+		if !gidx[g.Name+"\x00"+g.Labels] {
 			out.Gauges = append(out.Gauges, g)
 		}
 	}
-	sort.Slice(out.Gauges, func(i, j int) bool { return out.Gauges[i].Name < out.Gauges[j].Name })
+	sort.Slice(out.Gauges, func(i, j int) bool {
+		a, b := out.Gauges[i], out.Gauges[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Labels < b.Labels
+	})
 	return out
 }
 
@@ -405,24 +485,41 @@ func (s Snapshot) Counter(name string) uint64 {
 	return total
 }
 
-// Gauge returns the named gauge's value, or 0 if absent.
+// Gauge returns the summed value of every gauge series with the given name
+// (all label sets — the aggregate view across shards), or 0 if none exists.
 func (s Snapshot) Gauge(name string) int64 {
+	var total int64
 	for _, g := range s.Gauges {
 		if g.Name == name {
-			return g.Value
+			total += g.Value
 		}
 	}
-	return 0
+	return total
 }
 
-// Hist returns the named histogram snapshot.
+// Hist returns the named histogram merged across every label set carrying
+// the name (buckets, counts and sums add), so per-shard series aggregate
+// into the same view an unsharded set reports.
 func (s Snapshot) Hist(name string) (HistSnap, bool) {
+	var out HistSnap
+	found := false
 	for _, h := range s.Hists {
-		if h.Name == name {
-			return h, true
+		if h.Name != name {
+			continue
+		}
+		if !found {
+			out = h
+			out.Labels = ""
+			found = true
+			continue
+		}
+		out.Count += h.Count
+		out.Sum += h.Sum
+		for b := range out.Buckets {
+			out.Buckets[b] += h.Buckets[b]
 		}
 	}
-	return HistSnap{}, false
+	return out, found
 }
 
 // String renders the snapshot as a human-readable summary block: one line
@@ -441,13 +538,21 @@ func (s Snapshot) String() string {
 		out += fmt.Sprintf("%-36s %d\n", name, c.Value)
 	}
 	for _, g := range s.Gauges {
-		out += fmt.Sprintf("%-36s %d\n", g.Name, g.Value)
+		name := g.Name
+		if g.Labels != "" {
+			name += "{" + g.Labels + "}"
+		}
+		out += fmt.Sprintf("%-36s %d\n", name, g.Value)
 	}
 	for _, h := range s.Hists {
 		if h.Count == 0 {
 			continue
 		}
-		out += fmt.Sprintf("%-36s count=%d mean=%.1f\n", h.Name, h.Count, h.Mean())
+		name := h.Name
+		if h.Labels != "" {
+			name += "{" + h.Labels + "}"
+		}
+		out += fmt.Sprintf("%-36s count=%d mean=%.1f\n", name, h.Count, h.Mean())
 		for b := 0; b < NumBuckets; b++ {
 			if h.Buckets[b] == 0 {
 				continue

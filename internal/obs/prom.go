@@ -33,24 +33,43 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 			return err
 		}
 	}
+	lastName = ""
 	for _, g := range s.Gauges {
-		if g.Help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", g.Name, g.Help); err != nil {
+		if g.Name != lastName {
+			if g.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", g.Name, g.Help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", g.Name); err != nil {
 				return err
 			}
+			lastName = g.Name
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.Name, g.Name, g.Value); err != nil {
+		series := g.Name
+		if g.Labels != "" {
+			series += "{" + g.Labels + "}"
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", series, g.Value); err != nil {
 			return err
 		}
 	}
+	lastName = ""
 	for _, h := range s.Hists {
-		if h.Help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", h.Name, h.Help); err != nil {
+		if h.Name != lastName {
+			if h.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", h.Name, h.Help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.Name); err != nil {
 				return err
 			}
+			lastName = h.Name
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.Name); err != nil {
-			return err
+		suffix := "" // rendered inside braces after le (or alone for sum/count)
+		if h.Labels != "" {
+			suffix = "{" + h.Labels + "}"
 		}
 		cum := uint64(0)
 		for b := 0; b < NumBuckets; b++ {
@@ -59,11 +78,16 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 			if b < NumBuckets-1 {
 				le = strconv.FormatFloat(BucketUpper(b), 'g', -1, 64)
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", h.Name, le, cum); err != nil {
+			bucketLabels := `le="` + le + `"`
+			if h.Labels != "" {
+				bucketLabels = h.Labels + "," + bucketLabels
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", h.Name, bucketLabels, cum); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", h.Name, h.Sum, h.Name, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n",
+			h.Name, suffix, h.Sum, h.Name, suffix, h.Count); err != nil {
 			return err
 		}
 	}

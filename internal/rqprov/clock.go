@@ -1,0 +1,75 @@
+package rqprov
+
+import "sync/atomic"
+
+// TimestampSource is the injectable global-timestamp seam: the single word
+// every range query linearizes on and every update reads (Lock/HTM) or
+// validates (lock-free DCSS) at its linearizing CAS. A provider created with
+// Config.Clock shares that source; providers that share one source linearize
+// their updates and range queries on one clock, which is what lets a sharded
+// set run the paper's collect+announce+limbo protocol per shard at a single
+// shared timestamp (DESIGN.md §9).
+//
+// Providers cache Word() at construction and run the hot paths (timestamp
+// reads, the advance-if-not-advanced CAS, DCSS validation) directly against
+// the cached word, so injecting a clock adds no interface dispatch to the
+// single-shard path. The interface methods exist for the shard router and
+// for tests.
+//
+// Fence state is deliberately NOT part of the source: fences certify that a
+// provider's own update critical sections below a timestamp have completed,
+// and those critical sections are per-provider (each shard has its own
+// update lock). A cross-shard range query therefore picks one timestamp from
+// the shared source and then performs each overlapping provider's fence work
+// at that timestamp (see Thread.PinTimestamp).
+type TimestampSource interface {
+	// Load returns the current timestamp.
+	Load() uint64
+	// AdvanceOrAdopt runs the advance-if-not-advanced protocol of
+	// DESIGN.md §8: read TS = v, attempt one CAS v→v+1. It returns the
+	// linearization timestamp — v+1 when this caller won the CAS, the
+	// newer value another advancer installed when it lost — and whether
+	// it won. Only range queries advance the clock, so a lost CAS always
+	// means a concurrent query installed a timestamp this caller may
+	// legally share.
+	AdvanceOrAdopt() (ts uint64, advanced bool)
+	// Word exposes the underlying timestamp word. Lock-free providers
+	// hand it to DCSS descriptors (the linearizing CAS validates the
+	// timestamp didn't move); providers cache it for the hot paths.
+	// The word must never be reset: timestamps are monotone and 0 is
+	// reserved for ⊥ in itime/dtime.
+	Word() *atomic.Uint64
+}
+
+// SharedClock is the process-shared TimestampSource: one cache-line-padded
+// timestamp word. Pass the same instance to several providers (via
+// Config.Clock) to linearize them on one clock. The zero value is NOT
+// usable — timestamps start at 1 (0 is ⊥); use NewSharedClock.
+type SharedClock struct {
+	_ [64]byte // pad: the word is the hottest line in the system
+	w atomic.Uint64
+	_ [56]byte
+}
+
+// NewSharedClock returns a clock initialized to 1 (timestamp 0 is reserved
+// for ⊥ in itime/dtime, so the first range query linearizes at 2).
+func NewSharedClock() *SharedClock {
+	c := &SharedClock{}
+	c.w.Store(1)
+	return c
+}
+
+// Load returns the current timestamp.
+func (c *SharedClock) Load() uint64 { return c.w.Load() }
+
+// AdvanceOrAdopt implements TimestampSource.
+func (c *SharedClock) AdvanceOrAdopt() (uint64, bool) {
+	v := c.w.Load()
+	if c.w.CompareAndSwap(v, v+1) {
+		return v + 1, true
+	}
+	return c.w.Load(), false
+}
+
+// Word implements TimestampSource.
+func (c *SharedClock) Word() *atomic.Uint64 { return &c.w }

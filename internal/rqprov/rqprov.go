@@ -112,6 +112,12 @@ type Config struct {
 	// default 0 waits forever (always linearizable); enable a budget when
 	// surviving a wedged updater matters more than that corner.
 	WaitBudget int
+	// Clock is the timestamp source the provider linearizes on. Nil gives
+	// the provider a private clock (the classic single-structure setup);
+	// pass one SharedClock to several providers to linearize them on one
+	// clock (sharding, DESIGN.md §9). An injected clock is never reset —
+	// providers may join it at any point in its history.
+	Clock TimestampSource
 }
 
 // Recorder observes timestamped updates for offline validation.
@@ -124,8 +130,13 @@ type Recorder interface {
 
 // Provider is a shared RQ provider plus the EBR domain it harnesses.
 type Provider struct {
-	mode Mode
-	ts   atomic.Uint64
+	mode  Mode
+	clock TimestampSource
+	// ts caches clock.Word() so the hot paths — timestamp reads, the
+	// advance CAS, DCSS validation — cost a pointer load, not an interface
+	// dispatch. With the default private clock this is exactly the old
+	// per-provider timestamp word.
+	ts *atomic.Uint64
 
 	// tsFenced (Lock/HTM modes) is the largest published *fence*: a drain
 	// of the update lock loads TS inside its exclusive section and publishes
@@ -185,6 +196,7 @@ type provMetrics struct {
 	// max-dtime fence vs. actually walked.
 	tsShared    *obs.Counter // ebrrq_rq_ts_shared
 	tsAdvanced  *obs.Counter // ebrrq_rq_ts_advanced
+	tsPinned    *obs.Counter // ebrrq_rq_ts_pinned
 	fenceShared *obs.Counter // ebrrq_rq_fence_shared
 	bagsSkipped *obs.Counter // ebrrq_rq_bags_skipped
 	bagsSwept   *obs.Counter // ebrrq_rq_bags_swept
@@ -218,6 +230,7 @@ func (p *Provider) EnableMetrics(reg *obs.Registry) {
 		poolMisses: reg.Counter("ebrrq_pool_misses_total", "node allocations that went to the heap"),
 		tsShared:    reg.Counter("ebrrq_rq_ts_shared", "range queries that adopted a concurrently installed timestamp"),
 		tsAdvanced:  reg.Counter("ebrrq_rq_ts_advanced", "range queries that advanced the global timestamp themselves"),
+		tsPinned:    reg.Counter("ebrrq_rq_ts_pinned", "per-shard traversals that ran at a router-pinned timestamp"),
 		fenceShared: reg.Counter("ebrrq_rq_fence_shared", "timestamp advances whose update-lock drain was satisfied by a concurrent drain"),
 		bagsSkipped: reg.Counter("ebrrq_rq_bags_skipped", "limbo bags skipped entirely by the max-dtime fence"),
 		bagsSwept:   reg.Counter("ebrrq_rq_bags_swept", "limbo bags walked by range-query sweeps"),
@@ -288,8 +301,13 @@ func New(cfg Config) *Provider {
 	} else if cfg.SpinBudget < 0 {
 		cfg.SpinBudget = 0
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = NewSharedClock() // private clock, TS starts at 1 (0 is ⊥)
+	}
 	p := &Provider{
 		mode:        cfg.Mode,
+		clock:       cfg.Clock,
+		ts:          cfg.Clock.Word(),
 		dom:         epoch.NewDomain(cfg.MaxThreads),
 		threads:     make([]atomic.Pointer[Thread], cfg.MaxThreads),
 		maxAnnounce: cfg.MaxAnnounce,
@@ -298,7 +316,6 @@ func New(cfg Config) *Provider {
 		spinBudget:  cfg.SpinBudget,
 		waitBudget:  cfg.WaitBudget,
 	}
-	p.ts.Store(1) // 0 is reserved for ⊥ in itime/dtime
 	p.tsFenced.Store(1)
 	if cfg.Mode == ModeHTM {
 		p.dist = rwlock.NewDistRW(cfg.MaxThreads)
@@ -321,6 +338,10 @@ func (p *Provider) Domain() *epoch.Domain { return p.dom }
 
 // Timestamp returns the current global timestamp (for tests and stats).
 func (p *Provider) Timestamp() uint64 { return p.ts.Load() }
+
+// Clock returns the timestamp source the provider linearizes on. The shard
+// router uses it to pick one timestamp for a cross-shard range query.
+func (p *Provider) Clock() TimestampSource { return p.clock }
 
 // HTMAborts returns the emulated-HTM abort count (ModeHTM only).
 func (p *Provider) HTMAborts() uint64 {
@@ -415,6 +436,16 @@ type Thread struct {
 	result    []epoch.KV
 	rqActive  bool
 
+	// pinnedTS, when nonzero, is the linearization timestamp the next
+	// TraversalStart must use instead of choosing one from the clock. The
+	// shard router picks one timestamp from the shared clock and pins it
+	// on every overlapping shard's thread so the whole cross-shard range
+	// query linearizes at a single instant. Timestamps picked from a clock
+	// are always >= 2 (clocks start at 1 and queries advance first), so 0
+	// is a safe "no pin" sentinel. Single-use: consumed by TraversalStart,
+	// cleared by Abort and Deregister.
+	pinnedTS uint64
+
 	lastUpdateTS uint64
 
 	// Stats.
@@ -453,6 +484,16 @@ func (t *Thread) StartOp() { t.ep.StartOp() }
 // EndOp ends the current data-structure operation.
 func (t *Thread) EndOp() { t.ep.EndOp() }
 
+// PinEpoch enters an EBR critical section that tolerates nested
+// StartOp/EndOp pairs; UnpinEpoch (or Abort/Deregister) leaves it. The shard
+// router pins every overlapping shard before acquiring a cross-shard range
+// query's timestamp, so each shard retains — for the whole multi-shard
+// traversal — every limbo node the query may need (see epoch.Thread.Pin).
+func (t *Thread) PinEpoch() { t.ep.Pin() }
+
+// UnpinEpoch leaves a PinEpoch critical section. Idempotent.
+func (t *Thread) UnpinEpoch() { t.ep.Unpin() }
+
 // Abort clears the thread's provider-visible state — the announced DCSS
 // descriptor, the deletion announcements, any range-query in progress — and
 // force-ends its EBR operation. Panic-recovery wrappers call it after a
@@ -464,6 +505,7 @@ func (t *Thread) Abort() {
 	t.desc.Store(nil)
 	t.unannounceAll(len(t.announce))
 	t.rqActive = false
+	t.pinnedTS = 0
 	t.ep.AbortOp()
 }
 
@@ -480,6 +522,7 @@ func (t *Thread) Deregister() {
 	t.desc.Store(nil)
 	t.unannounceAll(len(t.announce))
 	t.rqActive = false
+	t.pinnedTS = 0
 	p := t.prov
 	p.mu.Lock()
 	t.ep.Deregister() // pushes the epoch slot; pair it with ours under p.mu
@@ -589,7 +632,7 @@ func (t *Thread) UpdateCAS(slot *dcss.Slot, old, new unsafe.Pointer, inodes, dno
 		for {
 			ts := p.ts.Load()
 			d := &dcss.Descriptor{
-				A1: &p.ts, Exp1: ts,
+				A1: p.ts, Exp1: ts,
 				S: slot, Old: old, New: new,
 				INodes: inodes, DNodes: dnodes,
 			}
@@ -714,6 +757,12 @@ func (t *Thread) PoolMiss() { t.prov.met.poolMisses.Inc(t.id) }
 // queries cost ~1 increment and ~1 drain. In lock-free mode DCSS already
 // guarantees an update's CAS took effect while TS held its timestamp, so
 // adopters simply re-read TS.
+// A cross-shard range query instead *pins* its timestamp (PinTimestamp):
+// the shard router performs one advance-or-adopt on the clock shared by
+// every shard and hands the result to each overlapping shard's thread, so
+// the per-mode work below reduces to the fence step — ensureFenced drains
+// this provider's update lock (Lock/HTM), and lock-free mode needs nothing
+// beyond the pin because DCSS validated the shared word (DESIGN.md §9).
 func (t *Thread) TraversalStart(low, high int64) {
 	t.low, t.high = low, high
 	if cap(t.result) < t.resultHWM {
@@ -725,7 +774,15 @@ func (t *Thread) TraversalStart(low, high int64) {
 	switch p.mode {
 	case ModeUnsafe:
 		t.ts = 0
+		t.pinnedTS = 0
 	case ModeLock, ModeHTM:
+		if pin := t.pinnedTS; pin != 0 {
+			t.pinnedTS = 0
+			p.ensureFenced(t.id, pin)
+			t.ts = pin
+			p.met.tsPinned.Inc(t.id)
+			break
+		}
 		v := p.ts.Load()
 		fault.Inject("rqprov.rq.tsadvance")
 		if p.ts.CompareAndSwap(v, v+1) {
@@ -737,6 +794,12 @@ func (t *Thread) TraversalStart(low, high int64) {
 			p.met.tsShared.Inc(t.id)
 		}
 	case ModeLockFree:
+		if pin := t.pinnedTS; pin != 0 {
+			t.pinnedTS = 0
+			t.ts = pin
+			p.met.tsPinned.Inc(t.id)
+			break
+		}
 		v := p.ts.Load()
 		fault.Inject("rqprov.rq.tsadvance")
 		if p.ts.CompareAndSwap(v, v+1) {
@@ -753,6 +816,20 @@ func (t *Thread) TraversalStart(low, high int64) {
 		}
 	}
 	fault.Inject("rqprov.rq.started")
+}
+
+// PinTimestamp sets the linearization timestamp of this thread's next
+// TraversalStart. ts must have been obtained from the provider's clock
+// (Clock().AdvanceOrAdopt()) during the current query attempt — the shard
+// router calls that once and pins the result on every overlapping shard.
+// TraversalStart still performs the mode's fence work at ts, so every
+// update below ts on this provider is visible to the traversal. The pin is
+// single-use and cleared by Abort/Deregister; ts must be nonzero.
+func (t *Thread) PinTimestamp(ts uint64) {
+	if ts == 0 {
+		panic("rqprov: PinTimestamp(0)")
+	}
+	t.pinnedTS = ts
 }
 
 // drainUpdates waits out every update critical section that began before the

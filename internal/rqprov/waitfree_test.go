@@ -26,7 +26,7 @@ func TestHelpingDerivesITimeFromStalledUpdate(t *testing.T) {
 	// succeeds (simulating a thread preempted before finishUpdate).
 	up.StartOp()
 	ts := p.ts.Load()
-	d := &dcss.Descriptor{A1: &p.ts, Exp1: ts, S: &slot,
+	d := &dcss.Descriptor{A1: p.ts, Exp1: ts, S: &slot,
 		Old: nil, New: unsafe.Pointer(n), INodes: []*epoch.Node{n}}
 	up.desc.Store(d)
 	if d.Exec() != dcss.Succeeded {
@@ -81,7 +81,7 @@ func TestHelpingDerivesDTimeFromStalledDelete(t *testing.T) {
 
 	up.StartOp()
 	ts := p.ts.Load() // 2
-	d := &dcss.Descriptor{A1: &p.ts, Exp1: ts, S: &slot,
+	d := &dcss.Descriptor{A1: p.ts, Exp1: ts, S: &slot,
 		Old: unsafe.Pointer(n), New: nil, DNodes: []*epoch.Node{n}}
 	up.annCount.Store(1)    // what announceAll does: count before slot
 	up.announce[0].Store(n) // announced for deletion

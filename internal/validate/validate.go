@@ -33,6 +33,8 @@ type Event struct {
 	Key    int64
 	Value  int64
 	Insert bool
+	// Tid is the recording thread, carried for failure diagnostics.
+	Tid int
 }
 
 // RQ is one recorded range query.
@@ -67,7 +69,7 @@ func (c *Checker) RecordUpdate(tid int, ts uint64, inodes, dnodes []*epoch.Node)
 			continue
 		}
 		n.Each(func(k, v int64) {
-			lg.events = append(lg.events, Event{TS: ts, Key: k, Value: v, Insert: true})
+			lg.events = append(lg.events, Event{TS: ts, Key: k, Value: v, Insert: true, Tid: tid})
 		})
 	}
 	for _, n := range dnodes {
@@ -75,7 +77,7 @@ func (c *Checker) RecordUpdate(tid int, ts uint64, inodes, dnodes []*epoch.Node)
 			continue
 		}
 		n.Each(func(k, v int64) {
-			lg.events = append(lg.events, Event{TS: ts, Key: k, Value: v})
+			lg.events = append(lg.events, Event{TS: ts, Key: k, Value: v, Tid: tid})
 		})
 	}
 }
@@ -174,7 +176,11 @@ func (c *Checker) checkRQ(byKey map[int64]*keyHistory, tid, ri int, rq RQ) error
 		got[kv.Key] = kv.Value
 	}
 	// Every key whose history says "present at rq.TS" must be in the
-	// result, and vice versa.
+	// result, and vice versa. All of the query's mismatches are collected
+	// before reporting: whether a bad query misses one isolated key or a
+	// contiguous run distinguishes a per-node race (timestamp/recovery)
+	// from a traversal that skipped a physical segment of the structure.
+	var missing, spurious []int64
 	for k, h := range byKey {
 		if k < rq.Low || k > rq.High {
 			continue
@@ -184,10 +190,10 @@ func (c *Checker) checkRQ(byKey map[int64]*keyHistory, tid, ri int, rq RQ) error
 		expected := idx >= 0 && h.prefixNet[idx] > 0
 		val, present := got[k]
 		if expected && !present {
-			return fmt.Errorf("validate: thread %d rq #%d (ts %d, [%d,%d]): missing key %d (present since before ts)", tid, ri, rq.TS, rq.Low, rq.High, k)
+			missing = append(missing, k)
 		}
 		if !expected && present {
-			return fmt.Errorf("validate: thread %d rq #%d (ts %d, [%d,%d]): spurious key %d", tid, ri, rq.TS, rq.Low, rq.High, k)
+			spurious = append(spurious, k)
 		}
 		if expected && present {
 			// Value check, only when the last insert below ts is
@@ -201,7 +207,54 @@ func (c *Checker) checkRQ(byKey map[int64]*keyHistory, tid, ri int, rq RQ) error
 	for k := range got {
 		return fmt.Errorf("validate: thread %d rq #%d (ts %d): result contains key %d that was never inserted", tid, ri, rq.TS, k)
 	}
+	switch {
+	case len(missing) == 1 && len(spurious) == 0:
+		return fmt.Errorf("validate: thread %d rq #%d (ts %d, [%d,%d]): missing key %d (present since before ts) %s",
+			tid, ri, rq.TS, rq.Low, rq.High, missing[0], eventsAround(byKey[missing[0]], rq.TS))
+	case len(missing) == 0 && len(spurious) == 1:
+		return fmt.Errorf("validate: thread %d rq #%d (ts %d, [%d,%d]): spurious key %d %s",
+			tid, ri, rq.TS, rq.Low, rq.High, spurious[0], eventsAround(byKey[spurious[0]], rq.TS))
+	case len(missing) > 0 || len(spurious) > 0:
+		sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+		sort.Slice(spurious, func(i, j int) bool { return spurious[i] < spurious[j] })
+		return fmt.Errorf("validate: thread %d rq #%d (ts %d, [%d,%d]): %d missing %v, %d spurious %v",
+			tid, ri, rq.TS, rq.Low, rq.High, len(missing), clip(missing), len(spurious), clip(spurious))
+	}
 	return nil
+}
+
+// eventsAround renders the key's event history near the failing timestamp.
+// The window discriminates failure mechanisms: a delete event just above ts
+// means the node was unlinked concurrently with the query and the recovery
+// sweeps failed to restore it; no nearby delete means a node that stayed
+// linked throughout the traversal was skipped (or its itime misrecorded).
+func eventsAround(h *keyHistory, ts uint64) string {
+	idx := sort.Search(len(h.events), func(i int) bool { return h.events[i].TS >= ts })
+	lo, hi := idx-3, idx+3
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(h.events) {
+		hi = len(h.events)
+	}
+	s := "[events near ts:"
+	for i := lo; i < hi; i++ {
+		e := &h.events[i]
+		kind := "del"
+		if e.Insert {
+			kind = "ins"
+		}
+		s += fmt.Sprintf(" %s@%d(t%d)", kind, e.TS, e.Tid)
+	}
+	return s + "]"
+}
+
+// clip bounds a key list in an error message to its first 16 entries.
+func clip(ks []int64) []int64 {
+	if len(ks) > 16 {
+		return ks[:16]
+	}
+	return ks
 }
 
 // lastInsertValue returns the value the key should have at timestamp ts:

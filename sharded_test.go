@@ -1,0 +1,280 @@
+package ebrrq_test
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"ebrrq"
+	"ebrrq/internal/obs"
+)
+
+// TestShardedPartition checks the key-range partition: contiguous, disjoint,
+// covering, and with the remainder spread over the first shards.
+func TestShardedPartition(t *testing.T) {
+	s, err := ebrrq.NewShardedWithOptions(ebrrq.SkipList, ebrrq.LockFree, 2, 4,
+		ebrrq.ShardedOptions{KeyMin: 0, KeyMax: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 3, 6, 8} // 10 keys over 4 shards: widths 3,3,2,2
+	for i, w := range want {
+		if got := s.ShardStart(i); got != w {
+			t.Errorf("ShardStart(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if min, max := s.KeyRange(); min != 0 || max != 9 {
+		t.Errorf("KeyRange() = [%d, %d], want [0, 9]", min, max)
+	}
+
+	// The full-int64 default range must not overflow the partition math.
+	full, err := ebrrq.NewSharded(ebrrq.SkipList, ebrrq.LockFree, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := full.ShardStart(0); got != ebrrq.MinKey {
+		t.Errorf("full-range ShardStart(0) = %d, want MinKey %d", got, ebrrq.MinKey)
+	}
+	prev := full.ShardStart(0)
+	for i := 1; i < 4; i++ {
+		if cur := full.ShardStart(i); cur <= prev {
+			t.Errorf("full-range starts not increasing: ShardStart(%d)=%d <= %d", i, cur, prev)
+		} else {
+			prev = cur
+		}
+	}
+}
+
+func TestShardedRejects(t *testing.T) {
+	if _, err := ebrrq.NewSharded(ebrrq.LazyList, ebrrq.RLU, 2, 2); err == nil {
+		t.Error("RLU sharded: want error")
+	}
+	if _, err := ebrrq.NewSharded(ebrrq.LFList, ebrrq.Snap, 2, 2); err == nil {
+		t.Error("Snap sharded: want error")
+	}
+	if _, err := ebrrq.NewSharded(ebrrq.SkipList, ebrrq.LockFree, 2, 0); err == nil {
+		t.Error("0 shards: want error")
+	}
+	if _, err := ebrrq.NewShardedWithOptions(ebrrq.SkipList, ebrrq.Lock, 2, 8,
+		ebrrq.ShardedOptions{KeyMin: 1, KeyMax: 4}); err == nil {
+		t.Error("more shards than keys: want error")
+	}
+
+	s, err := ebrrq.NewShardedWithOptions(ebrrq.SkipList, ebrrq.Lock, 2, 2,
+		ebrrq.ShardedOptions{KeyMin: 10, KeyMax: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := s.NewThread()
+	defer th.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Insert: want panic")
+		}
+	}()
+	th.Insert(9, 9)
+}
+
+// TestShardedSequential model-checks every technique/structure pair against
+// a reference map, mixing point ops with range queries that land inside one
+// shard, across two, and across all shards.
+func TestShardedSequential(t *testing.T) {
+	techs := []ebrrq.Technique{ebrrq.Unsafe, ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree}
+	for _, tech := range techs {
+		t.Run(tech.String(), func(t *testing.T) {
+			const keyMax = 1000
+			s, err := ebrrq.NewShardedWithOptions(ebrrq.SkipList, tech, 2, 4,
+				ebrrq.ShardedOptions{KeyMin: 0, KeyMax: keyMax})
+			if err != nil {
+				t.Fatal(err)
+			}
+			th := s.NewThread()
+			defer th.Close()
+			model := map[int64]int64{}
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 4000; i++ {
+				k := rng.Int63n(keyMax + 1)
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3:
+					_, inModel := model[k]
+					if th.Insert(k, k*2) == inModel {
+						t.Fatalf("Insert(%d) disagreed with model", k)
+					}
+					model[k] = k * 2
+				case 4, 5, 6:
+					_, inModel := model[k]
+					if th.Delete(k) != inModel {
+						t.Fatalf("Delete(%d) disagreed with model", k)
+					}
+					delete(model, k)
+				case 7:
+					v, ok := th.Contains(k)
+					mv, mok := model[k]
+					if ok != mok || (ok && v != mv) {
+						t.Fatalf("Contains(%d) = (%d, %v), model (%d, %v)", k, v, ok, mv, mok)
+					}
+				default:
+					lo := rng.Int63n(keyMax + 1)
+					hi := lo + rng.Int63n(keyMax+1-lo)
+					res := th.RangeQuery(lo, hi)
+					var want int
+					for mk := range model {
+						if lo <= mk && mk <= hi {
+							want++
+						}
+					}
+					if len(res) != want {
+						t.Fatalf("RangeQuery(%d, %d) returned %d keys, model has %d",
+							lo, hi, len(res), want)
+					}
+					for j, kv := range res {
+						if j > 0 && res[j-1].Key >= kv.Key {
+							t.Fatalf("RangeQuery(%d, %d) unsorted at %d", lo, hi, j)
+						}
+						if mv, ok := model[kv.Key]; !ok || mv != kv.Value {
+							t.Fatalf("RangeQuery(%d, %d): key %d value %d, model (%d, %v)",
+								lo, hi, kv.Key, kv.Value, mv, ok)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedMetrics checks the per-shard labeling (no collisions in the
+// shared registry), the aggregate counters and the fast-path accounting.
+func TestShardedMetrics(t *testing.T) {
+	reg := obs.NewRegistry(4)
+	s, err := ebrrq.NewShardedWithOptions(ebrrq.SkipList, ebrrq.LockFree, 2, 2,
+		ebrrq.ShardedOptions{KeyMin: 0, KeyMax: 99, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := s.NewThread()
+	defer th.Close()
+	for k := int64(0); k < 100; k += 10 {
+		th.Insert(k, k)
+	}
+	if got := th.RangeQuery(0, 20); len(got) != 3 { // inside shard 0 ([0,49])
+		t.Fatalf("single-shard RQ returned %d keys, want 3", len(got))
+	}
+	if got := th.RangeQuery(0, 99); len(got) != 10 {
+		t.Fatalf("cross-shard RQ returned %d keys, want 10", len(got))
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter("ebrrq_rq_single_shard_total"); got != 1 {
+		t.Errorf("single_shard_total = %d, want 1", got)
+	}
+	if got := snap.Counter("ebrrq_rq_cross_shard_total"); got != 1 {
+		t.Errorf("cross_shard_total = %d, want 1", got)
+	}
+	// The cross-shard query ran both shards at one pinned timestamp.
+	if got := snap.Counter("ebrrq_rq_ts_pinned"); got != 2 {
+		t.Errorf("ts_pinned = %d, want 2", got)
+	}
+	if got := snap.Gauge("ebrrq_shards"); got != 2 {
+		t.Errorf("ebrrq_shards = %d, want 2", got)
+	}
+	// Per-shard series must be distinct: two shards, two labeled
+	// ebrrq_global_timestamp series, both backed by the one shared clock.
+	var tsSeries int
+	for _, g := range snap.Gauges {
+		if g.Name == "ebrrq_global_timestamp" {
+			tsSeries++
+			if !strings.Contains(g.Labels, `shard="`) {
+				t.Errorf("ebrrq_global_timestamp series missing shard label: %q", g.Labels)
+			}
+		}
+	}
+	if tsSeries != 2 {
+		t.Errorf("ebrrq_global_timestamp series = %d, want 2", tsSeries)
+	}
+	var b strings.Builder
+	if err := snap.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `ebrrq_ops_total{shard="0",op="insert"}`) {
+		t.Errorf("prom exposition missing sharded ops series:\n%s", b.String())
+	}
+}
+
+// TestShardedSharedClock checks that every shard linearizes on one clock:
+// a cross-shard RQ's timestamp is visible as each shard provider's
+// timestamp, and single-shard queries on different shards keep advancing
+// the same counter.
+func TestShardedSharedClock(t *testing.T) {
+	s, err := ebrrq.NewShardedWithOptions(ebrrq.SkipList, ebrrq.Lock, 2, 2,
+		ebrrq.ShardedOptions{KeyMin: 0, KeyMax: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := s.NewThread()
+	defer th.Close()
+	th.RangeQuery(0, 99) // cross-shard: advances the clock once
+	ts := th.LastRQTimestamp()
+	if ts < 2 {
+		t.Fatalf("cross-shard RQ timestamp = %d, want >= 2", ts)
+	}
+	for i := 0; i < s.Shards(); i++ {
+		if got := s.Shard(i).Provider().Timestamp(); got != ts {
+			t.Errorf("shard %d provider timestamp = %d, want shared %d", i, got, ts)
+		}
+	}
+	th.RangeQuery(0, 10) // single-shard on shard 0
+	if got := th.LastRQTimestamp(); got != ts+1 {
+		t.Errorf("single-shard RQ after cross-shard: ts = %d, want %d", got, ts+1)
+	}
+	th.RangeQuery(60, 99) // single-shard on shard 1: same clock
+	if got := th.LastRQTimestamp(); got != ts+2 {
+		t.Errorf("single-shard RQ on other shard: ts = %d, want %d", got, ts+2)
+	}
+}
+
+// TestShardedConcurrentSmoke hammers a sharded set from several goroutines
+// under all techniques; run with -race this is the quick cross-shard data
+// race check (full linearizability validation lives in internal/dstest).
+func TestShardedConcurrentSmoke(t *testing.T) {
+	for _, tech := range []ebrrq.Technique{ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree} {
+		t.Run(tech.String(), func(t *testing.T) {
+			const nt, keyMax = 4, 400
+			s, err := ebrrq.NewShardedWithOptions(ebrrq.SkipList, tech, nt, 4,
+				ebrrq.ShardedOptions{KeyMin: 0, KeyMax: keyMax})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < nt; g++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					th := s.NewThread()
+					defer th.Close()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < 3000; i++ {
+						k := rng.Int63n(keyMax + 1)
+						switch rng.Intn(4) {
+						case 0:
+							th.Insert(k, k)
+						case 1:
+							th.Delete(k)
+						case 2:
+							th.Contains(k)
+						default:
+							lo := rng.Int63n(keyMax + 1)
+							res := th.RangeQuery(lo, lo+100)
+							for j := 1; j < len(res); j++ {
+								if res[j-1].Key >= res[j].Key {
+									t.Errorf("unsorted RQ result")
+									return
+								}
+							}
+						}
+					}
+				}(int64(g) * 977)
+			}
+			wg.Wait()
+		})
+	}
+}
