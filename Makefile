@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race bench bench-quick rebaseline chaos validate micro macro examples clean
+.PHONY: all ci build vet test race bench bench-quick rebaseline chaos validate micro macro examples trace-demo clean
 
 all: build vet test
 
@@ -55,6 +55,15 @@ micro:
 
 macro:
 	$(GO) run ./cmd/macrobench -w 2 -workers 4 -scale 20 -duration 1s
+
+# trace-demo records a short traced benchmark run, then renders the flight
+# recorder's per-phase report with the analyzer. Add `-chrome trace.json` to
+# the rqtrace line for a Perfetto-loadable timeline.
+trace-demo:
+	$(GO) run ./cmd/rqbench -ds skiplist -tech lockfree -threads 4 \
+		-trials 1 -duration 200ms -out /tmp/ebrrq_demo.json \
+		-trace-dump /tmp/ebrrq_demo.trace
+	$(GO) run ./cmd/rqtrace /tmp/ebrrq_demo.trace
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -39,6 +39,8 @@ func main() {
 		baseline  = flag.String("baseline", "", "baseline BENCH_rq.json to gate against (missing file: gate skipped)")
 		maxRegres = flag.Float64("max-regress", 0.20, "maximum allowed throughput regression vs baseline (fraction)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+		noTrace   = flag.Bool("no-trace", false, "disable the flight recorder (loses the per-phase RQ splits)")
+		traceDump = flag.String("trace-dump", "", "write the final trial's flight-recorder dump to this file (analyze with rqtrace)")
 	)
 	flag.Parse()
 
@@ -56,7 +58,25 @@ func main() {
 	cfg := bench.RQBenchCfg{
 		RQPct: *rqPct, RQSize: *rqSize, Scale: *scale,
 		Trials: *trials, Duration: *duration, Seed: *seed,
-		Out: os.Stderr,
+		Out:     os.Stderr,
+		NoTrace: *noTrace,
+	}
+	if *traceDump != "" {
+		if *noTrace {
+			fatal(fmt.Errorf("-trace-dump requires tracing (drop -no-trace)"))
+		}
+		f, err := os.Create(*traceDump)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote flight-recorder dump %s (analyze: rqtrace %s)\n",
+				*traceDump, *traceDump)
+		}()
+		cfg.TraceDump = f
 	}
 	var err error
 	if cfg.DSs, err = parseDSs(*dsFlag); err != nil {
@@ -108,6 +128,18 @@ func main() {
 		f.Close()
 		if err != nil {
 			fatal(fmt.Errorf("parsing baseline %s: %w", *baseline, err))
+		}
+		if msgs := bench.RQEnvMismatch(base, rep); len(msgs) > 0 {
+			fmt.Fprintln(os.Stderr, "########################################################")
+			fmt.Fprintln(os.Stderr, "# WARNING: baseline was measured on a different host    #")
+			fmt.Fprintln(os.Stderr, "# shape; throughput comparison would be meaningless.    #")
+			fmt.Fprintln(os.Stderr, "# REGRESSION GATE SKIPPED.                              #")
+			fmt.Fprintln(os.Stderr, "########################################################")
+			for _, m := range msgs {
+				fmt.Fprintln(os.Stderr, "  env mismatch -", m)
+			}
+			fmt.Fprintln(os.Stderr, "refresh the baseline on this host with `make rebaseline`")
+			return
 		}
 		if msgs := bench.CompareRQReports(base, rep, *maxRegres); len(msgs) > 0 {
 			for _, m := range msgs {

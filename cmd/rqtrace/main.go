@@ -1,0 +1,83 @@
+// Command rqtrace analyzes flight-recorder dumps (internal/trace binary
+// format) produced by /debug/trace, rqbench -trace-dump, or a chaos-harness
+// stall dump. The default output is a human-readable per-phase latency
+// report; -json emits the same report as JSON, and -chrome converts the
+// dump to Chrome trace-event JSON for chrome://tracing or Perfetto
+// (https://ui.perfetto.dev).
+//
+//	rqtrace dump.trace                 # text report
+//	rqtrace -json dump.trace           # report as JSON
+//	rqtrace -chrome out.json dump.trace
+//	curl -s localhost:9090/debug/trace | rqtrace -
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ebrrq/internal/trace"
+)
+
+func main() {
+	var (
+		asJSON = flag.Bool("json", false, "emit the analysis report as JSON instead of text")
+		chrome = flag.String("chrome", "", "also write Chrome trace-event JSON (for Perfetto) to this file")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: rqtrace [-json] [-chrome out.json] <dump-file | ->\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	if path := flag.Arg(0); path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	snap, err := trace.ReadSnapshot(in)
+	if err != nil {
+		fatal(fmt.Errorf("parsing dump: %w", err))
+	}
+
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteChromeTrace(f, snap); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (load in chrome://tracing or https://ui.perfetto.dev)\n", *chrome)
+	}
+
+	rep := trace.BuildReport(snap)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	rep.WriteText(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rqtrace:", err)
+	os.Exit(2)
+}

@@ -35,6 +35,7 @@ import (
 	"ebrrq/internal/epoch"
 	"ebrrq/internal/obs"
 	"ebrrq/internal/rqprov"
+	"ebrrq/internal/trace"
 )
 
 // KV is a key-value pair returned by range queries.
@@ -159,6 +160,7 @@ type Thread struct {
 	set   *Set
 	impl  threadImpl
 	pt    *rqprov.Thread // nil for RLU
+	tr    *trace.Ring    // flight-recorder ring (nil when untraced)
 	mtid  int            // metric shard id
 	opSeq uint64         // operations issued; drives latency sampling
 }
@@ -204,6 +206,18 @@ type Options struct {
 	// (the default) waits indefinitely. See rqprov.Config.WaitBudget.
 	// Ignored by Snap and RLU.
 	WaitBudget int
+
+	// Trace, if non-nil, attaches the flight recorder (DESIGN.md §10):
+	// every thread records op begin/end spans plus the provider's and EBR
+	// layer's lifecycle events into per-thread rings, readable at any time
+	// via Trace.Snapshot (or /debug/trace when served). Nil — the default —
+	// keeps the zero-cost disabled path. Ignored by Snap-less baselines
+	// without a provider (RLU).
+	Trace *trace.Recorder
+
+	// TraceLabel prefixes this set's trace ring labels (e.g. "s3/") so
+	// several sets — the shards of a Sharded — can share one recorder.
+	TraceLabel string
 }
 
 // opClass indexes the set-layer per-operation metrics.
@@ -302,6 +316,8 @@ func NewWithOptions(d DataStructure, t Technique, maxThreads int, opt Options) (
 		Recorder:    opt.Recorder,
 		Clock:       opt.Clock,
 		WaitBudget:  opt.WaitBudget,
+		Trace:       opt.Trace,
+		TraceLabel:  opt.TraceLabel,
 	})
 	if reg != nil {
 		s.prov.EnableMetrics(reg)
@@ -372,8 +388,12 @@ func (s *Set) TryNewThread() (*Thread, error) {
 			return nil, err
 		}
 	}
-	return &Thread{set: s, impl: s.impl.newThread(pt), pt: pt,
-		mtid: int(s.mtids.Add(1)) - 1}, nil
+	th := &Thread{set: s, impl: s.impl.newThread(pt), pt: pt,
+		mtid: int(s.mtids.Add(1)) - 1}
+	if pt != nil {
+		th.tr = pt.TraceRing()
+	}
+	return th, nil
 }
 
 // Close releases the thread's slot for reuse by a future NewThread or
@@ -426,36 +446,48 @@ func (t *Thread) opDone(op int, t0 time.Time, sampled bool) {
 // overwriting) if key is already present.
 func (t *Thread) Insert(key, value int64) bool {
 	defer t.guard()
+	t.tr.OpBegin(trace.OpInsert, uint64(key))
 	if t.set.met == nil {
-		return t.impl.insert(key, value)
+		ok := t.impl.insert(key, value)
+		t.tr.OpEnd(trace.OpInsert)
+		return ok
 	}
 	t0, sampled := t.opStart()
 	ok := t.impl.insert(key, value)
 	t.opDone(opInsert, t0, sampled)
+	t.tr.OpEnd(trace.OpInsert)
 	return ok
 }
 
 // Delete removes key, reporting whether it was present.
 func (t *Thread) Delete(key int64) bool {
 	defer t.guard()
+	t.tr.OpBegin(trace.OpDelete, uint64(key))
 	if t.set.met == nil {
-		return t.impl.remove(key)
+		ok := t.impl.remove(key)
+		t.tr.OpEnd(trace.OpDelete)
+		return ok
 	}
 	t0, sampled := t.opStart()
 	ok := t.impl.remove(key)
 	t.opDone(opDelete, t0, sampled)
+	t.tr.OpEnd(trace.OpDelete)
 	return ok
 }
 
 // Contains returns the value stored under key.
 func (t *Thread) Contains(key int64) (int64, bool) {
 	defer t.guard()
+	t.tr.OpBegin(trace.OpContains, uint64(key))
 	if t.set.met == nil {
-		return t.impl.contains(key)
+		v, ok := t.impl.contains(key)
+		t.tr.OpEnd(trace.OpContains)
+		return v, ok
 	}
 	t0, sampled := t.opStart()
 	v, ok := t.impl.contains(key)
 	t.opDone(opContains, t0, sampled)
+	t.tr.OpEnd(trace.OpContains)
 	return v, ok
 }
 
@@ -464,14 +496,18 @@ func (t *Thread) Contains(key int64) (int64, bool) {
 // slice is valid until this thread's next range query.
 func (t *Thread) RangeQuery(low, high int64) []KV {
 	defer t.guard()
+	t.tr.OpBegin(trace.OpRQ, uint64(low))
 	m := t.set.met
 	if m == nil {
-		return t.impl.rangeQuery(low, high)
+		res := t.impl.rangeQuery(low, high)
+		t.tr.OpEnd(trace.OpRQ)
+		return res
 	}
 	t0 := time.Now()
 	res := t.impl.rangeQuery(low, high)
 	m.ops[opRQ].Inc(t.mtid)
 	m.rqLat.Observe(uint64(time.Since(t0)))
+	t.tr.OpEnd(trace.OpRQ)
 	return res
 }
 
@@ -540,10 +576,10 @@ type provThread struct {
 	t *rqprov.Thread
 }
 
-func (p *provThread) insert(key, value int64) bool          { return p.s.Insert(p.t, key, value) }
-func (p *provThread) remove(key int64) bool                 { return p.s.Delete(p.t, key) }
-func (p *provThread) contains(key int64) (int64, bool)      { return p.s.Contains(p.t, key) }
-func (p *provThread) rangeQuery(low, high int64) []KV       { return p.s.RangeQuery(p.t, low, high) }
+func (p *provThread) insert(key, value int64) bool     { return p.s.Insert(p.t, key, value) }
+func (p *provThread) remove(key int64) bool            { return p.s.Delete(p.t, key) }
+func (p *provThread) contains(key int64) (int64, bool) { return p.s.Contains(p.t, key) }
+func (p *provThread) rangeQuery(low, high int64) []KV  { return p.s.RangeQuery(p.t, low, high) }
 
 type rluListImpl struct{ l *rlulist.List }
 

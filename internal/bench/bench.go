@@ -15,6 +15,7 @@ import (
 
 	"ebrrq"
 	"ebrrq/internal/obs"
+	"ebrrq/internal/trace"
 )
 
 // Mix is one worker thread's operation mix, in percent. RQPct queries span
@@ -55,6 +56,12 @@ type TrialCfg struct {
 	// vs. metrics-off overhead comparison; registry-derived Result fields
 	// (LimboVisit, LimboHist, HTMAborts, Obs) stay zero.
 	NoMetrics bool
+
+	// Trace, if non-nil, attaches the flight recorder to the trial's set:
+	// every worker gets a per-thread ring and the registry collects the
+	// per-phase RQ time counters (ebrrq_rq_{ts_wait,traverse,announce,
+	// limbo}_ns_total). Nil runs the zero-cost disabled path.
+	Trace *trace.Recorder
 }
 
 // Result aggregates a trial's measurements. Throughput counters come from
@@ -176,7 +183,8 @@ func RunTrial(cfg TrialCfg) (Result, error) {
 	if cfg.Shards > 1 {
 		sh, err := ebrrq.NewShardedWithOptions(cfg.DS, cfg.Tech, len(cfg.Threads)+1,
 			cfg.Shards, ebrrq.ShardedOptions{
-				Metrics: reg, KeyMin: 0, KeyMax: cfg.KeyRange - 1})
+				Metrics: reg, Trace: cfg.Trace,
+				KeyMin: 0, KeyMax: cfg.KeyRange - 1})
 		if err != nil {
 			return Result{}, err
 		}
@@ -195,7 +203,7 @@ func RunTrial(cfg TrialCfg) (Result, error) {
 		}
 	} else {
 		set, err := ebrrq.NewWithOptions(cfg.DS, cfg.Tech, len(cfg.Threads)+1,
-			ebrrq.Options{Metrics: reg})
+			ebrrq.Options{Metrics: reg, Trace: cfg.Trace})
 		if err != nil {
 			return Result{}, err
 		}

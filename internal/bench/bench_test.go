@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ebrrq"
+	"ebrrq/internal/trace"
 )
 
 func TestRunTrialCountsOps(t *testing.T) {
@@ -83,6 +84,79 @@ func TestTableAlignment(t *testing.T) {
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
 	if len(lines) != 2 || len(lines[0]) != len(lines[1]) {
 		t.Fatalf("misaligned table:\n%s", out)
+	}
+}
+
+// TestRQBenchTraceSplits runs one tiny traced cell and checks the report
+// point carries the flight-recorder phase splits and that the binary dump
+// sink receives a parseable dump.
+func TestRQBenchTraceSplits(t *testing.T) {
+	var dump bytes.Buffer
+	rep, err := RunRQBench(RQBenchCfg{
+		DSs:   []ebrrq.DataStructure{ebrrq.SkipList},
+		Techs: []ebrrq.Technique{ebrrq.LockFree}, Threads: []int{2},
+		Trials: 1, Duration: 30 * time.Millisecond, Scale: 100,
+		TraceDump: &dump,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 1 {
+		t.Fatalf("points = %d, want 1", len(rep.Points))
+	}
+	pt := rep.Points[0]
+	if pt.RQTraverseNs == 0 || pt.RQLimboNs == 0 || pt.RQAnnounceNs == 0 {
+		t.Fatalf("phase splits missing: %+v", pt)
+	}
+	if split := pt.PhaseSplit(); !strings.Contains(split, "traverse") {
+		t.Fatalf("PhaseSplit = %q", split)
+	}
+	snap, err := trace.ReadSnapshot(bytes.NewReader(dump.Bytes()))
+	if err != nil {
+		t.Fatalf("trace dump does not parse: %v", err)
+	}
+	if len(snap.Rings) == 0 {
+		t.Fatal("trace dump has no rings")
+	}
+}
+
+// TestRQBenchNoTrace checks the disabled path leaves the splits zero (and
+// therefore omitted from JSON).
+func TestRQBenchNoTrace(t *testing.T) {
+	rep, err := RunRQBench(RQBenchCfg{
+		DSs:   []ebrrq.DataStructure{ebrrq.SkipList},
+		Techs: []ebrrq.Technique{ebrrq.LockFree}, Threads: []int{1},
+		Trials: 1, Duration: 20 * time.Millisecond, Scale: 100,
+		NoTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt := rep.Points[0]; pt.PhaseSplit() != "" {
+		t.Fatalf("NoTrace run still has phase data: %+v", pt)
+	}
+}
+
+func TestRQEnvMismatch(t *testing.T) {
+	a := RQReport{GOMAXPROCS: 1, NumCPU: 1, GoVersion: "go1.24.0"}
+	if msgs := RQEnvMismatch(a, a); len(msgs) != 0 {
+		t.Fatalf("identical envs mismatch: %v", msgs)
+	}
+	b := RQReport{GOMAXPROCS: 8, NumCPU: 16, GoVersion: "go1.25.0"}
+	msgs := RQEnvMismatch(a, b)
+	if len(msgs) != 3 {
+		t.Fatalf("mismatch messages = %v, want 3", msgs)
+	}
+	for _, want := range []string{"gomaxprocs", "num_cpu", "go_version"} {
+		found := false
+		for _, m := range msgs {
+			if strings.HasPrefix(m, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no %s message in %v", want, msgs)
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ebrrq"
+	"ebrrq/internal/trace"
 )
 
 // RQPoint is one machine-readable data point of the RQ-mix benchmark: a
@@ -43,6 +44,15 @@ type RQPoint struct {
 	FenceShared  uint64 `json:"fence_shared"`
 	BagsSkipped  uint64 `json:"bags_skipped"`
 	BagsSwept    uint64 `json:"bags_swept"`
+
+	// Per-phase RQ time splits (total ns across all trials), collected by
+	// the flight recorder; zero (and omitted) when tracing was off. Only
+	// meaningful relative to each other — they overlap wall time across
+	// workers.
+	RQTSWaitNs   uint64 `json:"rq_ts_wait_ns,omitempty"`
+	RQTraverseNs uint64 `json:"rq_traverse_ns,omitempty"`
+	RQAnnounceNs uint64 `json:"rq_announce_ns,omitempty"`
+	RQLimboNs    uint64 `json:"rq_limbo_ns,omitempty"`
 }
 
 // Key identifies the point's workload cell for baseline comparison. Plain
@@ -82,6 +92,15 @@ type RQBenchCfg struct {
 	// Shards lists the shard counts to run each cell at; values <= 1 mean
 	// the plain Set. Default [1].
 	Shards []int
+
+	// NoTrace disables the flight recorder (tracing is on by default: the
+	// recorder is how the per-phase RQ splits are collected, and its
+	// overhead is within noise — see EXPERIMENTS.md "Flight recorder
+	// overhead").
+	NoTrace bool
+	// TraceDump, if non-nil, receives the binary flight-recorder dump of
+	// the final trial (feed it to cmd/rqtrace). Ignored with NoTrace.
+	TraceDump io.Writer
 }
 
 func (c *RQBenchCfg) defaults() {
@@ -128,6 +147,7 @@ func RunRQBench(cfg RQBenchCfg) (RQReport, error) {
 		NumCPU:     runtime.NumCPU(),
 		GoVersion:  runtime.Version(),
 	}
+	var lastRec *trace.Recorder
 	upd := (100 - cfg.RQPct) / 2
 	for _, ds := range cfg.DSs {
 		for _, tech := range cfg.Techs {
@@ -145,11 +165,21 @@ func RunRQBench(cfg RQBenchCfg) (RQReport, error) {
 					keyRange := DefaultKeyRange(ds, cfg.Scale)
 					var total Result
 					for trial := 0; trial < cfg.Trials; trial++ {
+						// One recorder per trial: each trial builds a fresh
+						// set, so sharing a recorder would pile up rings with
+						// duplicate labels. The last trial's recorder feeds
+						// TraceDump.
+						var rec *trace.Recorder
+						if !cfg.NoTrace {
+							rec = trace.NewRecorder(trace.Config{EventsPerRing: 1024})
+							lastRec = rec
+						}
 						res, err := RunTrial(TrialCfg{
 							DS: ds, Tech: tech, KeyRange: keyRange,
 							Threads: threads, Duration: cfg.Duration,
 							Seed:   cfg.Seed + int64(trial)*31337,
 							Shards: shards,
+							Trace:  rec,
 						})
 						if err != nil {
 							return rep, err
@@ -179,6 +209,10 @@ func RunRQBench(cfg RQBenchCfg) (RQReport, error) {
 						FenceShared:  total.Obs.Counter("ebrrq_rq_fence_shared"),
 						BagsSkipped:  total.Obs.Counter("ebrrq_rq_bags_skipped"),
 						BagsSwept:    total.Obs.Counter("ebrrq_rq_bags_swept"),
+						RQTSWaitNs:   total.Obs.Counter("ebrrq_rq_ts_wait_ns_total"),
+						RQTraverseNs: total.Obs.Counter("ebrrq_rq_traverse_ns_total"),
+						RQAnnounceNs: total.Obs.Counter("ebrrq_rq_announce_ns_total"),
+						RQLimboNs:    total.Obs.Counter("ebrrq_rq_limbo_ns_total"),
 					}
 					rep.Points = append(rep.Points, pt)
 					if cfg.Out != nil {
@@ -187,12 +221,54 @@ func RunRQBench(cfg RQBenchCfg) (RQReport, error) {
 							pt.Key(), pt.OpsPerUs, pt.RQsPerUs,
 							time.Duration(pt.RQP50ns), time.Duration(pt.RQP99ns),
 							pt.TSShared, pt.BagsSkipped)
+						if split := pt.PhaseSplit(); split != "" {
+							fmt.Fprintf(cfg.Out, "%-20s   rq phases: %s\n", "", split)
+						}
 					}
 				}
 			}
 		}
 	}
+	if cfg.TraceDump != nil && lastRec != nil {
+		if _, err := lastRec.Snapshot().WriteTo(cfg.TraceDump); err != nil {
+			return rep, fmt.Errorf("writing trace dump: %w", err)
+		}
+	}
 	return rep, nil
+}
+
+// PhaseSplit renders the point's per-phase RQ time attribution as
+// "ts_wait 12% / traverse 70% / announce 8% / limbo 10%", or "" when the
+// point carries no phase data (tracing off, or no RQs ran).
+func (p RQPoint) PhaseSplit() string {
+	tot := p.RQTSWaitNs + p.RQTraverseNs + p.RQAnnounceNs + p.RQLimboNs
+	if tot == 0 {
+		return ""
+	}
+	pct := func(v uint64) float64 { return 100 * float64(v) / float64(tot) }
+	return fmt.Sprintf("ts_wait %.1f%% / traverse %.1f%% / announce %.1f%% / limbo %.1f%%",
+		pct(p.RQTSWaitNs), pct(p.RQTraverseNs), pct(p.RQAnnounceNs), pct(p.RQLimboNs))
+}
+
+// RQEnvMismatch compares the host fingerprints of a baseline and a current
+// report. A non-empty result means the two were measured on differently
+// shaped hosts and throughput comparison is meaningless — callers must
+// refuse to gate rather than report bogus regressions.
+func RQEnvMismatch(baseline, current RQReport) []string {
+	var msgs []string
+	if baseline.GOMAXPROCS != current.GOMAXPROCS {
+		msgs = append(msgs, fmt.Sprintf("gomaxprocs: baseline %d vs current %d",
+			baseline.GOMAXPROCS, current.GOMAXPROCS))
+	}
+	if baseline.NumCPU != current.NumCPU {
+		msgs = append(msgs, fmt.Sprintf("num_cpu: baseline %d vs current %d",
+			baseline.NumCPU, current.NumCPU))
+	}
+	if baseline.GoVersion != current.GoVersion {
+		msgs = append(msgs, fmt.Sprintf("go_version: baseline %s vs current %s",
+			baseline.GoVersion, current.GoVersion))
+	}
+	return msgs
 }
 
 // WriteJSON renders the report as indented JSON.

@@ -2,14 +2,19 @@ package dstest
 
 import (
 	"math/rand"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"ebrrq/internal/epoch"
 	"ebrrq/internal/fault"
 	"ebrrq/internal/rqprov"
+	"ebrrq/internal/trace"
 	"ebrrq/internal/validate"
 )
 
@@ -34,6 +39,42 @@ type ChaosStats struct {
 	Crashes int
 	// Hits and Fired record the per-site failpoint counts at run end.
 	Hits, Fired map[string]uint64
+	// TraceDump is the path of the flight-recorder dump, written when the
+	// watchdog flagged a stall or validation failed ("" if neither
+	// happened). Analyze it with cmd/rqtrace.
+	TraceDump string
+}
+
+// TraceDumpDir returns where chaos stall dumps go: $EBRRQ_TRACE_DIR if set
+// (CI exports it so failed runs can upload dumps as artifacts), else the
+// test's temporary directory.
+func TraceDumpDir(t *testing.T) string {
+	if dir := os.Getenv("EBRRQ_TRACE_DIR"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err == nil {
+			return dir
+		}
+	}
+	return t.TempDir()
+}
+
+// WriteTraceDump snapshots the recorder into dir under a name derived from
+// the test and reason, logs the path, and returns it.
+func WriteTraceDump(t *testing.T, rec *trace.Recorder, dir, reason string) string {
+	name := strings.ReplaceAll(t.Name(), "/", "_") + "-" + reason + ".trace"
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Errorf("chaos: creating trace dump: %v", err)
+		return ""
+	}
+	if _, err := rec.Snapshot().WriteTo(f); err != nil {
+		t.Errorf("chaos: writing trace dump: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Errorf("chaos: closing trace dump: %v", err)
+	}
+	t.Logf("chaos: flight-recorder dump written to %s (analyze with: go run ./cmd/rqtrace %s)", path, path)
+	return path
 }
 
 // RunChaos is RunValidated under injected faults: a mixed workload runs with
@@ -71,14 +112,44 @@ func RunChaos(t *testing.T, mode rqprov.Mode, limboSorted bool, build Builder, c
 	}
 	n := cfg.Updaters + cfg.RQThreads + 1
 	checker := validate.NewChecker(n)
+	// The flight recorder runs through every chaos workload; if the run
+	// wedges or fails validation the dump is the post-mortem.
+	rec := trace.NewRecorder(trace.Config{EventsPerRing: 1024})
 	p := rqprov.New(rqprov.Config{
 		MaxThreads:  n,
 		Mode:        mode,
 		LimboSorted: limboSorted,
 		MaxAnnounce: 64,
 		Recorder:    checker,
+		Trace:       rec,
 	})
 	s := build(p)
+
+	stats := ChaosStats{
+		Hits:  map[string]uint64{},
+		Fired: map[string]uint64{},
+	}
+	// dumpPath is written at most once, but possibly from the watchdog
+	// goroutine; the mutex pairs that write with the read at return.
+	var dumpOnce sync.Once
+	var dumpMu sync.Mutex
+	var dumpPath string
+	dump := func(reason string) {
+		dumpOnce.Do(func() {
+			p := WriteTraceDump(t, rec, TraceDumpDir(t), reason)
+			dumpMu.Lock()
+			dumpPath = p
+			dumpMu.Unlock()
+		})
+	}
+	// A watchdog rides along: if any thread wedges long enough to pin the
+	// epoch, the recorder state is captured right at the stall edge (the
+	// injected faults themselves only delay for microseconds, so a flag
+	// here is a real hang).
+	wd := p.Domain().StartWatchdog(epoch.WatchdogConfig{
+		OnStall: func([]epoch.Stall) { dump("stall") },
+	})
+	defer wd.Stop()
 
 	// Prefill before any fault is armed; the spare slot stays registered
 	// (quiescent) so the workers plus the spare fill the provider exactly.
@@ -171,11 +242,7 @@ func RunChaos(t *testing.T, mode rqprov.Mode, limboSorted bool, build Builder, c
 	stop.Store(true)
 	wg.Wait()
 
-	stats := ChaosStats{
-		Crashes: int(crashes.Load()),
-		Hits:    map[string]uint64{},
-		Fired:   map[string]uint64{},
-	}
+	stats.Crashes = int(crashes.Load())
 	for name := range cfg.Faults {
 		stats.Hits[name] = fault.Hits(name)
 		stats.Fired[name] = fault.Fired(name)
@@ -187,9 +254,11 @@ func RunChaos(t *testing.T, mode rqprov.Mode, limboSorted bool, build Builder, c
 
 	// Degraded is fine; broken is not: every range query must replay.
 	if cfg.RQThreads > 0 && checker.RQs() == 0 {
+		dump("norqs")
 		t.Fatal("chaos: no range queries completed")
 	}
 	if err := checker.Check(); err != nil {
+		dump("validation")
 		t.Fatalf("chaos validation failed after %d events / %d rqs (%d crashes): %v",
 			checker.Events(), checker.RQs(), stats.Crashes, err)
 	}
@@ -203,10 +272,16 @@ func RunChaos(t *testing.T, mode rqprov.Mode, limboSorted bool, build Builder, c
 		spare.EndOp()
 	}
 	if p.Domain().Advances() == advances {
+		dump("wedged")
 		t.Fatal("chaos: epoch wedged after the run — a dead thread still pins it")
 	}
 	if limbo := p.Domain().LimboSize(); limbo != 0 {
+		dump("limbo-leak")
 		t.Fatalf("chaos: %d nodes stuck in limbo after drain (crashed threads leaked)", limbo)
 	}
+	wd.Stop() // join the watchdog before reading what it may have dumped
+	dumpMu.Lock()
+	stats.TraceDump = dumpPath
+	dumpMu.Unlock()
 	return stats
 }

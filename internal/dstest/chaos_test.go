@@ -4,6 +4,11 @@ import (
 	"testing"
 	"time"
 
+	"bytes"
+	"os"
+	"strings"
+
+	"ebrrq"
 	"ebrrq/internal/ds/abtree"
 	"ebrrq/internal/ds/citrus"
 	"ebrrq/internal/ds/lazylist"
@@ -15,6 +20,7 @@ import (
 	"ebrrq/internal/fault"
 	"ebrrq/internal/obs"
 	"ebrrq/internal/rqprov"
+	"ebrrq/internal/trace"
 	"ebrrq/internal/validate"
 )
 
@@ -265,5 +271,97 @@ func TestChaosStallMidUpdate(t *testing.T) {
 	checker.AddRQ(main.ID(), main.LastRQTS(), 0, 4000, rq)
 	if err := checker.Check(); err != nil {
 		t.Fatalf("validation failed after stall recovery: %v", err)
+	}
+}
+
+// TestChaosStallTraceDump is the flight-recorder acceptance scenario: a
+// thread is force-stalled mid-insert through the public ebrrq API with the
+// recorder attached; the watchdog flags the stall and the harness writes a
+// dump, which the rqtrace analyzer must render into a report naming the
+// stalled thread and the operation it is wedged inside.
+func TestChaosStallTraceDump(t *testing.T) {
+	if !fault.Enabled {
+		t.Skip("chaos runs require -tags failpoints")
+	}
+	rec := trace.NewRecorder(trace.Config{EventsPerRing: 256})
+	set, err := ebrrq.NewWithOptions(ebrrq.LFList, ebrrq.LockFree, 3,
+		ebrrq.Options{Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := set.NewThread()
+	defer main.Close()
+	for k := int64(0); k < 64; k++ {
+		main.Insert(k, k*10)
+	}
+
+	dir := dstest.TraceDumpDir(t)
+	dumped := make(chan string, 1)
+	wd := set.Provider().Domain().StartWatchdog(epoch.WatchdogConfig{
+		Interval:   time.Millisecond,
+		StallAfter: 20 * time.Millisecond,
+		OnStall: func([]epoch.Stall) {
+			dumped <- dstest.WriteTraceDump(t, rec, dir, "stall")
+		},
+	})
+	defer wd.Stop()
+
+	// Wedge a thread inside its next insert, after the epoch announcement.
+	act, release := fault.Stall()
+	fault.Reset()
+	defer fault.Reset()
+	fault.Arm("rqprov.update.announced", act.Once())
+	staller := set.NewThread()
+	stallerDone := make(chan struct{})
+	go func() {
+		defer close(stallerDone)
+		staller.Insert(1000, 1)
+	}()
+
+	var path string
+	select {
+	case path = <-dumped:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog never flagged the stalled thread")
+	}
+	release()
+	<-stallerDone
+	staller.Close()
+	if path == "" {
+		t.Fatal("stall dump was not written")
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := trace.ReadSnapshot(f)
+	if err != nil {
+		t.Fatalf("stall dump does not parse: %v", err)
+	}
+	rep := trace.BuildReport(snap)
+	// main registered first (slot 0), the staller second (slot 1).
+	if len(rep.Stalls) == 0 || rep.Stalls[0].ThreadID != 1 {
+		t.Fatalf("report stalls = %+v, want thread 1 flagged", rep.Stalls)
+	}
+	found := false
+	for _, op := range rep.InFlight {
+		if op.Op == "insert" && op.Ring == "t1" && op.Arg == 1000 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("report in-flight ops = %+v, want the wedged insert of key 1000 on t1",
+			rep.InFlight)
+	}
+	// The rendered report (what cmd/rqtrace prints) must name the culprit.
+	var buf bytes.Buffer
+	rep.WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{"STALL: thread 1", "IN-FLIGHT: insert on t1 (arg 1000)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered report missing %q:\n%s", want, out)
+		}
 	}
 }

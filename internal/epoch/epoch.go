@@ -30,6 +30,7 @@ import (
 
 	"ebrrq/internal/fault"
 	"ebrrq/internal/obs"
+	"ebrrq/internal/trace"
 )
 
 // KV is a key-value pair stored in a multi-key node.
@@ -220,6 +221,11 @@ type Domain struct {
 
 	wd atomic.Pointer[Watchdog]
 
+	// Flight recorder (may be nil). trPrefix namespaces ring labels when
+	// several domains (shards) share one recorder.
+	trec     *trace.Recorder
+	trPrefix string
+
 	// Stats.
 	reclaimed atomic.Uint64
 	advances  atomic.Uint64
@@ -251,6 +257,15 @@ func (d *Domain) SetFreeFunc(f FreeFunc) { d.free = f }
 // domain is shared between goroutines (metrics handles are nil-safe, so
 // partial wiring is fine).
 func (d *Domain) SetMetrics(m Metrics) { d.met = m }
+
+// SetTrace attaches a flight recorder to the domain. The domain itself only
+// uses it for the watchdog's stall-edge ring (labeled prefix+"watchdog");
+// per-thread rings are attached by the layer that owns thread registration
+// (Thread.SetTrace). Call before StartWatchdog.
+func (d *Domain) SetTrace(rec *trace.Recorder, prefix string) {
+	d.trec = rec
+	d.trPrefix = prefix
+}
 
 // Register allocates a thread slot in the domain, panicking when the domain
 // is full. It is a thin wrapper around TryRegister kept for existing
@@ -331,8 +346,9 @@ func (d *Domain) adopt(id int) *Thread {
 }
 
 // reclaimChain hands every node of a limbo chain to the free function,
-// crediting the stats. tid selects the receiving free pool.
-func (d *Domain) reclaimChain(tid int, head *Node) {
+// crediting the stats, and returns how many nodes were freed. tid selects
+// the receiving free pool.
+func (d *Domain) reclaimChain(tid int, head *Node) int {
 	n := 0
 	for head != nil {
 		next := head.limboNext.Load()
@@ -347,6 +363,7 @@ func (d *Domain) reclaimChain(tid int, head *Node) {
 		d.reclaimed.Add(uint64(n))
 		d.met.Reclaimed.Add(tid, uint64(n))
 	}
+	return n
 }
 
 // GlobalEpoch returns the current global epoch (useful for stats/tests).
@@ -402,6 +419,10 @@ type Thread struct {
 	// nest inside it as no-ops, so a multi-structure operation (a cross-shard
 	// range query) can hold one announcement across several inner operations.
 	pinned bool
+
+	// tr is the thread's flight-recorder ring (nil when untraced). Owned by
+	// the same goroutine as the rest of the mutable state.
+	tr *trace.Ring
 }
 
 // ID returns the thread's slot index within its domain.
@@ -409,6 +430,11 @@ func (t *Thread) ID() int { return t.id }
 
 // Domain returns the domain this thread is registered with.
 func (t *Thread) Domain() *Domain { return t.dom }
+
+// SetTrace attaches a flight-recorder ring to the thread. Call from the
+// owner goroutine before the thread runs operations (the provider does this
+// at registration).
+func (t *Thread) SetTrace(r *trace.Ring) { t.tr = r }
 
 // StartOp announces the beginning of a data-structure operation. Every
 // operation (update, search, or range query) must be bracketed by
@@ -508,6 +534,9 @@ func (t *Thread) Pin() {
 		t.rotate(e)
 		t.localEpoch = e
 	}
+	if t.tr != nil {
+		t.tr.Emit(trace.EvEpochPin, e, 0)
+	}
 }
 
 // Unpin leaves a pinned critical section and quiesces the announcement.
@@ -520,6 +549,9 @@ func (t *Thread) Unpin() {
 	t.pinned = false
 	t.inOp = false
 	t.ann.Store(t.ann.Load() | quiescentBit)
+	if t.tr != nil {
+		t.tr.Emit(trace.EvEpochUnpin, t.localEpoch, 0)
+	}
 }
 
 // AbortOp force-ends the current operation, if any. Unlike EndOp it is safe
@@ -585,6 +617,9 @@ func (t *Thread) Retire(n *Node) {
 	b.head.Store(n) // single producer; readers snapshot head and walk links
 	b.count.Add(1)
 	t.dom.met.Retires.Inc(t.id)
+	if t.tr != nil {
+		t.tr.Emit(trace.EvRetire, dt, b.epoch.Load())
+	}
 }
 
 // rotate is called by the owner when its local epoch changes to e: the bag
@@ -604,9 +639,12 @@ func (t *Thread) rotate(e uint64) {
 	b.maxDTime.Store(0) // reset with head cleared, before the re-tag below
 	b.epoch.Store(e)
 	fault.Inject("epoch.rotate.mid")
-	t.dom.reclaimChain(t.id, old)
+	n := t.dom.reclaimChain(t.id, old)
 	b.count.Store(0)
 	t.dom.met.Rotations.Inc(t.id)
+	if t.tr != nil {
+		t.tr.Emit(trace.EvRotate, e, uint64(n))
+	}
 }
 
 // tryAdvance attempts to advance the global epoch: it succeeds if every
@@ -628,8 +666,11 @@ func (t *Thread) tryAdvance() {
 	if d.global.CompareAndSwap(e, e+1) {
 		d.advances.Add(1)
 		d.met.Advances.Inc(t.id)
+		if t.tr != nil {
+			t.tr.Emit(trace.EvEpochAdvance, e+1, 0)
+		}
 		if d.orphans.Load() > 0 {
-			d.sweepOrphans(e+1, t.id)
+			d.sweepOrphans(e+1, t.id, t.tr)
 		}
 	}
 }
@@ -640,7 +681,7 @@ func (t *Thread) tryAdvance() {
 // them. Without this, a thread that dies with retired nodes would pin those
 // nodes forever, since only a bag's owner ever rotates it. d.mu arbitrates
 // with slot adoption; head.Swap arbitrates chain ownership.
-func (d *Domain) sweepOrphans(e uint64, tid int) {
+func (d *Domain) sweepOrphans(e uint64, tid int, tr *trace.Ring) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	n := int(d.registered.Load())
@@ -655,7 +696,9 @@ func (d *Domain) sweepOrphans(e uint64, tid int) {
 				continue
 			}
 			if head := bg.head.Swap(nil); head != nil {
-				d.reclaimChain(tid, head)
+				if freed := d.reclaimChain(tid, head); freed > 0 && tr != nil {
+					tr.Emit(trace.EvReclaim, uint64(freed), uint64(i))
+				}
 			}
 			bg.count.Store(0)
 		}

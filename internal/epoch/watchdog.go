@@ -3,6 +3,8 @@ package epoch
 import (
 	"sync"
 	"time"
+
+	"ebrrq/internal/trace"
 )
 
 // WatchdogConfig tunes a Domain's stall watchdog.
@@ -36,6 +38,10 @@ type Watchdog struct {
 
 	samples []wdSample
 
+	// tr records stall edges into the flight recorder (nil when the domain
+	// is untraced). The watchdog goroutine is the ring's single writer.
+	tr *trace.Ring
+
 	mu  sync.Mutex
 	cur []Stall
 }
@@ -62,6 +68,9 @@ func (d *Domain) StartWatchdog(cfg WatchdogConfig) *Watchdog {
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 		samples: make([]wdSample, len(d.threads)),
+	}
+	if d.trec != nil {
+		w.tr = d.trec.Ring(d.trPrefix + "watchdog")
 	}
 	if prev := d.wd.Swap(w); prev != nil {
 		prev.Stop()
@@ -111,11 +120,15 @@ func (w *Watchdog) run() {
 			w.mu.Unlock()
 			if len(cur) > 0 && !stalled {
 				stalled = true
+				for _, s := range cur {
+					w.tr.Emit(trace.EvStall, uint64(s.ThreadID), uint64(s.Stuck))
+				}
 				if w.cfg.OnStall != nil {
 					w.cfg.OnStall(cur)
 				}
 			} else if len(cur) == 0 && stalled {
 				stalled = false
+				w.tr.Emit(trace.EvStallRecover, 0, 0)
 				if w.cfg.OnRecover != nil {
 					w.cfg.OnRecover()
 				}

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
@@ -9,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"ebrrq/internal/trace"
 )
 
 // TestShardedConcurrency hammers one counter and one histogram from
@@ -80,8 +84,8 @@ func TestCounterOutOfRangeTid(t *testing.T) {
 	r := NewRegistry(2)
 	c := r.Counter("fold", "")
 	c.Inc(0)
-	c.Inc(5)   // folds to shard 1
-	c.Inc(-3)  // folds via unsigned modulo
+	c.Inc(5)  // folds to shard 1
+	c.Inc(-3) // folds via unsigned modulo
 	c.Add(99, 4)
 	if got := c.Value(); got != 7 {
 		t.Errorf("Value = %d, want 7", got)
@@ -244,6 +248,95 @@ func TestHandler(t *testing.T) {
 	// No checks configured: /healthz is unconditionally healthy.
 	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
 		t.Errorf("/healthz: code=%d body=%q", code, body)
+	}
+	// The root page lists every mounted route; with no recorder configured
+	// there is no /debug/trace route to list.
+	code, body = get("/")
+	if code != http.StatusOK {
+		t.Errorf("/: code=%d", code)
+	}
+	for _, route := range []string{"/metrics", "/healthz", "/debug/vars", "/debug/pprof/"} {
+		if !strings.Contains(body, route) {
+			t.Errorf("root listing missing %q:\n%s", route, body)
+		}
+	}
+	if strings.Contains(body, "/debug/trace") {
+		t.Errorf("root listing advertises /debug/trace without a recorder:\n%s", body)
+	}
+	if code, _ := get("/debug/trace"); code != http.StatusNotFound {
+		t.Errorf("/debug/trace without recorder: code=%d, want 404", code)
+	}
+}
+
+// TestHandlerTrace wires a live flight recorder into the handler and checks
+// /debug/trace serves a parseable binary dump (and JSON on request), and
+// that the root listing advertises the route.
+func TestHandlerTrace(t *testing.T) {
+	r := NewRegistry(1)
+	rec := trace.NewRecorder(trace.Config{EventsPerRing: 64})
+	ring := rec.Ring("t0")
+	ring.OpBegin(trace.OpInsert, 42)
+	ring.OpEnd(trace.OpInsert)
+	ts := httptest.NewServer(NewHandler(r, HandlerOpts{Trace: rec}))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/trace: code=%d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("Content-Type = %q, want octet-stream", ct)
+	}
+	if cd := resp.Header.Get("Content-Disposition"); !strings.Contains(cd, "ebrrq.trace") {
+		t.Errorf("Content-Disposition = %q, want attachment filename", cd)
+	}
+	snap, err := trace.ReadSnapshot(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("dump does not parse: %v", err)
+	}
+	if len(snap.Rings) != 1 || snap.Rings[0].Label != "t0" || len(snap.Rings[0].Events) != 2 {
+		t.Fatalf("round-tripped snapshot = %+v, want ring t0 with 2 events", snap.Rings)
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/trace?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("json Content-Type = %q", ct)
+	}
+	var js struct {
+		Rings []struct {
+			Label  string `json:"label"`
+			Events []struct {
+				Type string `json:"type"`
+			} `json:"events"`
+		} `json:"rings"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
+		t.Fatalf("json decode: %v", err)
+	}
+	if len(js.Rings) != 1 || js.Rings[0].Label != "t0" {
+		t.Fatalf("json rings = %+v", js.Rings)
+	}
+	if len(js.Rings[0].Events) != 2 || js.Rings[0].Events[0].Type != "op_begin" {
+		t.Fatalf("json events = %+v", js.Rings[0].Events)
+	}
+
+	rootResp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rootResp.Body.Close()
+	rootBody, _ := io.ReadAll(rootResp.Body)
+	if !strings.Contains(string(rootBody), "/debug/trace") {
+		t.Errorf("root listing missing /debug/trace:\n%s", rootBody)
 	}
 }
 

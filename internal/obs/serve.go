@@ -1,13 +1,17 @@
 package obs
 
 import (
+	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"time"
+
+	"ebrrq/internal/trace"
 )
 
 // HealthCheck is a named liveness probe exposed at /healthz. Check returns
@@ -18,21 +22,43 @@ type HealthCheck struct {
 	Check func() error
 }
 
+// HandlerOpts configures the observability handler beyond the metrics
+// registry itself.
+type HandlerOpts struct {
+	// Checks are exposed at /healthz (200 while all pass, 503 otherwise).
+	Checks []HealthCheck
+	// Trace, when non-nil, exposes the flight recorder at /debug/trace:
+	// GET returns a binary dump (feed it to cmd/rqtrace); ?format=json
+	// returns the snapshot as JSON.
+	Trace *trace.Recorder
+}
+
 // Handler returns the observability HTTP handler: /metrics (Prometheus
 // text), /debug/vars (expvar JSON, including this registry once published),
 // the net/http/pprof profile endpoints under /debug/pprof/, and /healthz,
 // which answers 200 while every supplied check passes and 503 (listing the
 // failing checks) otherwise. With no checks /healthz always answers 200.
+// The root path lists every mounted route.
 func Handler(r *Registry, checks ...HealthCheck) http.Handler {
+	return NewHandler(r, HandlerOpts{Checks: checks})
+}
+
+// NewHandler is Handler with the full option set; see HandlerOpts.
+func NewHandler(r *Registry, opts HandlerOpts) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	var routes []string
+	handle := func(pattern string, h http.HandlerFunc) {
+		routes = append(routes, pattern)
+		mux.HandleFunc(pattern, h)
+	}
+	handle("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WriteProm(w)
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+	handle("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		failed := false
-		for _, c := range checks {
+		for _, c := range opts.Checks {
 			if err := c.Check(); err != nil {
 				if !failed {
 					failed = true
@@ -45,18 +71,40 @@ func Handler(r *Registry, checks ...HealthCheck) http.Handler {
 			fmt.Fprintln(w, "ok")
 		}
 	})
+	routes = append(routes, "/debug/vars")
 	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	handle("/debug/pprof/", pprof.Index)
+	handle("/debug/pprof/cmdline", pprof.Cmdline)
+	handle("/debug/pprof/profile", pprof.Profile)
+	handle("/debug/pprof/symbol", pprof.Symbol)
+	handle("/debug/pprof/trace", pprof.Trace)
+	if opts.Trace != nil {
+		rec := opts.Trace
+		handle("/debug/trace", func(w http.ResponseWriter, req *http.Request) {
+			snap := rec.Snapshot()
+			if req.URL.Query().Get("format") == "json" {
+				w.Header().Set("Content-Type", "application/json")
+				enc := json.NewEncoder(w)
+				enc.SetIndent("", "  ")
+				_ = enc.Encode(snap)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Disposition", `attachment; filename="ebrrq.trace"`)
+			_, _ = snap.WriteTo(w)
+		})
+	}
+	sort.Strings(routes)
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprintf(w, "ebrrq observability: /metrics /healthz /debug/vars /debug/pprof/\n")
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ebrrq observability endpoints:")
+		for _, rt := range routes {
+			fmt.Fprintf(w, "  %s\n", rt)
+		}
 	})
 	return mux
 }
@@ -97,12 +145,17 @@ func (s *Server) Err() error {
 // `curl <Addr()>/metrics` cannot race the bind. Optional health checks are
 // exposed at /healthz.
 func Serve(addr string, r *Registry, checks ...HealthCheck) (*Server, error) {
+	return ServeWith(addr, r, HandlerOpts{Checks: checks})
+}
+
+// ServeWith is Serve with the full option set; see HandlerOpts.
+func ServeWith(addr string, r *Registry, opts HandlerOpts) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	r.PublishExpvar("ebrrq")
-	srv := &http.Server{Handler: Handler(r, checks...), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: NewHandler(r, opts), ReadHeaderTimeout: 5 * time.Second}
 	s := &Server{srv: srv, ln: ln, done: make(chan struct{})}
 	go func() {
 		defer close(s.done)

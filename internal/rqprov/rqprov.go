@@ -47,6 +47,7 @@ import (
 	"ebrrq/internal/fault"
 	"ebrrq/internal/obs"
 	"ebrrq/internal/rwlock"
+	"ebrrq/internal/trace"
 )
 
 // Mode selects one of the provider implementations.
@@ -118,6 +119,14 @@ type Config struct {
 	// clock (sharding, DESIGN.md §9). An injected clock is never reset —
 	// providers may join it at any point in its history.
 	Clock TimestampSource
+	// Trace, if non-nil, attaches the flight recorder (DESIGN.md §10): each
+	// registered thread gets a per-slot event ring, range queries record
+	// per-phase timings, and the epoch domain's watchdog records stall
+	// edges. Nil keeps the zero-cost disabled path.
+	Trace *trace.Recorder
+	// TraceLabel prefixes this provider's ring labels (e.g. "s3/" for shard
+	// 3) so several providers can share one recorder.
+	TraceLabel string
 }
 
 // Recorder observes timestamped updates for offline validation.
@@ -168,6 +177,13 @@ type Provider struct {
 	waitBudget  int
 	met         provMetrics
 
+	// Flight recorder (nil when untraced). rings caches one ring per thread
+	// slot so crash/revive churn (chaos tests) reuses rings instead of
+	// exhausting the recorder's MaxRings budget; guarded by mu.
+	trace      *trace.Recorder
+	traceLabel string
+	rings      []*trace.Ring
+
 	mu      sync.Mutex // guards freeIDs and the register/deregister pairing
 	freeIDs []int
 }
@@ -187,8 +203,8 @@ type provMetrics struct {
 	dcssRetries  *obs.Counter   // ebrrq_dcss_retries_total
 	awaitISpins  *obs.Counter   // ebrrq_await_itime_spins_total
 	awaitDSpins  *obs.Counter   // ebrrq_await_dtime_spins_total
-	poolHits     *obs.Counter // ebrrq_pool_hits_total
-	poolMisses   *obs.Counter // ebrrq_pool_misses_total
+	poolHits     *obs.Counter   // ebrrq_pool_hits_total
+	poolMisses   *obs.Counter   // ebrrq_pool_misses_total
 
 	// RQ hot-path scaling family: tsShared counts range queries that
 	// adopted a concurrently installed timestamp, tsAdvanced those that won
@@ -200,6 +216,14 @@ type provMetrics struct {
 	fenceShared *obs.Counter // ebrrq_rq_fence_shared
 	bagsSkipped *obs.Counter // ebrrq_rq_bags_skipped
 	bagsSwept   *obs.Counter // ebrrq_rq_bags_swept
+
+	// Per-phase RQ time attribution, only fed while the flight recorder is
+	// attached (the clock reads ride on the recorder's event stamps).
+	// Distinct names, not a label: Snapshot.Counter sums across label sets.
+	phTSWait   *obs.Counter // ebrrq_rq_ts_wait_ns_total
+	phTraverse *obs.Counter // ebrrq_rq_traverse_ns_total
+	phAnnounce *obs.Counter // ebrrq_rq_announce_ns_total
+	phLimbo    *obs.Counter // ebrrq_rq_limbo_ns_total
 
 	// Timestamp-wait escalation family: escalations count waits that
 	// exhausted SpinBudget and began yielding; fallbacks count waits that
@@ -226,14 +250,18 @@ func (p *Provider) EnableMetrics(reg *obs.Registry) {
 		dcssRetries:  reg.Counter("ebrrq_dcss_retries_total", "DCSS retries after a timestamp change (lock-free provider)"),
 		awaitISpins:  reg.Counter("ebrrq_await_itime_spins_total", "spin iterations waiting for insertion timestamps"),
 		awaitDSpins:  reg.Counter("ebrrq_await_dtime_spins_total", "spin iterations waiting for deletion timestamps"),
-		poolHits:   reg.Counter("ebrrq_pool_hits_total", "node allocations served from a free pool"),
-		poolMisses: reg.Counter("ebrrq_pool_misses_total", "node allocations that went to the heap"),
-		tsShared:    reg.Counter("ebrrq_rq_ts_shared", "range queries that adopted a concurrently installed timestamp"),
-		tsAdvanced:  reg.Counter("ebrrq_rq_ts_advanced", "range queries that advanced the global timestamp themselves"),
-		tsPinned:    reg.Counter("ebrrq_rq_ts_pinned", "per-shard traversals that ran at a router-pinned timestamp"),
-		fenceShared: reg.Counter("ebrrq_rq_fence_shared", "timestamp advances whose update-lock drain was satisfied by a concurrent drain"),
-		bagsSkipped: reg.Counter("ebrrq_rq_bags_skipped", "limbo bags skipped entirely by the max-dtime fence"),
-		bagsSwept:   reg.Counter("ebrrq_rq_bags_swept", "limbo bags walked by range-query sweeps"),
+		poolHits:     reg.Counter("ebrrq_pool_hits_total", "node allocations served from a free pool"),
+		poolMisses:   reg.Counter("ebrrq_pool_misses_total", "node allocations that went to the heap"),
+		tsShared:     reg.Counter("ebrrq_rq_ts_shared", "range queries that adopted a concurrently installed timestamp"),
+		tsAdvanced:   reg.Counter("ebrrq_rq_ts_advanced", "range queries that advanced the global timestamp themselves"),
+		tsPinned:     reg.Counter("ebrrq_rq_ts_pinned", "per-shard traversals that ran at a router-pinned timestamp"),
+		fenceShared:  reg.Counter("ebrrq_rq_fence_shared", "timestamp advances whose update-lock drain was satisfied by a concurrent drain"),
+		bagsSkipped:  reg.Counter("ebrrq_rq_bags_skipped", "limbo bags skipped entirely by the max-dtime fence"),
+		bagsSwept:    reg.Counter("ebrrq_rq_bags_swept", "limbo bags walked by range-query sweeps"),
+		phTSWait:     reg.Counter("ebrrq_rq_ts_wait_ns_total", "ns range queries spent acquiring/fencing their timestamp (flight recorder attached)"),
+		phTraverse:   reg.Counter("ebrrq_rq_traverse_ns_total", "ns range queries spent traversing the structure (flight recorder attached)"),
+		phAnnounce:   reg.Counter("ebrrq_rq_announce_ns_total", "ns range queries spent on the announcement sweep (flight recorder attached)"),
+		phLimbo:      reg.Counter("ebrrq_rq_limbo_ns_total", "ns range queries spent on the limbo sweep (flight recorder attached)"),
 	}
 	const escHelp = "timestamp waits that exhausted the spin budget and began yielding"
 	const fbHelp = "timestamp waits that exhausted the wait budget and resolved conservatively"
@@ -315,6 +343,12 @@ func New(cfg Config) *Provider {
 		recorder:    cfg.Recorder,
 		spinBudget:  cfg.SpinBudget,
 		waitBudget:  cfg.WaitBudget,
+		trace:       cfg.Trace,
+		traceLabel:  cfg.TraceLabel,
+	}
+	if cfg.Trace != nil {
+		p.rings = make([]*trace.Ring, cfg.MaxThreads)
+		p.dom.SetTrace(cfg.Trace, cfg.TraceLabel)
 	}
 	p.tsFenced.Store(1)
 	if cfg.Mode == ModeHTM {
@@ -400,6 +434,14 @@ func (p *Provider) TryRegister() (*Thread, error) {
 		id:       id,
 		announce: make([]atomic.Pointer[epoch.Node], p.maxAnnounce),
 	}
+	if p.trace != nil {
+		if p.rings[id] == nil {
+			p.rings[id] = p.trace.Ring(fmt.Sprintf("%st%d", p.traceLabel, id))
+		}
+		t.tr = p.rings[id]
+		t.traced = true
+		ep.SetTrace(t.tr)
+	}
 	p.threads[id].Store(t)
 	if fresh {
 		p.registered.Store(int32(id + 1))
@@ -462,6 +504,13 @@ type Thread struct {
 	// re-growing through the append doubling schedule.
 	resultHWM int
 	annHWM    int
+
+	// Flight recorder. traced is set when the provider carries a recorder —
+	// phase timing runs even if tr is nil (ring budget exhausted) so the
+	// phase counters stay truthful. tr is owner-written, owner-read.
+	tr          *trace.Ring
+	traced      bool
+	phTravStart int64 // trace.Now() when the traversal phase began
 }
 
 type annRef struct {
@@ -477,6 +526,11 @@ func (t *Thread) Provider() *Provider { return t.prov }
 
 // Epoch returns the underlying EBR thread handle.
 func (t *Thread) Epoch() *epoch.Thread { return t.ep }
+
+// TraceRing returns the thread's flight-recorder ring (nil when untraced or
+// past the recorder's ring budget). The set layer stamps op begin/end events
+// on it so per-op spans and provider-phase events land in one ring.
+func (t *Thread) TraceRing() *trace.Ring { return t.tr }
 
 // StartOp begins a data-structure operation (EBR announcement).
 func (t *Thread) StartOp() { t.ep.StartOp() }
@@ -651,6 +705,9 @@ func (t *Thread) UpdateCAS(slot *dcss.Slot, old, new unsafe.Pointer, inodes, dno
 			}
 			// FailedA1: TS changed under us; retry with a fresh read.
 			p.met.dcssRetries.Inc(t.id)
+			if t.tr != nil {
+				t.tr.Emit(trace.EvDCSSRetry, ts, 0)
+			}
 		}
 	}
 	panic("rqprov: unknown mode")
@@ -771,6 +828,11 @@ func (t *Thread) TraversalStart(low, high int64) {
 	t.result = t.result[:0]
 	t.rqActive = true
 	p := t.prov
+	var t0 int64
+	if t.traced {
+		t0 = trace.Now()
+	}
+	var ev trace.EventType // which timestamp event the switch decided on
 	switch p.mode {
 	case ModeUnsafe:
 		t.ts = 0
@@ -781,6 +843,7 @@ func (t *Thread) TraversalStart(low, high int64) {
 			p.ensureFenced(t.id, pin)
 			t.ts = pin
 			p.met.tsPinned.Inc(t.id)
+			ev = trace.EvTSPinned
 			break
 		}
 		v := p.ts.Load()
@@ -789,15 +852,18 @@ func (t *Thread) TraversalStart(low, high int64) {
 			p.ensureFenced(t.id, v+1)
 			t.ts = v + 1
 			p.met.tsAdvanced.Inc(t.id)
+			ev = trace.EvTSAdvance
 		} else {
 			t.ts = p.adoptFenced(t.id, v)
 			p.met.tsShared.Inc(t.id)
+			ev = trace.EvTSAdopt
 		}
 	case ModeLockFree:
 		if pin := t.pinnedTS; pin != 0 {
 			t.pinnedTS = 0
 			t.ts = pin
 			p.met.tsPinned.Inc(t.id)
+			ev = trace.EvTSPinned
 			break
 		}
 		v := p.ts.Load()
@@ -805,6 +871,7 @@ func (t *Thread) TraversalStart(low, high int64) {
 		if p.ts.CompareAndSwap(v, v+1) {
 			t.ts = v + 1
 			p.met.tsAdvanced.Inc(t.id)
+			ev = trace.EvTSAdvance
 		} else {
 			// The CAS failed because another query installed v+1 (only
 			// range queries write TS): adopt the newer value. Every update
@@ -813,6 +880,16 @@ func (t *Thread) TraversalStart(low, high int64) {
 			// before this load — so it is visible to our traversal.
 			t.ts = p.ts.Load()
 			p.met.tsShared.Inc(t.id)
+			ev = trace.EvTSAdopt
+		}
+	}
+	if t.traced {
+		now := trace.Now()
+		t.phTravStart = now
+		if ev != trace.EvNone {
+			wait := uint64(now - t0)
+			t.tr.EmitAt(ev, now, t.ts, wait)
+			p.met.phTSWait.Add(t.id, wait)
 		}
 	}
 	fault.Inject("rqprov.rq.started")
@@ -967,6 +1044,16 @@ func (t *Thread) TraversalEnd() []epoch.KV {
 		panic("rqprov: TraversalEnd without TraversalStart")
 	}
 	t.rqActive = false
+	// Phase clock: the traverse phase ran from the end of TraversalStart to
+	// here; the announce and limbo phases are measured below as this
+	// function moves through them.
+	var phMark int64
+	if t.traced {
+		phMark = trace.Now()
+		trav := uint64(phMark - t.phTravStart)
+		t.tr.EmitAt(trace.EvTraverse, phMark, uint64(len(t.result)), trav)
+		t.prov.met.phTraverse.Add(t.id, trav)
+	}
 	if t.prov.mode == ModeUnsafe {
 		return t.finishResult()
 	}
@@ -1013,6 +1100,13 @@ func (t *Thread) TraversalEnd() []epoch.KV {
 	// chain) live across range queries.
 	clear(t.annScratch)
 	t.annScratch = t.annScratch[:0]
+	if t.traced {
+		now := trace.Now()
+		d := uint64(now - phMark)
+		t.tr.EmitAt(trace.EvAnnScan, now, scanned, d)
+		t.prov.met.phAnnounce.Add(t.id, d)
+		phMark = now
+	}
 
 	fault.Inject("rqprov.rq.limbosweep")
 	visited, skipped, swept := t.sweepLimbo(p.ts.Load())
@@ -1026,6 +1120,12 @@ func (t *Thread) TraversalEnd() []epoch.KV {
 	p.met.limboPerRQ.Observe(visited)
 	p.met.bagsSkipped.Add(t.id, skipped)
 	p.met.bagsSwept.Add(t.id, swept)
+	if t.traced {
+		now := trace.Now()
+		d := uint64(now - phMark)
+		t.tr.EmitAt(trace.EvLimboDone, now, visited, d)
+		p.met.phLimbo.Add(t.id, d)
+	}
 	return t.finishResult()
 }
 
@@ -1054,6 +1154,7 @@ func (t *Thread) sweepLimbo(endTS uint64) (visited, skipped, swept uint64) {
 			continue
 		}
 		swept++
+		bagStart := visited
 		for n := head; n != nil; n = n.LimboNext() {
 			visited++
 			dtime := n.DTime()
@@ -1068,6 +1169,12 @@ func (t *Thread) sweepLimbo(endTS uint64) (visited, skipped, swept uint64) {
 			}
 			t.tryAddFromLimbo(n)
 		}
+		if t.tr != nil {
+			t.tr.Emit(trace.EvLimboBag, visited-bagStart, fence)
+		}
+	}
+	if t.tr != nil && skipped > 0 {
+		t.tr.Emit(trace.EvLimboSkip, skipped, 0)
 	}
 	return visited, skipped, swept
 }

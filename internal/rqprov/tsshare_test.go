@@ -129,3 +129,77 @@ func TestTimestampSharingAccounting(t *testing.T) {
 		})
 	}
 }
+
+// TestFaultTimestampSharingConcurrent proves sharing under genuinely
+// concurrent range queries: a barrier at the advance window (between the TS
+// load and the CAS) holds every query until all of them have read the same
+// timestamp, then releases them into their CASes together. Exactly one must
+// win and advance; every other query must adopt — deterministically, even
+// on a single-CPU host where natural preemption inside the two-instruction
+// window is vanishingly rare.
+func TestFaultTimestampSharingConcurrent(t *testing.T) {
+	if !fault.Enabled {
+		t.Skip("timestamp-sharing fault test requires -tags failpoints")
+	}
+	const queries = 4
+	for _, mode := range []Mode{ModeLock, ModeHTM, ModeLockFree} {
+		t.Run(mode.String(), func(t *testing.T) {
+			defer fault.Reset()
+			reg := obs.NewRegistry(queries)
+			p := New(Config{MaxThreads: queries, Mode: mode})
+			p.EnableMetrics(reg)
+
+			// All queries scan the same pre-inserted pair of keys.
+			n5 := newNode(5, 50)
+			n5.SetITime(1)
+			n7 := newNode(7, 70)
+			n7.SetITime(1)
+
+			var barrier sync.WaitGroup
+			barrier.Add(queries)
+			fault.Reset()
+			fault.Arm("rqprov.rq.tsadvance", fault.Hook(func(string) {
+				barrier.Done()
+				barrier.Wait() // every query has loaded TS; release the CASes
+			}).Times(queries))
+
+			tss := make([]uint64, queries)
+			results := make([][]epoch.KV, queries)
+			var wg sync.WaitGroup
+			for g := 0; g < queries; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					th := p.Register()
+					defer th.Deregister()
+					th.StartOp()
+					th.TraversalStart(0, 100)
+					th.Visit(n5)
+					th.Visit(n7)
+					results[g] = th.TraversalEnd()
+					tss[g] = th.LastRQTS()
+					th.EndOp()
+				}(g)
+			}
+			wg.Wait()
+
+			snap := reg.Snapshot()
+			if got := snap.Counter("ebrrq_rq_ts_advanced"); got != 1 {
+				t.Fatalf("ts_advanced = %d, want exactly 1 CAS winner", got)
+			}
+			if got := snap.Counter("ebrrq_rq_ts_shared"); got != queries-1 {
+				t.Fatalf("ts_shared = %d, want %d adopters", got, queries-1)
+			}
+			// Everyone linearized at the winner's timestamp and saw both keys.
+			for g := 0; g < queries; g++ {
+				if tss[g] != tss[0] {
+					t.Fatalf("query %d ts %d != query 0 ts %d (timestamps = %v)",
+						g, tss[g], tss[0], tss)
+				}
+				if len(results[g]) != 2 {
+					t.Fatalf("query %d result = %v, want both keys", g, results[g])
+				}
+			}
+		})
+	}
+}

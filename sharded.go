@@ -8,6 +8,7 @@ import (
 	"ebrrq/internal/epoch"
 	"ebrrq/internal/obs"
 	"ebrrq/internal/rqprov"
+	"ebrrq/internal/trace"
 )
 
 // Sharded is a key-range-partitioned set: N independent Sets (each with its
@@ -24,9 +25,9 @@ import (
 // Lock/HTM updates only read), where a single Set funnels every update
 // through one lock, one announcement table and one limbo machinery.
 type Sharded struct {
-	ds    DataStructure
-	tech  Technique
-	clock *rqprov.SharedClock
+	ds     DataStructure
+	tech   Technique
+	clock  *rqprov.SharedClock
 	shards []*Set
 	// starts[i] is the lowest key owned by shard i: shard i covers
 	// [starts[i], starts[i+1]-1] and the last shard ends at keyMax.
@@ -64,6 +65,12 @@ type ShardedOptions struct {
 	// keeps cross-shard queries live when one shard hosts a stalled
 	// updater.
 	WaitBudget int
+
+	// Trace attaches one flight recorder to every shard: shard k's rings
+	// are labeled "s<k>/t<id>", each shard's watchdog ring "s<k>/watchdog",
+	// and the router records a cross-shard span (xrq_begin/xrq_end) on the
+	// first overlapping shard's ring around every multi-shard range query.
+	Trace *trace.Recorder
 }
 
 // shardedMetrics holds the router-layer aggregate observability handles;
@@ -143,6 +150,10 @@ func NewShardedWithOptions(d DataStructure, t Technique, maxThreads, shards int,
 		o := Options{Metrics: opt.Metrics, Clock: s.clock, WaitBudget: opt.WaitBudget}
 		if opt.Metrics != nil {
 			o.MetricLabels = fmt.Sprintf(`shard="%d"`, i)
+		}
+		if opt.Trace != nil {
+			o.Trace = opt.Trace
+			o.TraceLabel = fmt.Sprintf("s%d/", i)
 		}
 		if opt.Recorder != nil {
 			o.Recorder = offsetRecorder{r: opt.Recorder, off: i * maxThreads}
@@ -351,6 +362,15 @@ func (t *ShardedThread) RangeQuery(low, high int64) []KV {
 		}
 		return res
 	}
+	// The cross-shard span lands on the first overlapping shard's ring: one
+	// xrq_begin/xrq_end pair bracketing every pinned per-shard RQ, so the
+	// analyzer can attribute the whole fan-out to a single span.
+	tr := t.ths[s1].tr
+	var xrqStart int64
+	if tr != nil {
+		xrqStart = trace.Now()
+		tr.EmitAt(trace.EvCrossRQBegin, xrqStart, uint64(s2-s1+1), uint64(low))
+	}
 	var ts uint64
 	if s.tech != Unsafe {
 		// Pin every overlapping shard's epoch BEFORE taking the timestamp:
@@ -403,6 +423,10 @@ func (t *ShardedThread) RangeQuery(low, high int64) []KV {
 	if m := s.met; m != nil {
 		m.crossShard.Inc(t.mtid)
 		m.fanout.Observe(uint64(s2 - s1 + 1))
+	}
+	if tr != nil {
+		now := trace.Now()
+		tr.EmitAt(trace.EvCrossRQEnd, now, ts, uint64(now-xrqStart))
 	}
 	return out
 }

@@ -1,0 +1,137 @@
+package ebrrq_test
+
+import (
+	"testing"
+
+	"ebrrq"
+	"ebrrq/internal/trace"
+)
+
+// countTypes tallies event types across every ring of a snapshot.
+func countTypes(s *trace.Snapshot) map[trace.EventType]int {
+	c := map[trace.EventType]int{}
+	for _, rg := range s.Rings {
+		for _, ev := range rg.Events {
+			c[ev.Type]++
+		}
+	}
+	return c
+}
+
+// TestSetTraceEndToEnd drives a traced Set through the full op mix and
+// checks the flight recorder saw the whole lifecycle: op spans, a timestamp
+// event and per-phase events for the range query, and retire events from the
+// deletes.
+func TestSetTraceEndToEnd(t *testing.T) {
+	for _, tech := range []ebrrq.Technique{ebrrq.Lock, ebrrq.LockFree} {
+		t.Run(tech.String(), func(t *testing.T) {
+			rec := trace.NewRecorder(trace.Config{EventsPerRing: 256})
+			s, err := ebrrq.NewWithOptions(ebrrq.SkipList, tech, 2, ebrrq.Options{Trace: rec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			th := s.NewThread()
+			defer th.Close()
+			for k := int64(0); k < 10; k++ {
+				th.Insert(k, k*10)
+			}
+			th.Delete(3)
+			th.Contains(4)
+			if got := th.RangeQuery(0, 9); len(got) != 9 {
+				t.Fatalf("range query returned %d keys, want 9", len(got))
+			}
+
+			snap := rec.Snapshot()
+			if len(snap.Rings) != 1 || snap.Rings[0].Label != "t0" {
+				t.Fatalf("rings = %+v, want one ring t0", snap.Rings)
+			}
+			c := countTypes(snap)
+			// 10 inserts + 1 delete + 1 contains + 1 RQ, begin and end each.
+			if c[trace.EvOpBegin] != 13 || c[trace.EvOpEnd] != 13 {
+				t.Fatalf("op begin/end = %d/%d, want 13/13", c[trace.EvOpBegin], c[trace.EvOpEnd])
+			}
+			if c[trace.EvTSAdvance]+c[trace.EvTSAdopt] != 1 {
+				t.Fatalf("timestamp events = %d advance + %d adopt, want 1 total",
+					c[trace.EvTSAdvance], c[trace.EvTSAdopt])
+			}
+			for _, want := range []trace.EventType{trace.EvTraverse, trace.EvAnnScan, trace.EvLimboDone} {
+				if c[want] != 1 {
+					t.Fatalf("%v events = %d, want 1 (counts: %v)", want, c[want], c)
+				}
+			}
+			if c[trace.EvRetire] != 1 {
+				t.Fatalf("retire events = %d, want 1 (one delete)", c[trace.EvRetire])
+			}
+
+			// The analyzer must attribute all four phases from this dump.
+			rep := trace.BuildReport(snap)
+			for _, ph := range []string{"ts_wait", "traverse", "announce", "limbo"} {
+				if rep.Phases[ph].Count != 1 {
+					t.Fatalf("report phase %s = %+v, want count 1", ph, rep.Phases[ph])
+				}
+			}
+			if rep.Ops["rq"].Count != 1 || rep.Ops["insert"].Count != 10 {
+				t.Fatalf("report ops = %+v", rep.Ops)
+			}
+		})
+	}
+}
+
+// TestShardedTraceCrossShard checks the router records one cross-shard span
+// on the first overlapping shard's ring, with per-shard rings labeled by
+// shard, pinned-timestamp events on every overlapping shard, and epoch
+// pin/unpin brackets.
+func TestShardedTraceCrossShard(t *testing.T) {
+	rec := trace.NewRecorder(trace.Config{EventsPerRing: 256})
+	s, err := ebrrq.NewShardedWithOptions(ebrrq.SkipList, ebrrq.LockFree, 2, 4,
+		ebrrq.ShardedOptions{Trace: rec, KeyMin: 0, KeyMax: 3999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := s.NewThread()
+	defer th.Close()
+	for k := int64(0); k < 4000; k += 100 {
+		th.Insert(k, k)
+	}
+	if got := th.RangeQuery(0, 3999); len(got) != 40 {
+		t.Fatalf("cross-shard RQ returned %d keys, want 40", len(got))
+	}
+
+	snap := rec.Snapshot()
+	byLabel := map[string][]trace.Event{}
+	for _, rg := range snap.Rings {
+		byLabel[rg.Label] = rg.Events
+	}
+	if len(byLabel) != 4 {
+		t.Fatalf("rings = %d (%v), want one per shard", len(byLabel), byLabel)
+	}
+	count := func(label string, ty trace.EventType) int {
+		n := 0
+		for _, ev := range byLabel[label] {
+			if ev.Type == ty {
+				n++
+			}
+		}
+		return n
+	}
+	// Span on the first shard's ring only, covering all 4 shards.
+	if count("s0/t0", trace.EvCrossRQBegin) != 1 || count("s0/t0", trace.EvCrossRQEnd) != 1 {
+		t.Fatalf("cross-shard span events missing on s0/t0: %v", byLabel["s0/t0"])
+	}
+	for _, ev := range byLabel["s0/t0"] {
+		if ev.Type == trace.EvCrossRQBegin && ev.Arg1 != 4 {
+			t.Fatalf("xrq_begin fanout = %d, want 4", ev.Arg1)
+		}
+	}
+	for i, label := range []string{"s0/t0", "s1/t0", "s2/t0", "s3/t0"} {
+		if n := count(label, trace.EvCrossRQBegin); i > 0 && n != 0 {
+			t.Fatalf("shard ring %s has %d xrq_begin events, want 0", label, n)
+		}
+		if count(label, trace.EvTSPinned) != 1 {
+			t.Fatalf("shard ring %s: ts_pinned = %d, want 1", label, count(label, trace.EvTSPinned))
+		}
+		if count(label, trace.EvEpochPin) != 1 || count(label, trace.EvEpochUnpin) != 1 {
+			t.Fatalf("shard ring %s missing epoch pin/unpin bracket", label)
+		}
+	}
+}
