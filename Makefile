@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race bench bench-quick rebaseline chaos validate micro macro examples trace-demo clean
+.PHONY: all ci build vet test race bench bench-quick rebaseline chaos chaos-mem validate micro macro examples trace-demo clean
 
 all: build vet test
 
@@ -31,6 +31,17 @@ chaos:
 		-run 'Chaos|Fault|Stall|Watchdog|Deregister|TryRegister|Abort|Panic' \
 		./internal/fault/ ./internal/epoch/ ./internal/rqprov/ \
 		./internal/ds/skiplist/ ./internal/dstest/ .
+
+# chaos-mem is the bounded-memory acceptance proof: one updater permanently
+# stalled mid-update while the rest hammer the structure through the
+# backpressure gate. Asserts limbo + quarantine never exceed the hard limit,
+# the watchdog neutralizes the staller, and quarantined nodes are reclaimed
+# only after resume + acknowledgment. Runs the full matrix under the race
+# detector; the canonical lflist/lock-free combination gets the long window.
+chaos-mem:
+	$(GO) build -tags failpoints ./...
+	$(GO) test -race -tags failpoints -count=1 -timeout 1800s \
+		-run 'TestChaosMemBound' ./internal/dstest/
 
 bench:
 	$(GO) test -bench=. -benchmem ./... -timeout 1800s

@@ -19,6 +19,7 @@
 package ebrrq
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -40,6 +41,18 @@ import (
 
 // KV is a key-value pair returned by range queries.
 type KV = epoch.KV
+
+// ErrMemoryPressure is returned by TryInsert/TryDelete (and raised as a
+// panic by Insert/Delete) when the set's EBR domain sits at its configured
+// hard limbo limit: admitting the update would grow unreclaimed memory past
+// the bound, so the write is shed instead. See Options.LimboHardLimit.
+var ErrMemoryPressure = rqprov.ErrMemoryPressure
+
+// ErrNeutralized is returned by TryInsert/TryDelete (and raised as a panic
+// by the other operations) on a thread the epoch watchdog neutralized after
+// a prolonged stall: the handle's epoch protection has been revoked. Close
+// the thread and register a fresh one with TryNewThread.
+var ErrNeutralized = epoch.ErrNeutralized
 
 // MinKey and MaxKey bound the usable key space (values outside are reserved
 // for sentinels).
@@ -218,6 +231,21 @@ type Options struct {
 	// TraceLabel prefixes this set's trace ring labels (e.g. "s3/") so
 	// several sets — the shards of a Sharded — can share one recorder.
 	TraceLabel string
+
+	// LimboSoftLimit / LimboHardLimit bound the set's unreclaimed node
+	// count (limbo plus neutralization quarantine; 0, the default, disables
+	// a limit). Past the soft limit an attached epoch watchdog escalates
+	// (forced advances → orphan sweeps → neutralization, if enabled); at the
+	// hard limit Insert/Delete are rejected with ErrMemoryPressure until
+	// reclamation drains below it. Contains and RangeQuery are never
+	// backpressured. Ignored by Snap and RLU, which have no provider.
+	LimboSoftLimit int64
+	LimboHardLimit int64
+
+	// PressureWait, when positive, makes a backpressured update wait up to
+	// this long for limbo to drain below the hard limit before giving up
+	// with ErrMemoryPressure. 0 fails fast.
+	PressureWait time.Duration
 }
 
 // opClass indexes the set-layer per-operation metrics.
@@ -309,15 +337,18 @@ func NewWithOptions(d DataStructure, t Technique, maxThreads int, opt Options) (
 		}
 	}
 	s.prov = rqprov.New(rqprov.Config{
-		MaxThreads:  maxThreads,
-		Mode:        mode,
-		LimboSorted: limboSorted,
-		MaxAnnounce: maxAnnounce,
-		Recorder:    opt.Recorder,
-		Clock:       opt.Clock,
-		WaitBudget:  opt.WaitBudget,
-		Trace:       opt.Trace,
-		TraceLabel:  opt.TraceLabel,
+		MaxThreads:     maxThreads,
+		Mode:           mode,
+		LimboSorted:    limboSorted,
+		MaxAnnounce:    maxAnnounce,
+		Recorder:       opt.Recorder,
+		Clock:          opt.Clock,
+		WaitBudget:     opt.WaitBudget,
+		Trace:          opt.Trace,
+		TraceLabel:     opt.TraceLabel,
+		LimboSoftLimit: opt.LimboSoftLimit,
+		LimboHardLimit: opt.LimboHardLimit,
+		PressureWait:   opt.PressureWait,
 	})
 	if reg != nil {
 		s.prov.EnableMetrics(reg)
@@ -423,6 +454,20 @@ func (t *Thread) guard() {
 	}
 }
 
+// admitUpdate runs the provider's backpressure gate before an update enters
+// the structure (and before it announces an epoch — a waiting update must
+// not pin the reclamation it waits for). It panics with ErrMemoryPressure
+// when the write must be shed; TryInsert/TryDelete convert that into an
+// error return.
+func (t *Thread) admitUpdate() {
+	if t.pt == nil {
+		return
+	}
+	if err := t.pt.AdmitUpdate(); err != nil {
+		panic(err)
+	}
+}
+
 // opStart begins set-layer accounting for one point operation and reports
 // whether this operation's latency is sampled.
 func (t *Thread) opStart() (time.Time, bool) {
@@ -446,6 +491,7 @@ func (t *Thread) opDone(op int, t0 time.Time, sampled bool) {
 // overwriting) if key is already present.
 func (t *Thread) Insert(key, value int64) bool {
 	defer t.guard()
+	t.admitUpdate()
 	t.tr.OpBegin(trace.OpInsert, uint64(key))
 	if t.set.met == nil {
 		ok := t.impl.insert(key, value)
@@ -462,6 +508,7 @@ func (t *Thread) Insert(key, value int64) bool {
 // Delete removes key, reporting whether it was present.
 func (t *Thread) Delete(key int64) bool {
 	defer t.guard()
+	t.admitUpdate()
 	t.tr.OpBegin(trace.OpDelete, uint64(key))
 	if t.set.met == nil {
 		ok := t.impl.remove(key)
@@ -473,6 +520,37 @@ func (t *Thread) Delete(key int64) bool {
 	t.opDone(opDelete, t0, sampled)
 	t.tr.OpEnd(trace.OpDelete)
 	return ok
+}
+
+// TryInsert is Insert with graceful degradation: instead of panicking it
+// returns ErrMemoryPressure when the update is shed at the hard limbo limit
+// and ErrNeutralized when the watchdog revoked this thread's epoch
+// protection (Close the handle and TryNewThread a fresh one). Any other
+// panic propagates unchanged.
+func (t *Thread) TryInsert(key, value int64) (ok bool, err error) {
+	defer degradeErr(&err)
+	return t.Insert(key, value), nil
+}
+
+// TryDelete is Delete with graceful degradation; see TryInsert.
+func (t *Thread) TryDelete(key int64) (ok bool, err error) {
+	defer degradeErr(&err)
+	return t.Delete(key), nil
+}
+
+// degradeErr converts the two survivable degradation panics into error
+// returns and lets everything else propagate.
+func degradeErr(err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if e, isErr := r.(error); isErr &&
+		(errors.Is(e, ErrMemoryPressure) || errors.Is(e, ErrNeutralized)) {
+		*err = e
+		return
+	}
+	panic(r)
 }
 
 // Contains returns the value stored under key.

@@ -1,9 +1,11 @@
 package ebrrq_test
 
 import (
+	"errors"
 	"testing"
 
 	"ebrrq"
+	"ebrrq/internal/epoch"
 )
 
 // FuzzSetAgainstModel decodes a byte string into an operation sequence and
@@ -89,6 +91,117 @@ func FuzzSetAgainstModel(f *testing.F) {
 					}
 				}
 			}
+		}
+	})
+}
+
+// FuzzEpochStallResume drives the epoch domain's stall / neutralize / resume
+// protocol from a byte string: one worker retires garbage while a victim
+// thread stalls mid-operation, gets neutralized (possibly), and resumes. The
+// fuzzer checks the memory-accounting invariants after every step — the
+// bounded footprint is exactly limbo plus quarantine, and the quarantine is
+// empty whenever no neutralization is unacknowledged — and that a full drain
+// at the end frees every retired node (no leak, no double free).
+func FuzzEpochStallResume(f *testing.F) {
+	f.Add([]byte{0, 1, 3, 0, 4, 2, 0, 5})
+	f.Add([]byte{1, 3, 0, 0, 0, 0, 4, 1, 2, 1, 3, 2})
+	f.Add([]byte("stall-neutralize-resume"))
+	f.Add([]byte{3, 3, 3, 1, 1, 1, 0, 0, 0, 2, 2, 2, 4, 5})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := epoch.NewDomain(3)
+		freed := 0
+		d.SetFreeFunc(func(tid int, n *epoch.Node) { freed++ })
+		d.SetLimboLimits(4, 16)
+		worker := d.Register()
+		victim := d.Register()
+		retired := 0
+		victimStalled := false
+
+		// startVictim runs op, converting the neutralization abort into the
+		// documented recovery: deregister, adopt the freed slot.
+		victimDo := func(op func()) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					return
+				}
+				if err, ok := r.(error); !ok || !errors.Is(err, epoch.ErrNeutralized) {
+					panic(r)
+				}
+				victim.Deregister()
+				victim = d.Register()
+				victimStalled = false
+			}()
+			op()
+		}
+
+		check := func(step int) {
+			if got, want := d.BoundedNodes(), d.LimboNodes()+d.QuarantinedNodes(); got != want {
+				t.Fatalf("step %d: BoundedNodes=%d, limbo+quarantine=%d", step, got, want)
+			}
+			if d.UnackedNeutralizations() == 0 && d.QuarantinedNodes() != 0 {
+				t.Fatalf("step %d: quarantine holds %d nodes with no unacked neutralization",
+					step, d.QuarantinedNodes())
+			}
+			if d.LimboNodes() == 0 && d.LimboBytes() != 0 {
+				t.Fatalf("step %d: limbo bytes %d with zero nodes", step, d.LimboBytes())
+			}
+		}
+
+		for i, b := range data {
+			switch b % 6 {
+			case 0: // worker churns: one op retiring one node
+				n := &epoch.Node{}
+				n.InitKey(int64(i), int64(b))
+				worker.StartOp()
+				worker.Retire(n)
+				worker.EndOp()
+				retired++
+			case 1: // victim stalls mid-operation
+				if !victimStalled {
+					victimDo(func() {
+						victim.StartOp()
+						victimStalled = true
+					})
+				}
+			case 2: // victim resumes; EndOp acknowledges without panicking
+				if victimStalled {
+					victim.EndOp()
+					victimStalled = false
+				}
+			case 3: // the watchdog's last rung
+				d.Neutralize(victim.ID())
+			case 4: // the watchdog's first two rungs
+				d.ForceAdvance(3)
+				d.ForceSweep()
+			case 5: // a backpressured thread's self-service drain
+				if !victimStalled {
+					victimDo(func() { victim.ReclaimStale() })
+				}
+				worker.ReclaimStale()
+			}
+			check(i)
+		}
+
+		// Drain everything: resume the victim, retire both threads, and let a
+		// fresh thread advance the epoch until all garbage is reclaimed.
+		if victimStalled {
+			victimDo(func() { victim.EndOp() })
+		}
+		victimDo(func() { victim.Deregister() })
+		worker.Deregister()
+		fresh := d.Register()
+		for i := 0; i < 20*32; i++ {
+			fresh.StartOp()
+			fresh.EndOp()
+		}
+		check(len(data))
+		if d.LimboSize() != 0 || d.QuarantinedNodes() != 0 {
+			t.Fatalf("after drain: limbo=%d quarantine=%d", d.LimboSize(), d.QuarantinedNodes())
+		}
+		if freed != retired {
+			t.Fatalf("freed %d of %d retired nodes", freed, retired)
 		}
 	})
 }

@@ -39,11 +39,16 @@ type RQPoint struct {
 	RQP99ns int64 `json:"rq_p99_ns"`
 
 	LimboVisited uint64 `json:"limbo_visited"`
-	TSShared     uint64 `json:"ts_shared"`
-	TSAdvanced   uint64 `json:"ts_advanced"`
-	FenceShared  uint64 `json:"fence_shared"`
-	BagsSkipped  uint64 `json:"bags_skipped"`
-	BagsSwept    uint64 `json:"bags_swept"`
+	// Peak unreclaimed garbage (nodes / approximate bytes, limbo plus
+	// quarantine, max across trials) sampled every 1ms during the measured
+	// window. Omitted when zero for compatibility with older baselines.
+	PeakLimboNodes int64  `json:"peak_limbo_nodes,omitempty"`
+	PeakLimboBytes int64  `json:"peak_limbo_bytes,omitempty"`
+	TSShared       uint64 `json:"ts_shared"`
+	TSAdvanced     uint64 `json:"ts_advanced"`
+	FenceShared    uint64 `json:"fence_shared"`
+	BagsSkipped    uint64 `json:"bags_skipped"`
+	BagsSwept      uint64 `json:"bags_swept"`
 
 	// Per-phase RQ time splits (total ns across all trials), collected by
 	// the flight recorder; zero (and omitted) when tracing was off. Only
@@ -193,26 +198,28 @@ func RunRQBench(cfg RQBenchCfg) (RQReport, error) {
 					pt := RQPoint{
 						DS: ds.String(), Tech: tech.String(), Threads: nt,
 						RQPct: mix.RQPct, RQSize: cfg.RQSize, KeyRange: keyRange,
-						Trials:       cfg.Trials,
-						Shards:       ptShards,
-						ElapsedMs:    total.Elapsed.Milliseconds(),
-						Ops:          total.Ops,
-						OpsPerUs:     total.TotalOpsPerUs(),
-						UpdatesPerUs: total.UpdatesPerUs(),
-						RQsPerUs:     total.RQsPerUs(),
-						RQP50ns:      int64(total.RQLatencyPercentile(50)),
-						RQP90ns:      int64(total.RQLatencyPercentile(90)),
-						RQP99ns:      int64(total.RQLatencyPercentile(99)),
-						LimboVisited: total.LimboVisit,
-						TSShared:     total.Obs.Counter("ebrrq_rq_ts_shared"),
-						TSAdvanced:   total.Obs.Counter("ebrrq_rq_ts_advanced"),
-						FenceShared:  total.Obs.Counter("ebrrq_rq_fence_shared"),
-						BagsSkipped:  total.Obs.Counter("ebrrq_rq_bags_skipped"),
-						BagsSwept:    total.Obs.Counter("ebrrq_rq_bags_swept"),
-						RQTSWaitNs:   total.Obs.Counter("ebrrq_rq_ts_wait_ns_total"),
-						RQTraverseNs: total.Obs.Counter("ebrrq_rq_traverse_ns_total"),
-						RQAnnounceNs: total.Obs.Counter("ebrrq_rq_announce_ns_total"),
-						RQLimboNs:    total.Obs.Counter("ebrrq_rq_limbo_ns_total"),
+						Trials:         cfg.Trials,
+						Shards:         ptShards,
+						ElapsedMs:      total.Elapsed.Milliseconds(),
+						Ops:            total.Ops,
+						OpsPerUs:       total.TotalOpsPerUs(),
+						UpdatesPerUs:   total.UpdatesPerUs(),
+						RQsPerUs:       total.RQsPerUs(),
+						RQP50ns:        int64(total.RQLatencyPercentile(50)),
+						RQP90ns:        int64(total.RQLatencyPercentile(90)),
+						RQP99ns:        int64(total.RQLatencyPercentile(99)),
+						LimboVisited:   total.LimboVisit,
+						PeakLimboNodes: total.PeakLimboNodes,
+						PeakLimboBytes: total.PeakLimboBytes,
+						TSShared:       total.Obs.Counter("ebrrq_rq_ts_shared"),
+						TSAdvanced:     total.Obs.Counter("ebrrq_rq_ts_advanced"),
+						FenceShared:    total.Obs.Counter("ebrrq_rq_fence_shared"),
+						BagsSkipped:    total.Obs.Counter("ebrrq_rq_bags_skipped"),
+						BagsSwept:      total.Obs.Counter("ebrrq_rq_bags_swept"),
+						RQTSWaitNs:     total.Obs.Counter("ebrrq_rq_ts_wait_ns_total"),
+						RQTraverseNs:   total.Obs.Counter("ebrrq_rq_traverse_ns_total"),
+						RQAnnounceNs:   total.Obs.Counter("ebrrq_rq_announce_ns_total"),
+						RQLimboNs:      total.Obs.Counter("ebrrq_rq_limbo_ns_total"),
 					}
 					rep.Points = append(rep.Points, pt)
 					if cfg.Out != nil {

@@ -1,0 +1,427 @@
+package dstest
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ebrrq/internal/epoch"
+	"ebrrq/internal/fault"
+	"ebrrq/internal/rqprov"
+	"ebrrq/internal/trace"
+	"ebrrq/internal/validate"
+)
+
+// MemBoundCfg parameterizes RunChaosMemBound.
+type MemBoundCfg struct {
+	Updaters  int           // threads doing 50% insert / 50% delete (default 8)
+	RQThreads int           // threads doing 100% range queries (default 2)
+	KeySpace  int64         // default 256
+	RQRange   int64         // default 32
+	Duration  time.Duration // length of the stalled phase (default 10s)
+	Seed      int64
+	// SoftLimit/HardLimit are the domain limbo budgets (defaults 512/2048
+	// nodes). The monitor asserts BoundedNodes never exceeds HardLimit plus
+	// the admission overshoot: Updaters concurrently admitted operations may
+	// each retire up to MaxOpRetires nodes after passing the gate.
+	SoftLimit, HardLimit int64
+	// MaxOpRetires bounds how many nodes one update of the structure under
+	// test can retire (default 4; lists and BSTs retire at most 2).
+	MaxOpRetires int64
+	// StallSite is the failpoint the victim wedges at (default
+	// "rqprov.update.announced": epoch announced, deletion announced, the
+	// linearizing CAS not yet run — the worst case for limbo visibility).
+	StallSite string
+	// StallAfter is the fault's .After() hit count, so the stall lands after
+	// the workload has warmed up (default 64).
+	StallAfter int
+}
+
+// MemBoundStats reports what a memory-bound chaos run observed.
+type MemBoundStats struct {
+	VictimID        int   // thread the watchdog neutralized first
+	Neutralizations int   // total, including collateral ones
+	Backpressured   int64 // updates refused by AdmitUpdate
+	Admitted        int64 // updates that passed the gate
+	PeakBounded     int64 // max BoundedNodes the monitor sampled
+	QuarantinePeak  int64 // max QuarantinedNodes the monitor sampled
+	TraceDump       string
+}
+
+// RunChaosMemBound is the adversarial-stall memory proof: one updater wedges
+// permanently at StallSite mid-operation while the remaining updaters hammer
+// the structure through the AdmitUpdate backpressure gate. The run asserts,
+// on every monitor sample, that the domain's unreclaimed footprint
+// (limbo + quarantine) never exceeds the hard limit plus the bounded
+// admission overshoot — i.e. that a single dead thread cannot make memory
+// grow without bound. It further asserts the watchdog ladder escalates to
+// neutralizing the staller, that the quarantine holds (nothing is handed to
+// the free function) until the victim resumes and acknowledges, that updates
+// are admitted again after the acknowledgement, and that the usual chaos
+// postconditions hold: range queries replay against the recorded history,
+// the epoch advances, and draining reclaims everything.
+//
+// Runs are skipped in production builds (no failpoints compiled in).
+func RunChaosMemBound(t *testing.T, mode rqprov.Mode, limboSorted bool, build Builder, cfg MemBoundCfg) MemBoundStats {
+	t.Helper()
+	if !fault.Enabled {
+		t.Skip("chaos runs require -tags failpoints")
+	}
+	if mode == rqprov.ModeUnsafe {
+		t.Fatal("dstest: RunChaosMemBound requires a linearizable mode")
+	}
+	if cfg.Updaters == 0 {
+		cfg.Updaters = 8
+	}
+	if cfg.RQThreads == 0 {
+		cfg.RQThreads = 2
+	}
+	if cfg.KeySpace == 0 {
+		cfg.KeySpace = 256
+	}
+	if cfg.RQRange == 0 {
+		cfg.RQRange = 32
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.SoftLimit == 0 {
+		cfg.SoftLimit = 512
+	}
+	if cfg.HardLimit == 0 {
+		cfg.HardLimit = 2048
+	}
+	if cfg.MaxOpRetires == 0 {
+		cfg.MaxOpRetires = 4
+	}
+	if cfg.StallSite == "" {
+		cfg.StallSite = "rqprov.update.announced"
+	}
+	if cfg.StallAfter == 0 {
+		cfg.StallAfter = 64
+	}
+
+	n := cfg.Updaters + cfg.RQThreads + 1
+	checker := validate.NewChecker(n)
+	rec := trace.NewRecorder(trace.Config{EventsPerRing: 1024})
+	p := rqprov.New(rqprov.Config{
+		MaxThreads:  n,
+		Mode:        mode,
+		LimboSorted: limboSorted,
+		MaxAnnounce: 64,
+		Recorder:    checker,
+		Trace:       rec,
+		// The wedged victim keeps its deletion announcement up for the whole
+		// stalled phase; without wait budgets every overlapping range query
+		// would block on its unpublished dtime until the release.
+		SpinBudget: 64,
+		WaitBudget: 2048,
+		// Backpressure config under test: fail fast at the hard limit.
+		LimboSoftLimit: cfg.SoftLimit,
+		LimboHardLimit: cfg.HardLimit,
+	})
+	s := build(p)
+	dom := p.Domain()
+
+	stats := MemBoundStats{VictimID: -1}
+	var dumpOnce sync.Once
+	var dumpMu sync.Mutex
+	var dumpPath string
+	dump := func(reason string) {
+		dumpOnce.Do(func() {
+			pth := WriteTraceDump(t, rec, TraceDumpDir(t), reason)
+			dumpMu.Lock()
+			dumpPath = pth
+			dumpMu.Unlock()
+		})
+	}
+
+	// Prefill before any fault is armed.
+	spare := p.Register()
+	rng := rand.New(rand.NewSource(cfg.Seed + 99))
+	for inserted := int64(0); inserted < cfg.KeySpace/2; {
+		k := rng.Int63n(cfg.KeySpace)
+		if s.Insert(spare, k, k*10) {
+			inserted++
+		}
+	}
+
+	fault.Reset()
+	act, release := fault.Stall()
+	fault.Arm(cfg.StallSite, act.After(cfg.StallAfter).Once())
+	released := false
+	defer func() {
+		if !released {
+			release() // never leave the victim goroutine parked on failure
+		}
+		fault.Reset()
+	}()
+
+	// The full escalation ladder, aggressively tuned: a stall is the point of
+	// this run, so OnStall does not dump; neutralization is recorded.
+	var neutralizations atomic.Int64
+	var victimID atomic.Int64
+	victimID.Store(-1)
+	wd := dom.StartWatchdog(epoch.WatchdogConfig{
+		Interval:      2 * time.Millisecond,
+		StallAfter:    10 * time.Millisecond,
+		EscalateAfter: 20 * time.Millisecond,
+		Neutralize:    true,
+		OnNeutralize: func(st epoch.Stall) {
+			neutralizations.Add(1)
+			victimID.CompareAndSwap(-1, int64(st.ThreadID))
+		},
+	})
+	defer wd.Stop()
+
+	// The hard bound under test. Admission is checked before the operation,
+	// so the instantaneous footprint can overshoot by at most one operation's
+	// retires per concurrently admitted updater.
+	bound := cfg.HardLimit + int64(cfg.Updaters+1)*cfg.MaxOpRetires
+	var peak, quarPeak, violation atomic.Int64
+	monitorStop := make(chan struct{})
+	var monitorWG sync.WaitGroup
+	monitorWG.Add(1)
+	defer func() {
+		close(monitorStop)
+		monitorWG.Wait()
+	}()
+	go func() {
+		defer monitorWG.Done()
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-monitorStop:
+				return
+			case <-tick.C:
+			}
+			b := dom.BoundedNodes()
+			if b > peak.Load() {
+				peak.Store(b)
+			}
+			if q := dom.QuarantinedNodes(); q > quarPeak.Load() {
+				quarPeak.Store(q)
+			}
+			if b > bound && violation.CompareAndSwap(0, b) {
+				dump("membound")
+			}
+		}
+	}()
+
+	var backpressured, admitted atomic.Int64
+	// runOp executes one operation; injected panics and neutralization aborts
+	// both count as crashes the revive loop recovers from.
+	runOp := func(th *rqprov.Thread, op func(th *rqprov.Thread)) (crashed bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				err, isErr := r.(error)
+				if _, isFault := r.(fault.PanicError); !isFault &&
+					!(isErr && errors.Is(err, epoch.ErrNeutralized)) {
+					panic(r)
+				}
+				th.Deregister()
+				crashed = true
+			}
+		}()
+		op(th)
+		return false
+	}
+	revive := func(stop *atomic.Bool, op func(th *rqprov.Thread)) {
+		th := p.Register()
+		for !stop.Load() {
+			if runOp(th, op) {
+				for {
+					nt, err := p.TryRegister()
+					if err == nil {
+						th = nt
+						break
+					}
+					runtime.Gosched()
+				}
+			}
+		}
+		th.Deregister()
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Updaters; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			revive(&stop, func(th *rqprov.Thread) {
+				if err := th.AdmitUpdate(); err != nil {
+					if !errors.Is(err, rqprov.ErrMemoryPressure) {
+						t.Error(err)
+					}
+					backpressured.Add(1)
+					runtime.Gosched()
+					return
+				}
+				admitted.Add(1)
+				k := r.Int63n(cfg.KeySpace)
+				if r.Intn(2) == 0 {
+					s.Insert(th, k, r.Int63n(1<<30))
+				} else {
+					s.Delete(th, k)
+				}
+			})
+		}(cfg.Seed + int64(w))
+	}
+	for w := 0; w < cfg.RQThreads; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			revive(&stop, func(th *rqprov.Thread) {
+				width := cfg.RQRange
+				lo := int64(0)
+				if width >= cfg.KeySpace {
+					width = cfg.KeySpace
+				} else {
+					lo = r.Int63n(cfg.KeySpace - width)
+				}
+				res := s.RangeQuery(th, lo, lo+width-1)
+				checker.AddRQ(th.ID(), th.LastRQTS(), lo, lo+width-1, res)
+			})
+		}(cfg.Seed + 1000 + int64(w))
+	}
+
+	start := time.Now()
+	// Phase 1: wait for the ladder to escalate all the way to neutralizing
+	// the parked victim. Collateral neutralizations of busy threads are
+	// possible with a watchdog tuned this hot, but they acknowledge at their
+	// next checkpoint within moments — only the victim's stays unacked, so
+	// "unacknowledged continuously for 100ms" identifies it.
+	phase1 := time.Now().Add(15 * time.Second)
+	for sticky := 0; sticky < 100; {
+		if time.Now().After(phase1) {
+			dump("no-neutralize")
+			stop.Store(true)
+			release()
+			released = true
+			wg.Wait()
+			t.Fatal("chaos-mem: watchdog never escalated to neutralizing the staller")
+		}
+		time.Sleep(time.Millisecond)
+		if dom.UnackedNeutralizations() >= 1 {
+			sticky++
+		} else {
+			sticky = 0
+		}
+	}
+
+	// Phase 2: hold the stall for the rest of the window; the monitor keeps
+	// asserting the bound the whole time.
+	if remain := cfg.Duration - time.Since(start); remain > 0 {
+		time.Sleep(remain)
+	}
+
+	// While the victim is parked its neutralization must stay unacknowledged
+	// and the quarantine must hold: reclamation is diverted, never freed.
+	if got := dom.UnackedNeutralizations(); got < 1 {
+		t.Errorf("chaos-mem: unacked neutralizations = %d before release, want >= 1", got)
+	}
+	preReleaseQuar := dom.QuarantinedNodes()
+	if preReleaseQuar == 0 {
+		t.Error("chaos-mem: nothing quarantined while the neutralized victim was parked")
+	}
+
+	// Phase 3: release the victim. It resumes mid-operation, hits a poison
+	// checkpoint before it can linearize, aborts, acknowledges on unwind, and
+	// is replaced through the usual revive path; the acknowledgement drains
+	// the quarantine to the free function.
+	release()
+	released = true
+	ackDeadline := time.Now().Add(5 * time.Second)
+	for dom.UnackedNeutralizations() != 0 {
+		if time.Now().After(ackDeadline) {
+			dump("no-ack")
+			stop.Store(true)
+			wg.Wait()
+			t.Fatal("chaos-mem: victim never acknowledged its neutralization after release")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for dom.QuarantinedNodes() != 0 {
+		if time.Now().After(ackDeadline) {
+			dump("quarantine-stuck")
+			stop.Store(true)
+			wg.Wait()
+			t.Fatal("chaos-mem: quarantine did not drain after the acknowledgement")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Recovery: with the garbage reclaimed the gate must open again.
+	admittedAtRelease := admitted.Load()
+	for admitted.Load() == admittedAtRelease {
+		if time.Now().After(ackDeadline) {
+			dump("gate-stuck")
+			stop.Store(true)
+			wg.Wait()
+			t.Fatal("chaos-mem: no update was admitted after the quarantine drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	stop.Store(true)
+	wg.Wait()
+
+	stats.Neutralizations = int(neutralizations.Load())
+	stats.VictimID = int(victimID.Load())
+	stats.Backpressured = backpressured.Load()
+	stats.Admitted = admitted.Load()
+	stats.PeakBounded = peak.Load()
+	stats.QuarantinePeak = quarPeak.Load()
+
+	if v := violation.Load(); v != 0 {
+		t.Errorf("chaos-mem: BoundedNodes hit %d, above the hard limit %d + overshoot allowance %d",
+			v, cfg.HardLimit, bound-cfg.HardLimit)
+	}
+	if stats.Backpressured == 0 {
+		t.Error("chaos-mem: the gate never refused an update — the run built no pressure")
+	}
+	if hits := fault.Hits(cfg.StallSite); hits == 0 {
+		t.Errorf("chaos-mem: failpoint %q was never reached", cfg.StallSite)
+	}
+
+	// The usual chaos postconditions: queries replay, the epoch advances,
+	// draining reclaims everything.
+	if cfg.RQThreads > 0 && checker.RQs() == 0 {
+		dump("norqs")
+		t.Fatal("chaos-mem: no range queries completed")
+	}
+	if err := checker.Check(); err != nil {
+		dump("validation")
+		t.Fatalf("chaos-mem validation failed after %d events / %d rqs: %v",
+			checker.Events(), checker.RQs(), err)
+	}
+	advances := dom.Advances()
+	for i := 0; i < 20*32; i++ {
+		spare.StartOp()
+		spare.EndOp()
+	}
+	if dom.Advances() == advances {
+		dump("wedged")
+		t.Fatal("chaos-mem: epoch wedged after the run")
+	}
+	if limbo := dom.LimboSize(); limbo != 0 {
+		dump("limbo-leak")
+		t.Fatalf("chaos-mem: %d nodes stuck in limbo after drain", limbo)
+	}
+	if quar := dom.QuarantinedNodes(); quar != 0 {
+		dump("quarantine-leak")
+		t.Fatalf("chaos-mem: %d nodes stuck in quarantine after drain", quar)
+	}
+	wd.Stop()
+	dumpMu.Lock()
+	stats.TraceDump = dumpPath
+	dumpMu.Unlock()
+	return stats
+}

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"ebrrq/internal/fault"
 	"ebrrq/internal/obs"
@@ -161,6 +162,21 @@ func (n *Node) LimboNext() *Node { return n.limboNext.Load() }
 // Gen returns the node's recycling generation.
 func (n *Node) Gen() uint64 { return n.gen.Load() }
 
+// nodeHeaderBytes is the in-memory footprint of the Node header itself. The
+// byte gauges are estimates: the header is embedded in a larger structure
+// node (skip-list towers, tree children), so real footprints are strictly
+// larger — good enough for limits, which bound growth, not exact RSS.
+const nodeHeaderBytes = int64(unsafe.Sizeof(Node{}))
+
+// approxBytes estimates the node's heap footprint for the limbo/quarantine
+// byte gauges: the header plus any multi-key payload.
+func (n *Node) approxBytes() int64 {
+	if n.isMulti {
+		return nodeHeaderBytes + int64(len(n.multi))*int64(unsafe.Sizeof(KV{}))
+	}
+	return nodeHeaderBytes
+}
+
 // numBags is the number of limbo bags per thread. A bag sealed at epoch e is
 // reclaimable once the global epoch reaches e+2, so three bags (current,
 // previous, reclaimable) suffice.
@@ -173,7 +189,6 @@ const scanInterval = 32
 type bag struct {
 	epoch atomic.Uint64
 	head  atomic.Pointer[Node]
-	count atomic.Int64 // approximate; written by the owner and orphan sweeps
 
 	// maxDTime is a monotone fence over the deletion timestamps of every
 	// node currently in the bag: Retire raises it before publishing the
@@ -202,6 +217,18 @@ type Metrics struct {
 	Rotations *obs.Counter
 	// Reclaimed counts nodes handed to the free function.
 	Reclaimed *obs.Counter
+	// Neutralizations counts threads whose announcement the watchdog
+	// poisoned (the escalation ladder's final rung).
+	Neutralizations *obs.Counter
+	// Quarantined counts reclaimable nodes diverted to the quarantine list
+	// while a neutralization was unacknowledged.
+	Quarantined *obs.Counter
+	// ForcedAdvances counts global-epoch advances forced by the watchdog
+	// under limbo pressure (escalation rung 1).
+	ForcedAdvances *obs.Counter
+	// ForcedSweeps counts orphan-bag sweeps forced by the watchdog under
+	// limbo pressure (escalation rung 2).
+	ForcedSweeps *obs.Counter
 }
 
 // Domain is an EBR domain shared by all threads operating on one (or more)
@@ -230,11 +257,59 @@ type Domain struct {
 	reclaimed atomic.Uint64
 	advances  atomic.Uint64
 	met       Metrics
+
+	// O(1) memory accounting: limboNodes/limboBytes track every node placed
+	// in a limbo bag (Retire adds, reclamation subtracts); quarNodes/
+	// quarBytes track the quarantine list. The limits (0 = unlimited) bound
+	// limboNodes+quarNodes — the total the domain cannot hand back to the
+	// free pools.
+	limboNodes atomic.Int64
+	limboBytes atomic.Int64
+	quarNodes  atomic.Int64
+	quarBytes  atomic.Int64
+	softLimit  atomic.Int64
+	hardLimit  atomic.Int64
+
+	// Two-phase neutralization (DESIGN.md §11). unacked counts neutralized
+	// threads that have not yet acknowledged the poison at an op boundary;
+	// while it is nonzero every reclaimable chain is diverted to quarantine
+	// instead of the free function, because the neutralized thread may still
+	// dereference any node that existed when it stalled — recycling one
+	// would hand it ABA'd timestamps or a relinked limbo chain. quarMu
+	// guards the list and serializes writes to quarTr.
+	unacked         atomic.Int32
+	neutralizations atomic.Uint64
+	quarMu          sync.Mutex
+	quarantine      []quarChain
+	quarTr          *trace.Ring
+}
+
+// quarChain is one reclaimable limbo chain held in quarantine until every
+// outstanding neutralization is acknowledged. tid selects the free pool the
+// chain drains to, exactly as the diverted reclaimChain call would have.
+type quarChain struct {
+	head  *Node
+	tid   int
+	nodes int64
+	bytes int64
 }
 
 // ErrTooManyThreads is returned by TryRegister when every slot is occupied
 // by a live (non-deregistered) thread.
 var ErrTooManyThreads = errors.New("epoch: too many threads registered")
+
+// ErrNeutralized is the panic value raised when a thread that the watchdog
+// neutralized reaches a protocol checkpoint: the thread's announcement was
+// poisoned, its epoch protection is gone, and the in-flight (or next)
+// operation must be abandoned. Recover it at the operation boundary, then
+// Deregister the thread and re-register through the slot-adoption path.
+var ErrNeutralized = errors.New("epoch: thread neutralized by watchdog")
+
+// poisonedAnn is the announcement sentinel a neutralization installs: the
+// quiescent bit is set, so tryAdvance, Stalls and the watchdog all treat the
+// thread as no longer pinning the epoch. No legitimate announcement can
+// equal it (the epoch would have to be 2^63-1).
+const poisonedAnn = ^uint64(0)
 
 // NewDomain creates an EBR domain supporting up to maxThreads registered
 // threads. The global epoch starts at numBags so bag-age arithmetic never
@@ -265,6 +340,11 @@ func (d *Domain) SetMetrics(m Metrics) { d.met = m }
 func (d *Domain) SetTrace(rec *trace.Recorder, prefix string) {
 	d.trec = rec
 	d.trPrefix = prefix
+	if rec != nil {
+		// Quarantine events come from whichever thread happens to divert or
+		// drain a chain; quarMu serializes them, so one ring is safe.
+		d.quarTr = rec.Ring(prefix + "quarantine")
+	}
 }
 
 // Register allocates a thread slot in the domain, panicking when the domain
@@ -334,10 +414,8 @@ func (d *Domain) adopt(id int) *Thread {
 		if ob.epoch.Load() == e-k {
 			nb.maxDTime.Store(ob.maxDTime.Load()) // fence before head, as in Retire
 			nb.head.Store(ob.head.Load())
-			nb.count.Store(ob.count.Load())
 		} else if head := ob.head.Swap(nil); head != nil {
 			d.reclaimChain(id, head)
-			ob.count.Store(0)
 		}
 	}
 	t.localEpoch = e
@@ -346,12 +424,28 @@ func (d *Domain) adopt(id int) *Thread {
 }
 
 // reclaimChain hands every node of a limbo chain to the free function,
-// crediting the stats, and returns how many nodes were freed. tid selects
+// crediting the stats, and returns how many nodes left limbo. tid selects
 // the receiving free pool.
+//
+// While any neutralization is unacknowledged the chain is diverted — intact,
+// links preserved — to the quarantine list instead: the neutralized thread
+// may still be walking it (its epoch protection is gone, but its goroutine
+// cannot be stopped), and recycling a node it can reach would corrupt its
+// walk with ABA'd timestamps or relinked chains. The diverted chain reaches
+// the free pools when the last acknowledgement drains the quarantine.
 func (d *Domain) reclaimChain(tid int, head *Node) int {
-	n := 0
+	if head == nil {
+		return 0
+	}
+	if d.unacked.Load() > 0 {
+		if n := d.quarantineChain(tid, head); n >= 0 {
+			return n
+		}
+	}
+	n, bytes := 0, int64(0)
 	for head != nil {
 		next := head.limboNext.Load()
+		bytes += head.approxBytes()
 		head.gen.Add(1)
 		if d.free != nil {
 			d.free(tid, head)
@@ -359,11 +453,69 @@ func (d *Domain) reclaimChain(tid int, head *Node) int {
 		head = next
 		n++
 	}
-	if n > 0 {
-		d.reclaimed.Add(uint64(n))
-		d.met.Reclaimed.Add(tid, uint64(n))
-	}
+	d.limboNodes.Add(int64(-n))
+	d.limboBytes.Add(-bytes)
+	d.reclaimed.Add(uint64(n))
+	d.met.Reclaimed.Add(tid, uint64(n))
 	return n
+}
+
+// quarantineChain moves a reclaimable chain from limbo accounting to the
+// quarantine list. It returns -1 — telling reclaimChain to free normally —
+// when the last acknowledgement arrived between the caller's unacked check
+// and the lock: the re-check under quarMu pairs with drainQuarantine's lock
+// acquisition, so no chain can slip into the quarantine after its drain.
+func (d *Domain) quarantineChain(tid int, head *Node) int {
+	d.quarMu.Lock()
+	defer d.quarMu.Unlock()
+	if d.unacked.Load() == 0 {
+		return -1
+	}
+	var nodes, bytes int64
+	for n := head; n != nil; n = n.limboNext.Load() {
+		nodes++
+		bytes += n.approxBytes()
+	}
+	d.quarantine = append(d.quarantine, quarChain{head: head, tid: tid, nodes: nodes, bytes: bytes})
+	d.limboNodes.Add(-nodes)
+	d.limboBytes.Add(-bytes)
+	d.quarNodes.Add(nodes)
+	d.quarBytes.Add(bytes)
+	d.met.Quarantined.Add(tid, uint64(nodes))
+	d.quarTr.Emit(trace.EvQuarantine, uint64(nodes), uint64(tid))
+	return int(nodes)
+}
+
+// drainQuarantine hands every quarantined chain to the free function. Called
+// when the last outstanding neutralization is acknowledged — the neutralized
+// threads have all reached an op boundary (or been aborted), so nothing can
+// reference the held nodes any more.
+func (d *Domain) drainQuarantine() {
+	d.quarMu.Lock()
+	defer d.quarMu.Unlock()
+	chains := d.quarantine
+	d.quarantine = nil
+	var nodes, bytes int64
+	for _, c := range chains {
+		head := c.head
+		for head != nil {
+			next := head.limboNext.Load()
+			head.gen.Add(1)
+			if d.free != nil {
+				d.free(c.tid, head)
+			}
+			head = next
+		}
+		d.reclaimed.Add(uint64(c.nodes))
+		d.met.Reclaimed.Add(c.tid, uint64(c.nodes))
+		nodes += c.nodes
+		bytes += c.bytes
+	}
+	if nodes > 0 {
+		d.quarNodes.Add(-nodes)
+		d.quarBytes.Add(-bytes)
+		d.quarTr.Emit(trace.EvQuarantineDrain, uint64(nodes), uint64(bytes))
+	}
 }
 
 // GlobalEpoch returns the current global epoch (useful for stats/tests).
@@ -376,20 +528,65 @@ func (d *Domain) Advances() uint64 { return d.advances.Load() }
 func (d *Domain) Reclaimed() uint64 { return d.reclaimed.Load() }
 
 // LimboSize returns the total number of nodes currently in limbo across all
-// threads (approximate; owner-maintained counts).
-func (d *Domain) LimboSize() int {
-	total := 0
-	n := int(d.registered.Load())
-	for i := 0; i < n; i++ {
-		t := d.threads[i].Load()
-		if t == nil {
-			continue
-		}
-		for b := range t.bags {
-			total += int(t.bags[b].count.Load())
-		}
-	}
-	return total
+// threads. O(1): a domain counter maintained by Retire and reclamation, not
+// a walk of the limbo chains — the watchdog and health checks read it every
+// few milliseconds. Nodes moved to the quarantine list are not counted here;
+// see QuarantinedNodes.
+func (d *Domain) LimboSize() int { return int(d.limboNodes.Load()) }
+
+// LimboNodes returns the number of nodes currently in limbo (O(1)).
+func (d *Domain) LimboNodes() int64 { return d.limboNodes.Load() }
+
+// LimboBytes returns the approximate heap bytes held in limbo (O(1); node
+// headers plus multi-key payloads — embedded structure nodes are larger).
+func (d *Domain) LimboBytes() int64 { return d.limboBytes.Load() }
+
+// QuarantinedNodes returns the number of nodes held in the quarantine list,
+// awaiting the acknowledgement of an outstanding neutralization.
+func (d *Domain) QuarantinedNodes() int64 { return d.quarNodes.Load() }
+
+// QuarantinedBytes returns the approximate heap bytes held in quarantine.
+func (d *Domain) QuarantinedBytes() int64 { return d.quarBytes.Load() }
+
+// Neutralizations returns how many threads have ever been neutralized.
+func (d *Domain) Neutralizations() uint64 { return d.neutralizations.Load() }
+
+// UnackedNeutralizations returns how many neutralized threads have not yet
+// acknowledged the poison. While nonzero, reclamation diverts to quarantine.
+func (d *Domain) UnackedNeutralizations() int { return int(d.unacked.Load()) }
+
+// SetLimboLimits installs the domain's memory budget, in nodes (0 disables
+// a limit). The limits bound LimboNodes()+QuarantinedNodes() — everything
+// the domain has not yet handed back to the free pools. Crossing the soft
+// limit arms the watchdog's escalation ladder; at the hard limit the
+// provider's update admission gate fails updates with ErrMemoryPressure.
+// Safe to call at any time.
+func (d *Domain) SetLimboLimits(soft, hard int64) {
+	d.softLimit.Store(soft)
+	d.hardLimit.Store(hard)
+}
+
+// LimboLimits returns the configured (soft, hard) node limits (0 = none).
+func (d *Domain) LimboLimits() (soft, hard int64) {
+	return d.softLimit.Load(), d.hardLimit.Load()
+}
+
+// BoundedNodes returns the node count the limbo limits act on: nodes in
+// limbo plus nodes in quarantine.
+func (d *Domain) BoundedNodes() int64 {
+	return d.limboNodes.Load() + d.quarNodes.Load()
+}
+
+// OverSoftLimit reports whether the soft limbo limit is breached.
+func (d *Domain) OverSoftLimit() bool {
+	s := d.softLimit.Load()
+	return s > 0 && d.BoundedNodes() >= s
+}
+
+// OverHardLimit reports whether the hard limbo limit is breached.
+func (d *Domain) OverHardLimit() bool {
+	h := d.hardLimit.Load()
+	return h > 0 && d.BoundedNodes() >= h
 }
 
 const quiescentBit = 1
@@ -410,6 +607,15 @@ type Thread struct {
 	// dead is set by Deregister; the slot is then skipped by stall scans
 	// and its limbo bags become eligible for orphan sweeping.
 	dead atomic.Bool
+
+	// poison is the owner-facing half of the neutralization handshake:
+	// 0 = healthy, 1 = neutralized and unacknowledged, 2 = acknowledged.
+	// The watchdog CASes 0→1 (then poisons ann); the owner CASes 1→2 at the
+	// first op boundary it reaches, releasing the quarantine when it was the
+	// last outstanding acknowledgement. The flag — not the ann sentinel — is
+	// authoritative: an owner racing the poison CAS in its announce loop can
+	// overwrite the sentinel, but it cannot miss the flag.
+	poison atomic.Uint32
 
 	bags       [numBags]bag
 	localEpoch uint64
@@ -436,6 +642,49 @@ func (t *Thread) Domain() *Domain { return t.dom }
 // at registration).
 func (t *Thread) SetTrace(r *trace.Ring) { t.tr = r }
 
+// checkNeutralized is the op-boundary poison checkpoint: a neutralized
+// thread acknowledges here (no operation is in flight, so it holds no node
+// references) and aborts with ErrNeutralized.
+func (t *Thread) checkNeutralized() {
+	if t.poison.Load() != 0 {
+		t.ackNeutralized()
+		panic(ErrNeutralized)
+	}
+}
+
+// CheckNeutralized is the mid-operation poison checkpoint: a neutralized
+// thread aborts with ErrNeutralized WITHOUT acknowledging — references taken
+// earlier in the operation may still be live, so the quarantine must hold
+// until the panic unwinds to a boundary (AbortOp, EndOp, Deregister) that
+// acknowledges. The provider calls this before every phase that reads shared
+// timestamps or walks limbo chains, so a thread that resumes after being
+// neutralized can never linearize an operation against recycled state.
+func (t *Thread) CheckNeutralized() {
+	if t.poison.Load() != 0 {
+		panic(ErrNeutralized)
+	}
+}
+
+// Poisoned reports whether the thread has been neutralized (acknowledged or
+// not) without panicking. Callers that must release a resource (the update
+// lock) before aborting use it in place of CheckNeutralized.
+func (t *Thread) Poisoned() bool { return t.poison.Load() != 0 }
+
+// ackNeutralized completes the two-phase handshake from the owner side. Only
+// the 1→2 transition counts (later boundaries are no-ops); the last
+// outstanding acknowledgement in the domain drains the quarantine.
+func (t *Thread) ackNeutralized() {
+	if !t.poison.CompareAndSwap(1, 2) {
+		return
+	}
+	if t.tr != nil {
+		t.tr.Emit(trace.EvNeutralizeAck, uint64(t.id), 0)
+	}
+	if t.dom.unacked.Add(-1) == 0 {
+		t.dom.drainQuarantine()
+	}
+}
+
 // StartOp announces the beginning of a data-structure operation. Every
 // operation (update, search, or range query) must be bracketed by
 // StartOp/EndOp. Operations must not nest.
@@ -446,6 +695,7 @@ func (t *Thread) StartOp() {
 		}
 		panic("epoch: nested StartOp")
 	}
+	t.checkNeutralized() // op boundary: acknowledge the poison and abort
 	if t.dead.Load() {
 		panic("epoch: StartOp on a deregistered thread")
 	}
@@ -496,6 +746,13 @@ func (t *Thread) EndOp() {
 	}
 	t.inOp = false
 	t.ann.Store(t.ann.Load() | quiescentBit)
+	// Op boundary: a thread neutralized mid-operation acknowledges here. No
+	// panic — the finished operation's result is sound (every phase that
+	// reads shared provider state re-checks the poison and aborts before
+	// producing output; see LimboBags.Next and the provider checkpoints) —
+	// but the *next* StartOp fails with ErrNeutralized until the thread is
+	// deregistered and replaced.
+	t.ackNeutralized()
 }
 
 // Pin enters a critical section like StartOp, but one that tolerates nested
@@ -512,6 +769,7 @@ func (t *Thread) Pin() {
 	if t.inOp {
 		panic("epoch: Pin inside an operation")
 	}
+	t.checkNeutralized() // op boundary: acknowledge the poison and abort
 	if t.dead.Load() {
 		panic("epoch: Pin on a deregistered thread")
 	}
@@ -552,6 +810,7 @@ func (t *Thread) Unpin() {
 	if t.tr != nil {
 		t.tr.Emit(trace.EvEpochUnpin, t.localEpoch, 0)
 	}
+	t.ackNeutralized() // op boundary, same contract as EndOp
 }
 
 // AbortOp force-ends the current operation, if any. Unlike EndOp it is safe
@@ -561,11 +820,14 @@ func (t *Thread) Unpin() {
 // recovering goroutine.
 func (t *Thread) AbortOp() {
 	t.pinned = false
-	if !t.inOp {
-		return
+	if t.inOp {
+		t.inOp = false
+		t.ann.Store(t.ann.Load() | quiescentBit)
 	}
-	t.inOp = false
-	t.ann.Store(t.ann.Load() | quiescentBit)
+	// Recovery checkpoint: a mid-operation poison panic (CheckNeutralized,
+	// Retire, LimboBags) unwinds to here with the operation abandoned and no
+	// reference surviving, so the acknowledgement is now safe.
+	t.ackNeutralized()
 }
 
 // Deregister releases the thread's slot: any in-flight operation is aborted,
@@ -582,6 +844,9 @@ func (t *Thread) Deregister() {
 	t.inOp = false
 	t.pinned = false
 	t.ann.Store(t.ann.Load() | quiescentBit)
+	// Deregistration is an op boundary: only the owner (or, after the owner
+	// died, its single recoverer) may call it, so no reference survives.
+	t.ackNeutralized()
 	d := t.dom
 	d.mu.Lock()
 	d.freeIDs = append(d.freeIDs, t.id)
@@ -600,6 +865,13 @@ func (t *Thread) Retire(n *Node) {
 	if !t.inOp {
 		panic("epoch: Retire outside operation")
 	}
+	// Mid-operation poison checkpoint (no ack — see CheckNeutralized). The
+	// node is dropped rather than retired: it is already unlinked, its dtime
+	// (if any) predates the stall, and the Go GC collects it once nothing
+	// references it, so skipping limbo loses nothing.
+	if t.poison.Load() != 0 {
+		panic(ErrNeutralized)
+	}
 	b := &t.bags[t.localEpoch%numBags]
 	// Raise the bag's dtime fence before the node becomes reachable via
 	// head: a reader that finds n in the chain is then guaranteed to read a
@@ -615,11 +887,55 @@ func (t *Thread) Retire(n *Node) {
 	}
 	n.limboNext.Store(b.head.Load())
 	b.head.Store(n) // single producer; readers snapshot head and walk links
-	b.count.Add(1)
+	t.dom.limboNodes.Add(1)
+	t.dom.limboBytes.Add(n.approxBytes())
 	t.dom.met.Retires.Inc(t.id)
 	if t.tr != nil {
 		t.tr.Emit(trace.EvRetire, dt, b.epoch.Load())
 	}
+}
+
+// ReclaimStale reclaims every one of the thread's limbo bags that has aged
+// out (bag epoch + numBags <= global, the orphan-sweep criterion: below the
+// visibility floor of every active and future range query). Owner-only, and
+// only while quiescent — it exists for threads that are refused admission by
+// the memory-pressure gate and therefore never reach the StartOp rotation
+// that normally frees their bags. Without it, backpressure would pin the
+// domain at the hard limit forever: the limbo lives in the rejected threads'
+// own bags, and only the owner may empty them. Returns the number of nodes
+// handed to reclamation (diverted to quarantine while a neutralization is
+// unacknowledged, like any other reclaim).
+func (t *Thread) ReclaimStale() int {
+	if t.inOp {
+		panic("epoch: ReclaimStale inside an operation")
+	}
+	t.checkNeutralized() // op boundary, same contract as StartOp
+	if t.dead.Load() {
+		panic("epoch: ReclaimStale on a deregistered thread")
+	}
+	g := t.dom.global.Load()
+	total := 0
+	for i := range t.bags {
+		b := &t.bags[i]
+		if b.epoch.Load()+numBags > g {
+			continue
+		}
+		old := b.head.Load()
+		if old == nil {
+			continue
+		}
+		// Single writer: the owner is quiescent, so no StartOp rotation can
+		// run concurrently. The epoch tag is left in place — the bag is empty,
+		// and the usual rotation re-tags it when the local epoch next lands on
+		// this slot.
+		b.head.Store(nil)
+		b.maxDTime.Store(0)
+		total += t.dom.reclaimChain(t.id, old)
+	}
+	if total > 0 && t.tr != nil {
+		t.tr.Emit(trace.EvReclaim, uint64(total), uint64(t.id))
+	}
+	return total
 }
 
 // rotate is called by the owner when its local epoch changes to e: the bag
@@ -640,7 +956,6 @@ func (t *Thread) rotate(e uint64) {
 	b.epoch.Store(e)
 	fault.Inject("epoch.rotate.mid")
 	n := t.dom.reclaimChain(t.id, old)
-	b.count.Store(0)
 	t.dom.met.Rotations.Inc(t.id)
 	if t.tr != nil {
 		t.tr.Emit(trace.EvRotate, e, uint64(n))
@@ -650,7 +965,14 @@ func (t *Thread) rotate(e uint64) {
 // tryAdvance attempts to advance the global epoch: it succeeds if every
 // registered thread is either quiescent or has announced the current epoch.
 func (t *Thread) tryAdvance() {
-	d := t.dom
+	t.dom.tryAdvanceFrom(t.id, t.tr)
+}
+
+// tryAdvanceFrom is tryAdvance for callers that are not a registered thread
+// (the watchdog's forced advances). A neutralized thread's poisoned
+// announcement has the quiescent bit set, so it no longer blocks the scan.
+// tid only attributes metrics/reclaims; tr may be nil.
+func (d *Domain) tryAdvanceFrom(tid int, tr *trace.Ring) bool {
 	e := d.global.Load()
 	n := int(d.registered.Load())
 	for i := 0; i < n; i++ {
@@ -660,19 +982,89 @@ func (t *Thread) tryAdvance() {
 		}
 		a := other.ann.Load()
 		if a&quiescentBit == 0 && a>>1 != e {
-			return // other thread still active in an older epoch
+			return false // other thread still active in an older epoch
 		}
 	}
-	if d.global.CompareAndSwap(e, e+1) {
-		d.advances.Add(1)
-		d.met.Advances.Inc(t.id)
-		if t.tr != nil {
-			t.tr.Emit(trace.EvEpochAdvance, e+1, 0)
-		}
-		if d.orphans.Load() > 0 {
-			d.sweepOrphans(e+1, t.id, t.tr)
-		}
+	if !d.global.CompareAndSwap(e, e+1) {
+		return false
 	}
+	d.advances.Add(1)
+	d.met.Advances.Inc(tid)
+	if tr != nil {
+		tr.Emit(trace.EvEpochAdvance, e+1, 0)
+	}
+	if d.orphans.Load() > 0 {
+		d.sweepOrphans(e+1, tid, tr)
+	}
+	return true
+}
+
+// Neutralize poisons the thread in slot id: its announcement is CASed to the
+// poisoned sentinel so it stops pinning the global epoch, and every
+// reclamation in the domain diverts to the quarantine list until the thread
+// acknowledges at its next protocol checkpoint. Returns false when the slot
+// is empty, dead, or already neutralized. This is the watchdog escalation
+// ladder's final rung; call it only on a thread the duration-based stall
+// detector has flagged.
+func (d *Domain) Neutralize(id int) bool {
+	if id < 0 || id >= int(d.registered.Load()) {
+		return false
+	}
+	t := d.threads[id].Load()
+	if t == nil || t.dead.Load() || t.poison.Load() != 0 {
+		return false
+	}
+	if !t.poison.CompareAndSwap(0, 1) {
+		return false
+	}
+	// Divert-before-poison: unacked must be visible before the sentinel can
+	// let the epoch advance past the zombie, so every chain that becomes
+	// reclaimable after this point is quarantined, never recycled. Both are
+	// sequentially consistent, so any reclaimer that observed the advance
+	// also observes unacked > 0.
+	d.unacked.Add(1)
+	if a := t.ann.Load(); a&quiescentBit == 0 {
+		// Best-effort: if the owner concurrently rewrites its announcement it
+		// is alive and will reach a checkpoint on its own; the poison flag —
+		// which it cannot miss — is the authoritative half.
+		t.ann.CompareAndSwap(a, poisonedAnn)
+	}
+	d.neutralizations.Add(1)
+	d.met.Neutralizations.Inc(id)
+	return true
+}
+
+// ForceAdvance makes up to rounds attempts to advance the global epoch from
+// outside any registered thread (the watchdog's escalation rung 1). Each
+// successful advance lets live threads rotate — and therefore reclaim — a
+// limbo bag on their next StartOp, and sweeps orphan bags directly. Returns
+// how many advances succeeded; it stops early at the first failure (an
+// active thread on an older epoch blocks any further advance too).
+func (d *Domain) ForceAdvance(rounds int) int {
+	adv := 0
+	for i := 0; i < rounds; i++ {
+		if !d.tryAdvanceFrom(0, nil) {
+			break
+		}
+		adv++
+	}
+	if adv > 0 {
+		d.met.ForcedAdvances.Add(0, uint64(adv))
+	}
+	return adv
+}
+
+// ForceSweep reclaims the stale limbo bags of deregistered threads without
+// waiting for a registered thread's next successful advance (the watchdog's
+// escalation rung 2). Live threads' bags are never touched: only their owner
+// may rotate them (the owner's head.Store(nil) during rotate would race an
+// external Swap). Returns how many nodes left limbo.
+func (d *Domain) ForceSweep() int {
+	freed := d.sweepOrphans(d.global.Load(), 0, nil)
+	if freed > 0 {
+		d.met.ForcedSweeps.Add(0, uint64(freed))
+	}
+	return freed
 }
 
 // sweepOrphans reclaims limbo bags of deregistered threads once they are
@@ -680,10 +1072,12 @@ func (t *Thread) tryAdvance() {
 // back at most one epoch before the operation's own) can still include
 // them. Without this, a thread that dies with retired nodes would pin those
 // nodes forever, since only a bag's owner ever rotates it. d.mu arbitrates
-// with slot adoption; head.Swap arbitrates chain ownership.
-func (d *Domain) sweepOrphans(e uint64, tid int, tr *trace.Ring) {
+// with slot adoption; head.Swap arbitrates chain ownership. Returns how many
+// nodes were reclaimed (or quarantined).
+func (d *Domain) sweepOrphans(e uint64, tid int, tr *trace.Ring) int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	total := 0
 	n := int(d.registered.Load())
 	for i := 0; i < n; i++ {
 		t := d.threads[i].Load()
@@ -696,13 +1090,15 @@ func (d *Domain) sweepOrphans(e uint64, tid int, tr *trace.Ring) {
 				continue
 			}
 			if head := bg.head.Swap(nil); head != nil {
-				if freed := d.reclaimChain(tid, head); freed > 0 && tr != nil {
+				freed := d.reclaimChain(tid, head)
+				total += freed
+				if freed > 0 && tr != nil {
 					tr.Emit(trace.EvReclaim, uint64(freed), uint64(i))
 				}
 			}
-			bg.count.Store(0)
 		}
 	}
+	return total
 }
 
 // Stall describes one thread pinning the global epoch.
@@ -792,6 +1188,7 @@ func (d *Domain) StalledThreads() []Stall {
 // allocation per sweep.
 type LimboBags struct {
 	d   *Domain
+	t   *Thread // calling thread, re-checked for poison on every pull
 	cur *Thread
 	min uint64
 	i   int // next thread slot to load once cur is exhausted
@@ -808,8 +1205,9 @@ func (t *Thread) LimboBags() LimboBags {
 	if !t.inOp {
 		panic("epoch: LimboBags outside operation")
 	}
+	t.CheckNeutralized() // mid-op: a zombie must not start a limbo sweep
 	d := t.dom
-	return LimboBags{d: d, min: t.localEpoch - 1, n: int(d.registered.Load())}
+	return LimboBags{d: d, t: t, min: t.localEpoch - 1, n: int(d.registered.Load())}
 }
 
 // Next returns the head of the next non-empty visible limbo bag together
@@ -820,6 +1218,11 @@ func (t *Thread) LimboBags() LimboBags {
 // is immutable while the caller remains in its operation; walk it via
 // Node.LimboNext. ok is false when the iterator is exhausted.
 func (it *LimboBags) Next() (head *Node, maxDTime uint64, ok bool) {
+	// A thread neutralized mid-sweep lost its epoch protection: the chain it
+	// would pull next may already have been diverted to quarantine — held
+	// intact for exactly this walk — but nothing newer is guaranteed visible,
+	// so the sweep (and the operation) must abort before producing output.
+	it.t.CheckNeutralized()
 	for {
 		if it.cur == nil {
 			if it.i >= it.n {

@@ -20,6 +20,21 @@ type WatchdogConfig struct {
 	// OnRecover, if non-nil, is called when the stall set transitions back
 	// to empty.
 	OnRecover func()
+
+	// EscalateAfter is how long the domain may sit over its soft limbo limit
+	// before the ladder reaches its final rung (neutralization). The earlier
+	// rungs — forced epoch advances, then orphan sweeps — run on every tick
+	// spent over the limit. Default 100ms.
+	EscalateAfter time.Duration
+	// Neutralize opts the final rung in: when the soft limit has been
+	// breached for EscalateAfter and the earlier rungs freed nothing, every
+	// thread in the current stall set is neutralized (DESIGN.md §11). Off by
+	// default because it turns a stalled thread's next operation into an
+	// ErrNeutralized panic the caller must handle.
+	Neutralize bool
+	// OnNeutralize, if non-nil, is called (on the watchdog goroutine) for
+	// each thread the ladder neutralizes.
+	OnNeutralize func(Stall)
 }
 
 // Watchdog detects threads pinning the global epoch. Epoch lag alone cannot
@@ -37,6 +52,11 @@ type Watchdog struct {
 	done chan struct{}
 
 	samples []wdSample
+
+	// pressureSince is when the domain crossed its soft limbo limit (zero
+	// while under it); the escalation ladder's neutralization rung arms once
+	// now-pressureSince exceeds EscalateAfter. Watchdog-goroutine only.
+	pressureSince time.Time
 
 	// tr records stall edges into the flight recorder (nil when the domain
 	// is untraced). The watchdog goroutine is the ring's single writer.
@@ -61,6 +81,9 @@ func (d *Domain) StartWatchdog(cfg WatchdogConfig) *Watchdog {
 	}
 	if cfg.StallAfter <= 0 {
 		cfg.StallAfter = 50 * time.Millisecond
+	}
+	if cfg.EscalateAfter <= 0 {
+		cfg.EscalateAfter = 100 * time.Millisecond
 	}
 	w := &Watchdog{
 		d:       d,
@@ -118,6 +141,7 @@ func (w *Watchdog) run() {
 			w.mu.Lock()
 			w.cur = cur
 			w.mu.Unlock()
+			w.escalate(now, cur)
 			if len(cur) > 0 && !stalled {
 				stalled = true
 				for _, s := range cur {
@@ -132,6 +156,52 @@ func (w *Watchdog) run() {
 				if w.cfg.OnRecover != nil {
 					w.cfg.OnRecover()
 				}
+			}
+		}
+	}
+}
+
+// escalate runs the limbo-pressure ladder (DESIGN.md §11) on each tick the
+// domain is over its soft limit:
+//
+//	rung 1 — force epoch advances (up to one full bag cycle), letting live
+//	         threads rotate reclaimable bags on their next StartOp;
+//	rung 2 — force an orphan-bag sweep, reclaiming what dead threads left;
+//	rung 3 — after EscalateAfter of sustained pressure, neutralize every
+//	         thread in the stall set (opt-in via cfg.Neutralize).
+//
+// The ladder never outruns the safety argument: rungs 1–2 only do what
+// normal operation would eventually do anyway, and rung 3 hands the freed
+// epochs' chains to the quarantine until the victim acknowledges.
+func (w *Watchdog) escalate(now time.Time, cur []Stall) {
+	d := w.d
+	if !d.OverSoftLimit() {
+		w.pressureSince = time.Time{}
+		return
+	}
+	before := d.BoundedNodes()
+	if w.pressureSince.IsZero() {
+		w.pressureSince = now
+		soft, _ := d.LimboLimits()
+		w.tr.Emit(trace.EvLimboPressure, uint64(before), uint64(soft))
+	}
+	if adv := d.ForceAdvance(numBags); adv > 0 {
+		w.tr.Emit(trace.EvForceAdvance, uint64(adv), uint64(before))
+	}
+	if freed := d.ForceSweep(); freed > 0 {
+		w.tr.Emit(trace.EvForceSweep, uint64(freed), uint64(before))
+	}
+	if !w.cfg.Neutralize || now.Sub(w.pressureSince) < w.cfg.EscalateAfter {
+		return
+	}
+	if !d.OverSoftLimit() {
+		return // rungs 1–2 drained below the limit; no victim needed
+	}
+	for _, s := range cur {
+		if d.Neutralize(s.ThreadID) {
+			w.tr.Emit(trace.EvNeutralize, uint64(s.ThreadID), uint64(s.Stuck))
+			if w.cfg.OnNeutralize != nil {
+				w.cfg.OnNeutralize(s)
 			}
 		}
 	}

@@ -17,15 +17,22 @@ import (
 // HealthCheck is a named liveness probe exposed at /healthz. Check returns
 // nil when healthy; the error message is reported verbatim in the response
 // body. Checks must be safe for concurrent use.
+//
+// Warn is the optional degraded level: a non-nil Warn error marks the
+// endpoint degraded (still 200 — load balancers keep routing) while a
+// non-nil Check error marks it critical (503). Boolean checks that predate
+// the split simply leave Warn nil.
 type HealthCheck struct {
 	Name  string
 	Check func() error
+	Warn  func() error
 }
 
 // HandlerOpts configures the observability handler beyond the metrics
 // registry itself.
 type HandlerOpts struct {
-	// Checks are exposed at /healthz (200 while all pass, 503 otherwise).
+	// Checks are exposed at /healthz: 503 while any Check fails, 200 with a
+	// "degraded" body while only Warn levels fail, 200 "ok" otherwise.
 	Checks []HealthCheck
 	// Trace, when non-nil, exposes the flight recorder at /debug/trace:
 	// GET returns a binary dump (feed it to cmd/rqtrace); ?format=json
@@ -36,9 +43,10 @@ type HandlerOpts struct {
 // Handler returns the observability HTTP handler: /metrics (Prometheus
 // text), /debug/vars (expvar JSON, including this registry once published),
 // the net/http/pprof profile endpoints under /debug/pprof/, and /healthz,
-// which answers 200 while every supplied check passes and 503 (listing the
-// failing checks) otherwise. With no checks /healthz always answers 200.
-// The root path lists every mounted route.
+// which answers 503 (listing the failures) while any check's critical level
+// fails, 200 with a "degraded" body while only warn levels fail, and 200
+// "ok" otherwise. With no checks /healthz always answers 200. The root path
+// lists every mounted route.
 func Handler(r *Registry, checks ...HealthCheck) http.Handler {
 	return NewHandler(r, HandlerOpts{Checks: checks})
 }
@@ -57,17 +65,36 @@ func NewHandler(r *Registry, opts HandlerOpts) http.Handler {
 	})
 	handle("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		failed := false
+		// Evaluate everything before writing: the status line must precede
+		// the body, and a critical failure outranks any number of warnings.
+		var fails, warns []string
 		for _, c := range opts.Checks {
-			if err := c.Check(); err != nil {
-				if !failed {
-					failed = true
-					w.WriteHeader(http.StatusServiceUnavailable)
+			if c.Check != nil {
+				if err := c.Check(); err != nil {
+					fails = append(fails, fmt.Sprintf("fail %s: %v", c.Name, err))
 				}
-				fmt.Fprintf(w, "fail %s: %v\n", c.Name, err)
+			}
+			if c.Warn != nil {
+				if err := c.Warn(); err != nil {
+					warns = append(warns, fmt.Sprintf("warn %s: %v", c.Name, err))
+				}
 			}
 		}
-		if !failed {
+		switch {
+		case len(fails) > 0:
+			w.WriteHeader(http.StatusServiceUnavailable)
+			for _, l := range fails {
+				fmt.Fprintln(w, l)
+			}
+			for _, l := range warns {
+				fmt.Fprintln(w, l)
+			}
+		case len(warns) > 0:
+			fmt.Fprintln(w, "degraded")
+			for _, l := range warns {
+				fmt.Fprintln(w, l)
+			}
+		default:
 			fmt.Fprintln(w, "ok")
 		}
 	})

@@ -198,8 +198,9 @@ func TestConcurrentRegisterDeregisterChurn(t *testing.T) {
 	wg.Wait()
 }
 
-// TestHealth: the provider's health check fails exactly while a thread is
-// stalled (per the domain's stall view) and recovers with it.
+// TestHealth: the provider's health check degrades (warn level) exactly
+// while a thread is stalled (per the domain's stall view), recovers with it,
+// and never trips the critical level — stalls alone don't reject traffic.
 func TestHealth(t *testing.T) {
 	p := New(Config{MaxThreads: 2, Mode: ModeLockFree})
 	hc := p.Health()
@@ -208,6 +209,9 @@ func TestHealth(t *testing.T) {
 	}
 	if err := hc.Check(); err != nil {
 		t.Fatalf("idle provider unhealthy: %v", err)
+	}
+	if err := hc.Warn(); err != nil {
+		t.Fatalf("idle provider degraded: %v", err)
 	}
 	worker := p.Register()
 	staller := p.Register()
@@ -218,7 +222,7 @@ func TestHealth(t *testing.T) {
 	}
 	// Lag-based fallback view: a single staller shows lag 1, below the
 	// conservative threshold, so health stays green without a watchdog...
-	if err := hc.Check(); err != nil {
+	if err := hc.Warn(); err != nil {
 		t.Fatalf("lag-1 staller tripped the watchdog-free check: %v", err)
 	}
 	// ...and an attached watchdog supplies the duration-based view.
@@ -228,17 +232,65 @@ func TestHealth(t *testing.T) {
 	})
 	defer w.Stop()
 	deadline := time.Now().Add(2 * time.Second)
-	for hc.Check() == nil {
+	for hc.Warn() == nil {
 		if time.Now().After(deadline) {
-			t.Fatal("health check never failed for a stalled thread")
+			t.Fatal("health check never degraded for a stalled thread")
 		}
 		time.Sleep(time.Millisecond)
 	}
+	// A stall is degradation, not an outage: the critical level stays green.
+	if err := hc.Check(); err != nil {
+		t.Fatalf("stall tripped the critical level: %v", err)
+	}
 	staller.EndOp()
-	for hc.Check() != nil {
+	for hc.Warn() != nil {
 		if time.Now().After(deadline) {
 			t.Fatal("health check never recovered after the stall ended")
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestHealthMemoryPressure: the hard limbo limit is the critical level — the
+// check fails while BoundedNodes sits at the limit and recovers when it
+// drains; the soft limit only degrades.
+func TestHealthMemoryPressure(t *testing.T) {
+	p := New(Config{MaxThreads: 2, Mode: ModeLockFree, LimboSoftLimit: 4, LimboHardLimit: 8})
+	hc := p.Health()
+	th := p.Register()
+	spare := p.Register()
+
+	retire := func(n int) {
+		for i := 0; i < n; i++ {
+			nd := &epoch.Node{}
+			nd.InitKey(int64(i), 0)
+			th.StartOp()
+			th.Epoch().Retire(nd)
+			th.EndOp()
+		}
+	}
+	retire(4)
+	if err := hc.Check(); err != nil {
+		t.Fatalf("soft limit tripped the critical level: %v", err)
+	}
+	if err := hc.Warn(); err == nil {
+		t.Fatal("soft-limit breach did not degrade the health check")
+	}
+	retire(4)
+	if err := hc.Check(); err == nil {
+		t.Fatal("hard-limit breach did not fail the health check")
+	}
+	// Drain: with every thread quiescent, epoch advances rotate the bags out.
+	for i := 0; i < 20*32; i++ {
+		th.StartOp()
+		th.EndOp()
+		spare.StartOp()
+		spare.EndOp()
+	}
+	if err := hc.Check(); err != nil {
+		t.Fatalf("health check never recovered after limbo drained: %v", err)
+	}
+	if err := hc.Warn(); err != nil {
+		t.Fatalf("warn level never recovered after limbo drained: %v", err)
 	}
 }

@@ -38,8 +38,10 @@ import (
 	"fmt"
 	"runtime"
 	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 	"unsafe"
 
 	"ebrrq/internal/dcss"
@@ -127,6 +129,19 @@ type Config struct {
 	// TraceLabel prefixes this provider's ring labels (e.g. "s3/" for shard
 	// 3) so several providers can share one recorder.
 	TraceLabel string
+	// LimboSoftLimit / LimboHardLimit bound the EBR domain's unreclaimed
+	// node count (limbo plus quarantine; 0 disables a limit). Crossing the
+	// soft limit arms the watchdog's escalation ladder (forced advances →
+	// orphan sweeps → neutralization, when a watchdog with Neutralize is
+	// attached); at the hard limit AdmitUpdate rejects updates with
+	// ErrMemoryPressure until reclamation catches up. Range queries and
+	// lookups are never backpressured — they add nothing to limbo.
+	LimboSoftLimit int64
+	LimboHardLimit int64
+	// PressureWait, when positive, makes AdmitUpdate wait up to this long
+	// for the limbo count to fall below the hard limit before giving up
+	// with ErrMemoryPressure. 0 fails fast.
+	PressureWait time.Duration
 }
 
 // Recorder observes timestamped updates for offline validation.
@@ -167,15 +182,16 @@ type Provider struct {
 	lock rwlock.FetchAddRW // ModeLock
 	dist *rwlock.DistRW    // ModeHTM
 
-	dom         *epoch.Domain
-	threads     []atomic.Pointer[Thread]
-	registered  atomic.Int32
-	maxAnnounce int
-	limboSorted bool
-	recorder    Recorder
-	spinBudget  int
-	waitBudget  int
-	met         provMetrics
+	dom          *epoch.Domain
+	threads      []atomic.Pointer[Thread]
+	registered   atomic.Int32
+	maxAnnounce  int
+	limboSorted  bool
+	recorder     Recorder
+	spinBudget   int
+	waitBudget   int
+	pressureWait time.Duration
+	met          provMetrics
 
 	// Flight recorder (nil when untraced). rings caches one ring per thread
 	// slot so crash/revive churn (chaos tests) reuses rings instead of
@@ -192,6 +208,12 @@ type Provider struct {
 // live thread.
 var ErrTooManyThreads = errors.New("rqprov: too many threads registered")
 
+// ErrMemoryPressure is returned by AdmitUpdate when the domain's unreclaimed
+// node count sits at the hard limbo limit (and, with PressureWait, stayed
+// there for the whole wait): admitting the update would grow limbo past the
+// configured memory bound. Retry later, or shed the write.
+var ErrMemoryPressure = errors.New("rqprov: update rejected, limbo at hard memory limit")
+
 // provMetrics holds the provider-layer observability handles. All fields
 // are nil-safe no-ops until EnableMetrics wires them, so the default path
 // pays one branch per (rare) event.
@@ -205,6 +227,10 @@ type provMetrics struct {
 	awaitDSpins  *obs.Counter   // ebrrq_await_dtime_spins_total
 	poolHits     *obs.Counter   // ebrrq_pool_hits_total
 	poolMisses   *obs.Counter   // ebrrq_pool_misses_total
+
+	// backpressured counts updates AdmitUpdate rejected (after any
+	// PressureWait) because limbo sat at the hard memory limit.
+	backpressured *obs.Counter // ebrrq_updates_backpressured_total
 
 	// RQ hot-path scaling family: tsShared counts range queries that
 	// adopted a concurrently installed timestamp, tsAdvanced those that won
@@ -262,6 +288,8 @@ func (p *Provider) EnableMetrics(reg *obs.Registry) {
 		phTraverse:   reg.Counter("ebrrq_rq_traverse_ns_total", "ns range queries spent traversing the structure (flight recorder attached)"),
 		phAnnounce:   reg.Counter("ebrrq_rq_announce_ns_total", "ns range queries spent on the announcement sweep (flight recorder attached)"),
 		phLimbo:      reg.Counter("ebrrq_rq_limbo_ns_total", "ns range queries spent on the limbo sweep (flight recorder attached)"),
+		backpressured: reg.Counter("ebrrq_updates_backpressured_total",
+			"updates rejected with ErrMemoryPressure at the hard limbo limit"),
 	}
 	const escHelp = "timestamp waits that exhausted the spin budget and began yielding"
 	const fbHelp = "timestamp waits that exhausted the wait budget and resolved conservatively"
@@ -284,9 +312,25 @@ func (p *Provider) EnableMetrics(reg *obs.Registry) {
 		Retires:   reg.Counter("ebrrq_epoch_retires_total", "nodes retired into limbo"),
 		Rotations: reg.Counter("ebrrq_epoch_rotations_total", "limbo-bag rotations"),
 		Reclaimed: reg.Counter("ebrrq_epoch_reclaimed_total", "nodes handed to the free function"),
+		Neutralizations: reg.Counter("ebrrq_epoch_neutralizations_total",
+			"stalled threads neutralized by the watchdog escalation ladder"),
+		Quarantined: reg.Counter("ebrrq_epoch_quarantined_total",
+			"reclaimable nodes diverted to quarantine while a neutralization was unacknowledged"),
+		ForcedAdvances: reg.Counter("ebrrq_epoch_forced_advances_total",
+			"epoch advances forced by the watchdog under limbo pressure"),
+		ForcedSweeps: reg.Counter("ebrrq_epoch_forced_sweeps_total",
+			"nodes reclaimed by watchdog-forced orphan sweeps"),
 	})
 	reg.GaugeFunc("ebrrq_limbo_len", "nodes currently in limbo across all threads",
 		func() int64 { return int64(p.dom.LimboSize()) })
+	reg.GaugeFunc("ebrrq_limbo_bytes", "approximate heap bytes held in limbo",
+		func() int64 { return p.dom.LimboBytes() })
+	reg.GaugeFunc("ebrrq_quarantined_nodes", "nodes held in the neutralization quarantine",
+		func() int64 { return p.dom.QuarantinedNodes() })
+	reg.GaugeFunc("ebrrq_quarantined_bytes", "approximate heap bytes held in the neutralization quarantine",
+		func() int64 { return p.dom.QuarantinedBytes() })
+	reg.GaugeFunc("ebrrq_unacked_neutralizations", "neutralized threads that have not yet acknowledged",
+		func() int64 { return int64(p.dom.UnackedNeutralizations()) })
 	reg.GaugeFunc("ebrrq_global_timestamp", "current range-query timestamp TS",
 		func() int64 { return int64(p.ts.Load()) })
 	reg.GaugeFunc("ebrrq_epoch_stalled_threads", "threads currently stalled mid-operation (watchdog view when attached)",
@@ -295,18 +339,49 @@ func (p *Provider) EnableMetrics(reg *obs.Registry) {
 		func() int64 { return int64(p.dom.MaxLag()) })
 }
 
-// Health returns a health check for obs.Serve's /healthz endpoint: it fails
-// while any thread is stalled mid-operation (pinning the epoch). Attach an
-// epoch watchdog to the provider's domain for duration-based detection;
-// without one the check only reports the (conservative) lag-based view.
+// Health returns a health check for obs.Serve's /healthz endpoint.
+//
+// Critical (503): the domain sits at its hard limbo limit — updates are
+// being rejected with ErrMemoryPressure.
+//
+// Degraded (200 + "degraded" body): a thread is stalled mid-operation, a
+// neutralization is awaiting acknowledgement, or the soft limbo limit is
+// breached — the system still serves every operation, but the escalation
+// ladder is working. Attach an epoch watchdog to the provider's domain for
+// duration-based stall detection; without one the warn level only reports
+// the (conservative) lag-based view.
 func (p *Provider) Health() obs.HealthCheck {
-	return obs.HealthCheck{Name: "epoch", Check: func() error {
-		if stalls := p.dom.StalledThreads(); len(stalls) > 0 {
-			return fmt.Errorf("%d thread(s) stalled mid-operation, max epoch lag %d",
-				len(stalls), p.dom.MaxLag())
-		}
-		return nil
-	}}
+	return obs.HealthCheck{
+		Name: "epoch",
+		Check: func() error {
+			if p.dom.OverHardLimit() {
+				_, hard := p.dom.LimboLimits()
+				return fmt.Errorf("limbo at hard memory limit (%d unreclaimed nodes, limit %d): updates rejected",
+					p.dom.BoundedNodes(), hard)
+			}
+			return nil
+		},
+		Warn: func() error {
+			var probs []string
+			if stalls := p.dom.StalledThreads(); len(stalls) > 0 {
+				probs = append(probs, fmt.Sprintf("%d thread(s) stalled mid-operation, max epoch lag %d",
+					len(stalls), p.dom.MaxLag()))
+			}
+			if ua := p.dom.UnackedNeutralizations(); ua > 0 {
+				probs = append(probs, fmt.Sprintf("%d neutralization(s) unacknowledged, %d nodes quarantined",
+					ua, p.dom.QuarantinedNodes()))
+			}
+			if p.dom.OverSoftLimit() {
+				soft, _ := p.dom.LimboLimits()
+				probs = append(probs, fmt.Sprintf("limbo over soft limit (%d unreclaimed nodes, limit %d)",
+					p.dom.BoundedNodes(), soft))
+			}
+			if len(probs) > 0 {
+				return errors.New(strings.Join(probs, "; "))
+			}
+			return nil
+		},
+	}
 }
 
 // New creates a provider (and its EBR domain) from cfg.
@@ -333,19 +408,21 @@ func New(cfg Config) *Provider {
 		cfg.Clock = NewSharedClock() // private clock, TS starts at 1 (0 is ⊥)
 	}
 	p := &Provider{
-		mode:        cfg.Mode,
-		clock:       cfg.Clock,
-		ts:          cfg.Clock.Word(),
-		dom:         epoch.NewDomain(cfg.MaxThreads),
-		threads:     make([]atomic.Pointer[Thread], cfg.MaxThreads),
-		maxAnnounce: cfg.MaxAnnounce,
-		limboSorted: cfg.LimboSorted,
-		recorder:    cfg.Recorder,
-		spinBudget:  cfg.SpinBudget,
-		waitBudget:  cfg.WaitBudget,
-		trace:       cfg.Trace,
-		traceLabel:  cfg.TraceLabel,
+		mode:         cfg.Mode,
+		clock:        cfg.Clock,
+		ts:           cfg.Clock.Word(),
+		dom:          epoch.NewDomain(cfg.MaxThreads),
+		threads:      make([]atomic.Pointer[Thread], cfg.MaxThreads),
+		maxAnnounce:  cfg.MaxAnnounce,
+		limboSorted:  cfg.LimboSorted,
+		recorder:     cfg.Recorder,
+		spinBudget:   cfg.SpinBudget,
+		waitBudget:   cfg.WaitBudget,
+		pressureWait: cfg.PressureWait,
+		trace:        cfg.Trace,
+		traceLabel:   cfg.TraceLabel,
 	}
+	p.dom.SetLimboLimits(cfg.LimboSoftLimit, cfg.LimboHardLimit)
 	if cfg.Trace != nil {
 		p.rings = make([]*trace.Ring, cfg.MaxThreads)
 		p.dom.SetTrace(cfg.Trace, cfg.TraceLabel)
@@ -615,6 +692,48 @@ func (t *Thread) BagsSweptTotal() uint64 { return t.bagsSweptTotal }
 // Update path
 // ---------------------------------------------------------------------------
 
+// AdmitUpdate is the backpressure gate: call it before starting an update
+// operation (Insert/Delete — not lookups or range queries, which add nothing
+// to limbo). It returns ErrMemoryPressure while the domain's unreclaimed
+// node count sits at the hard limbo limit; with Config.PressureWait it first
+// waits — yielding, off any epoch announcement — up to that long for
+// reclamation (or the watchdog's escalation ladder) to drain below the
+// limit. Call BEFORE StartOp: a waiting thread must not pin the epoch, or it
+// would hold back the very reclamation it is waiting for.
+func (t *Thread) AdmitUpdate() error {
+	d := t.prov.dom
+	if !d.OverHardLimit() {
+		return nil
+	}
+	// Self-service drain before rejecting: most of the limbo typically sits in
+	// the bags of the very updaters being refused admission, and only the
+	// owner may empty those — a rejected thread never reaches the StartOp
+	// rotation, so without this the domain would pin at the hard limit even
+	// after the watchdog unwedged the epoch.
+	if t.ep.ReclaimStale() > 0 && !d.OverHardLimit() {
+		return nil
+	}
+	if wait := t.prov.pressureWait; wait > 0 {
+		deadline := time.Now().Add(wait)
+		for {
+			runtime.Gosched()
+			t.ep.ReclaimStale()
+			if !d.OverHardLimit() {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+		}
+	}
+	t.prov.met.backpressured.Inc(t.id)
+	if t.tr != nil {
+		_, hard := d.LimboLimits()
+		t.tr.Emit(trace.EvBackpressure, uint64(d.BoundedNodes()), uint64(hard))
+	}
+	return ErrMemoryPressure
+}
+
 func (t *Thread) announceAll(dnodes []*epoch.Node) {
 	if len(dnodes) > len(t.announce) {
 		panic("rqprov: update deletes more nodes than MaxAnnounce")
@@ -648,6 +767,11 @@ func (t *Thread) unannounceAll(n int) {
 func (t *Thread) UpdateCAS(slot *dcss.Slot, old, new unsafe.Pointer, inodes, dnodes []*epoch.Node, retireDeleted bool) bool {
 	p := t.prov
 	if p.mode != ModeUnsafe {
+		// Pre-linearization poison checkpoint: a thread that resumed after
+		// being neutralized lost its epoch protection, so the nodes its
+		// traversal found (old/new) can no longer be trusted — the update
+		// must abort before it can linearize against them.
+		t.ep.CheckNeutralized()
 		t.announceAll(dnodes)
 		fault.Inject("rqprov.update.announced")
 	}
@@ -665,6 +789,16 @@ func (t *Thread) UpdateCAS(slot *dcss.Slot, old, new unsafe.Pointer, inodes, dno
 
 	case ModeLock:
 		p.lock.AcquireShared()
+		// In-section re-check: a thread that stalled at any point before the
+		// lock and was neutralized while stalled must not linearize on
+		// resume — its retires would land in bags below every concurrent
+		// query's visibility floor. Release before panicking, or RQ drains
+		// would wedge on our shared hold. (A poison landing between this
+		// load and the CAS is the residual window DESIGN.md §11 documents.)
+		if t.ep.Poisoned() {
+			p.lock.ReleaseShared()
+			panic(epoch.ErrNeutralized)
+		}
 		ts := p.ts.Load()
 		ok := slot.CAS(old, new)
 		p.lock.ReleaseShared()
@@ -676,6 +810,10 @@ func (t *Thread) UpdateCAS(slot *dcss.Slot, old, new unsafe.Pointer, inodes, dno
 		// read TS; CAS; XEND. AcquireShared touches only this thread's
 		// slot and validates the writer bit, retrying on "abort".
 		p.dist.AcquireShared(t.id)
+		if t.ep.Poisoned() { // same contract as the ModeLock re-check
+			p.dist.ReleaseShared(t.id)
+			panic(epoch.ErrNeutralized)
+		}
 		ts := p.ts.Load()
 		ok := slot.CAS(old, new)
 		p.dist.ReleaseShared(t.id)
@@ -684,6 +822,7 @@ func (t *Thread) UpdateCAS(slot *dcss.Slot, old, new unsafe.Pointer, inodes, dno
 
 	case ModeLockFree:
 		for {
+			t.ep.CheckNeutralized() // re-check per retry: TS waits can spin long
 			ts := p.ts.Load()
 			d := &dcss.Descriptor{
 				A1: p.ts, Exp1: ts,
@@ -723,14 +862,19 @@ func (t *Thread) finishUpdate(ok bool, ts uint64, inodes, dnodes []*epoch.Node, 
 		for _, d := range dnodes {
 			d.SetDTime(ts)
 		}
+		t.lastUpdateTS = ts
+		// Record before Retire: Retire is a poison checkpoint, and if it
+		// aborts the thread (residual neutralization window) the validator
+		// must already know about the linearized update. Retire stays before
+		// unannounceAll — the announcement covers the nodes until they are
+		// findable in limbo.
+		if r := t.prov.recorder; r != nil {
+			r.RecordUpdate(t.id, ts, inodes, dnodes)
+		}
 		if retireDeleted {
 			for _, d := range dnodes {
 				t.ep.Retire(d)
 			}
-		}
-		t.lastUpdateTS = ts
-		if r := t.prov.recorder; r != nil {
-			r.RecordUpdate(t.id, ts, inodes, dnodes)
 		}
 	}
 	t.unannounceAll(len(dnodes))
@@ -765,6 +909,7 @@ func (t *Thread) PhysicalDelete(dnodes []*epoch.Node, unlink func() bool) bool {
 		}
 		return ok
 	}
+	t.ep.CheckNeutralized() // same pre-linearization contract as UpdateCAS
 	t.announceAll(dnodes)
 	fault.Inject("rqprov.physdel.announced")
 	ok := unlink()
@@ -821,6 +966,13 @@ func (t *Thread) PoolMiss() { t.prov.met.poolMisses.Inc(t.id) }
 // this provider's update lock (Lock/HTM), and lock-free mode needs nothing
 // beyond the pin because DCSS validated the shared word (DESIGN.md §9).
 func (t *Thread) TraversalStart(low, high int64) {
+	if t.prov.mode != ModeUnsafe {
+		// Pre-linearization poison checkpoint, mirroring UpdateCAS: a range
+		// query resumed after neutralization must not acquire (or advance)
+		// a timestamp — its epoch protection is gone and its traversal could
+		// observe quarantined state it has no right to linearize against.
+		t.ep.CheckNeutralized()
+	}
 	t.low, t.high = low, high
 	if cap(t.result) < t.resultHWM {
 		t.result = make([]epoch.KV, 0, t.resultHWM)

@@ -93,6 +93,34 @@ const (
 	// EvCrossRQEnd: cross-shard range query finished. arg1 = shared
 	// timestamp used, arg2 = duration ns.
 	EvCrossRQEnd
+	// EvLimboPressure: limbo crossed the soft limit (watchdog view).
+	// arg1 = limbo+quarantine node count, arg2 = the soft limit.
+	EvLimboPressure
+	// EvForceAdvance: the watchdog forced global-epoch advance attempts to
+	// drain limbo. arg1 = epochs advanced, arg2 = limbo nodes before.
+	EvForceAdvance
+	// EvForceSweep: the watchdog forced an orphan-bag sweep. arg1 = nodes
+	// reclaimed by the sweep, arg2 = limbo nodes before.
+	EvForceSweep
+	// EvNeutralize: the watchdog poisoned a stalled thread's announcement so
+	// it no longer pins the epoch. arg1 = thread slot id, arg2 = ns the
+	// thread had been stuck.
+	EvNeutralize
+	// EvNeutralizeAck: a neutralized thread observed the poison at an op
+	// boundary and acknowledged. arg1 = thread slot id, arg2 = 0.
+	EvNeutralizeAck
+	// EvQuarantine: a reclaimable limbo chain was diverted to the quarantine
+	// list because a neutralization is unacknowledged. arg1 = nodes
+	// quarantined, arg2 = source thread slot id.
+	EvQuarantine
+	// EvQuarantineDrain: the quarantine list was released to the free
+	// function after the last outstanding acknowledgement. arg1 = nodes
+	// freed, arg2 = bytes freed.
+	EvQuarantineDrain
+	// EvBackpressure: an update was rejected (or delayed past its bounded
+	// wait) because limbo+quarantine reached the hard limit. arg1 = limbo
+	// node count observed, arg2 = the hard limit.
+	EvBackpressure
 )
 
 // Op kinds carried in EvOpBegin/EvOpEnd arg1.
@@ -129,6 +157,10 @@ var typeNames = map[EventType]string{
 	EvRetire: "retire", EvRotate: "rotate", EvReclaim: "reclaim",
 	EvStall: "stall", EvStallRecover: "stall_recover",
 	EvCrossRQBegin: "xrq_begin", EvCrossRQEnd: "xrq_end",
+	EvLimboPressure: "limbo_pressure", EvForceAdvance: "force_advance",
+	EvForceSweep: "force_sweep", EvNeutralize: "neutralize",
+	EvNeutralizeAck: "neutralize_ack", EvQuarantine: "quarantine",
+	EvQuarantineDrain: "quarantine_drain", EvBackpressure: "backpressure",
 }
 
 // String returns the event type's snake_case name.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"ebrrq/internal/epoch"
 	"ebrrq/internal/obs"
@@ -71,6 +72,17 @@ type ShardedOptions struct {
 	// and the router records a cross-shard span (xrq_begin/xrq_end) on the
 	// first overlapping shard's ring around every multi-shard range query.
 	Trace *trace.Recorder
+
+	// LimboSoftLimit / LimboHardLimit bound each shard's unreclaimed node
+	// count independently (see Options.LimboSoftLimit): a stalled thread
+	// only backpressures updates routed to the shard it is stalled on —
+	// the other shards keep reclaiming and accepting writes.
+	LimboSoftLimit int64
+	LimboHardLimit int64
+
+	// PressureWait is each shard's bounded wait at the hard limit before an
+	// update is rejected with ErrMemoryPressure; see Options.PressureWait.
+	PressureWait time.Duration
 }
 
 // shardedMetrics holds the router-layer aggregate observability handles;
@@ -147,7 +159,14 @@ func NewShardedWithOptions(d DataStructure, t Technique, maxThreads, shards int,
 			func() int64 { return int64(shards) })
 	}
 	for i := range s.shards {
-		o := Options{Metrics: opt.Metrics, Clock: s.clock, WaitBudget: opt.WaitBudget}
+		o := Options{
+			Metrics:        opt.Metrics,
+			Clock:          s.clock,
+			WaitBudget:     opt.WaitBudget,
+			LimboSoftLimit: opt.LimboSoftLimit,
+			LimboHardLimit: opt.LimboHardLimit,
+			PressureWait:   opt.PressureWait,
+		}
 		if opt.Metrics != nil {
 			o.MetricLabels = fmt.Sprintf(`shard="%d"`, i)
 		}
@@ -223,17 +242,30 @@ func (s *Sharded) checkKey(key int64) {
 	}
 }
 
-// Health returns an aggregate health check failing when any shard's EBR
-// domain has a thread stalled mid-operation.
+// Health returns an aggregate health check over every shard: critical (503)
+// when any shard sits at its hard limbo limit, degraded when any shard has a
+// stalled thread, an unacknowledged neutralization, or a breached soft
+// limit. Per-shard detail is prefixed "shard <i>:".
 func (s *Sharded) Health() obs.HealthCheck {
-	return obs.HealthCheck{Name: "epoch", Check: func() error {
-		for i, sh := range s.shards {
-			if err := sh.Provider().Health().Check(); err != nil {
-				return fmt.Errorf("shard %d: %w", i, err)
+	return obs.HealthCheck{
+		Name: "epoch",
+		Check: func() error {
+			for i, sh := range s.shards {
+				if err := sh.Provider().Health().Check(); err != nil {
+					return fmt.Errorf("shard %d: %w", i, err)
+				}
 			}
-		}
-		return nil
-	}}
+			return nil
+		},
+		Warn: func() error {
+			for i, sh := range s.shards {
+				if err := sh.Provider().Health().Warn(); err != nil {
+					return fmt.Errorf("shard %d: %w", i, err)
+				}
+			}
+			return nil
+		},
+	}
 }
 
 // StartWatchdogs attaches an epoch watchdog (see epoch.WatchdogConfig) to
@@ -322,6 +354,22 @@ func (t *ShardedThread) Insert(key, value int64) bool {
 func (t *ShardedThread) Delete(key int64) bool {
 	t.set.checkKey(key)
 	return t.ths[t.set.shardOf(key)].Delete(key)
+}
+
+// TryInsert is Insert with graceful degradation on the owning shard: it
+// returns ErrMemoryPressure when that shard is at its hard limbo limit and
+// ErrNeutralized when the shard's watchdog revoked this handle's thread.
+// Other shards are unaffected either way. Panics (like Insert) if key is
+// outside the sharded key range.
+func (t *ShardedThread) TryInsert(key, value int64) (bool, error) {
+	t.set.checkKey(key)
+	return t.ths[t.set.shardOf(key)].TryInsert(key, value)
+}
+
+// TryDelete is Delete with graceful degradation; see TryInsert.
+func (t *ShardedThread) TryDelete(key int64) (bool, error) {
+	t.set.checkKey(key)
+	return t.ths[t.set.shardOf(key)].TryDelete(key)
 }
 
 // Contains returns the value stored under key. Panics if key is outside the

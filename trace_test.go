@@ -42,8 +42,17 @@ func TestSetTraceEndToEnd(t *testing.T) {
 			}
 
 			snap := rec.Snapshot()
-			if len(snap.Rings) != 1 || snap.Rings[0].Label != "t0" {
-				t.Fatalf("rings = %+v, want one ring t0", snap.Rings)
+			// One per-thread ring plus the domain's always-on quarantine ring
+			// (empty here: nothing was neutralized).
+			labels := map[string]int{}
+			for _, rg := range snap.Rings {
+				labels[rg.Label] = len(rg.Events)
+			}
+			if len(labels) != 2 || labels["quarantine"] != 0 {
+				t.Fatalf("rings = %+v, want t0 plus an empty quarantine ring", labels)
+			}
+			if _, ok := labels["t0"]; !ok {
+				t.Fatalf("rings = %+v, want a t0 ring", labels)
 			}
 			c := countTypes(snap)
 			// 10 inserts + 1 delete + 1 contains + 1 RQ, begin and end each.
@@ -102,8 +111,16 @@ func TestShardedTraceCrossShard(t *testing.T) {
 	for _, rg := range snap.Rings {
 		byLabel[rg.Label] = rg.Events
 	}
-	if len(byLabel) != 4 {
-		t.Fatalf("rings = %d (%v), want one per shard", len(byLabel), byLabel)
+	// Each shard contributes a thread ring and its domain's (empty here)
+	// quarantine ring.
+	if len(byLabel) != 8 {
+		t.Fatalf("rings = %d (%v), want a thread and a quarantine ring per shard", len(byLabel), byLabel)
+	}
+	for i := 0; i < 4; i++ {
+		label := "s" + string(rune('0'+i)) + "/quarantine"
+		if evs, ok := byLabel[label]; !ok || len(evs) != 0 {
+			t.Fatalf("ring %s = %v, want present and empty", label, evs)
+		}
 	}
 	count := func(label string, ty trace.EventType) int {
 		n := 0
