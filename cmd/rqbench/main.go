@@ -1,8 +1,9 @@
-// Command rqbench runs the RQ-heavy mixed benchmark (50% range queries /
-// 50% updates by default) across data structures, provider techniques and
-// thread counts, writes the machine-readable BENCH_rq.json report, and —
-// when given a committed baseline — fails if throughput regressed beyond
-// the gate. `make bench-quick` and the CI bench-smoke job are thin wrappers
+// Command rqbench runs the mixed benchmark matrix (update-heavy and
+// RQ-heavy points, solo and combined updates by default) across data
+// structures, provider techniques and thread counts, writes the
+// machine-readable BENCH_rq.json report, and — when given a committed
+// baseline — fails if throughput regressed beyond the gate.
+// `make bench-quick` and the CI bench-smoke job are thin wrappers
 // around this command.
 //
 //	rqbench -out BENCH_rq.json                        # measure
@@ -14,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
@@ -29,7 +31,8 @@ func main() {
 		techFlag  = flag.String("tech", "lock,lockfree", "comma-separated techniques: lock,htm,lockfree,unsafe")
 		thrFlag   = flag.String("threads", "8", "comma-separated worker counts")
 		shardFlag = flag.String("shards", "1", "comma-separated shard counts (1 = plain set)")
-		rqPct     = flag.Int("rq-pct", 50, "percent of operations that are range queries")
+		rqPct     = flag.String("rq-pct", "0,10,50", "comma-separated range-query percentages (0 = pure updates)")
+		combine   = flag.String("combine", "both", "update combining: off, on, or both (A/B per cell)")
 		rqSize    = flag.Int64("rq-size", 64, "keys spanned per range query")
 		scale     = flag.Int64("scale", 10, "key-range divisor (1 = paper sizes)")
 		trials    = flag.Int("trials", 3, "trials per cell (results are merged)")
@@ -37,6 +40,7 @@ func main() {
 		seed      = flag.Int64("seed", 42, "base RNG seed")
 		out       = flag.String("out", "BENCH_rq.json", "output report path ('-' for stdout)")
 		baseline  = flag.String("baseline", "", "baseline BENCH_rq.json to gate against (missing file: gate skipped)")
+		minWith   = flag.String("min-with", "", "earlier report to fold in, keeping per-cell throughput minima (baseline floors; missing file: skipped)")
 		maxRegres = flag.Float64("max-regress", 0.20, "maximum allowed throughput regression vs baseline (fraction)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 		noTrace   = flag.Bool("no-trace", false, "disable the flight recorder (loses the per-phase RQ splits)")
@@ -56,7 +60,7 @@ func main() {
 	}
 
 	cfg := bench.RQBenchCfg{
-		RQPct: *rqPct, RQSize: *rqSize, Scale: *scale,
+		RQSize: *rqSize, Scale: *scale,
 		Trials: *trials, Duration: *duration, Seed: *seed,
 		Out:     os.Stderr,
 		NoTrace: *noTrace,
@@ -91,10 +95,36 @@ func main() {
 	if cfg.Shards, err = parseInts(*shardFlag); err != nil {
 		fatal(err)
 	}
+	if cfg.RQPcts, err = parsePcts(*rqPct); err != nil {
+		fatal(err)
+	}
+	if cfg.Combine, err = parseCombine(*combine); err != nil {
+		fatal(err)
+	}
+
+	warnSingleProc()
 
 	rep, err := bench.RunRQBench(cfg)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *minWith != "" {
+		if f, err := os.Open(*minWith); err == nil {
+			prev, err := bench.ReadRQReport(f)
+			f.Close()
+			if err != nil {
+				fatal(fmt.Errorf("parsing -min-with %s: %w", *minWith, err))
+			}
+			if msgs := bench.RQEnvMismatch(prev, rep); len(msgs) > 0 {
+				fmt.Fprintf(os.Stderr, "-min-with %s is from a different host shape; skipped\n", *minWith)
+			} else {
+				rep = bench.MinRQReports(rep, prev)
+				fmt.Fprintf(os.Stderr, "folded per-cell minima from %s\n", *minWith)
+			}
+		} else if !os.IsNotExist(err) {
+			fatal(err)
+		}
 	}
 
 	if *out == "-" {
@@ -200,6 +230,52 @@ func parseTechs(s string) ([]ebrrq.Technique, error) {
 		}
 	}
 	return out, nil
+}
+
+// parsePcts is parseInts minus the n > 0 requirement: rq-pct 0 is a
+// legitimate (pure-update) benchmark point.
+func parsePcts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 0 || n > 100 {
+			return nil, fmt.Errorf("bad percentage %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseCombine(s string) ([]bool, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "off":
+		return []bool{false}, nil
+	case "on":
+		return []bool{true}, nil
+	case "both", "":
+		return []bool{false, true}, nil
+	default:
+		return nil, fmt.Errorf("bad -combine %q (want off, on or both)", s)
+	}
+}
+
+// warnSingleProc makes the dead-counter trap impossible to miss: with a
+// single P there is no goroutine overlap, so every contention-path counter
+// (ts_shared, fence_shared, the combine_* family) reads zero regardless of
+// how the code would behave under load.
+func warnSingleProc() {
+	if runtime.GOMAXPROCS(0) > 1 {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "########################################################")
+	fmt.Fprintln(os.Stderr, "# WARNING: GOMAXPROCS=1 — contention counters are dead. #")
+	fmt.Fprintln(os.Stderr, "########################################################")
+	fmt.Fprintln(os.Stderr, "  "+bench.SingleProcNote)
+	fmt.Fprintln(os.Stderr, "  rerun with GOMAXPROCS>=2 to measure sharing/combining")
 }
 
 func parseInts(s string) ([]int, error) {

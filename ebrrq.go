@@ -246,6 +246,20 @@ type Options struct {
 	// this long for limbo to drain below the hard limit before giving up
 	// with ErrMemoryPressure. 0 fails fast.
 	PressureWait time.Duration
+
+	// CombineUpdates enables the aggregating update funnel (DESIGN.md §12):
+	// concurrent Insert/Delete calls publish their linearizing CAS into a
+	// per-thread cell and one of them — the combiner — applies up to
+	// CombineBatch of them inside a single shared-clock window, amortizing
+	// the update lock handoff (Lock/HTM) and the timestamp validation
+	// (LockFree) over the whole batch. Pays off on update-heavy mixes with
+	// more runnable updaters than cores; adds a publication/wait handshake
+	// per update otherwise. Ignored by Unsafe, Snap and RLU.
+	CombineUpdates bool
+
+	// CombineBatch caps how many pending updates one combiner drains per
+	// window. 0 (with CombineUpdates set) defaults to maxThreads.
+	CombineBatch int
 }
 
 // opClass indexes the set-layer per-operation metrics.
@@ -349,6 +363,8 @@ func NewWithOptions(d DataStructure, t Technique, maxThreads int, opt Options) (
 		LimboSoftLimit: opt.LimboSoftLimit,
 		LimboHardLimit: opt.LimboHardLimit,
 		PressureWait:   opt.PressureWait,
+		CombineUpdates: opt.CombineUpdates,
+		CombineBatch:   opt.CombineBatch,
 	})
 	if reg != nil {
 		s.prov.EnableMetrics(reg)

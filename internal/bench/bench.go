@@ -62,6 +62,12 @@ type TrialCfg struct {
 	// per-phase RQ time counters (ebrrq_rq_{ts_wait,traverse,announce,
 	// limbo}_ns_total). Nil runs the zero-cost disabled path.
 	Trace *trace.Recorder
+
+	// Combine enables the aggregating update funnel on the trial's set
+	// (ebrrq.Options.CombineUpdates / per shard when sharded); CombineBatch
+	// caps the batch (0 = maxThreads).
+	Combine      bool
+	CombineBatch int
 }
 
 // Result aggregates a trial's measurements. Throughput counters come from
@@ -198,7 +204,8 @@ func RunTrial(cfg TrialCfg) (Result, error) {
 		sh, err := ebrrq.NewShardedWithOptions(cfg.DS, cfg.Tech, len(cfg.Threads)+1,
 			cfg.Shards, ebrrq.ShardedOptions{
 				Metrics: reg, Trace: cfg.Trace,
-				KeyMin: 0, KeyMax: cfg.KeyRange - 1})
+				KeyMin: 0, KeyMax: cfg.KeyRange - 1,
+				CombineUpdates: cfg.Combine, CombineBatch: cfg.CombineBatch})
 		if err != nil {
 			return Result{}, err
 		}
@@ -225,7 +232,8 @@ func RunTrial(cfg TrialCfg) (Result, error) {
 		}
 	} else {
 		set, err := ebrrq.NewWithOptions(cfg.DS, cfg.Tech, len(cfg.Threads)+1,
-			ebrrq.Options{Metrics: reg, Trace: cfg.Trace})
+			ebrrq.Options{Metrics: reg, Trace: cfg.Trace,
+				CombineUpdates: cfg.Combine, CombineBatch: cfg.CombineBatch})
 		if err != nil {
 			return Result{}, err
 		}

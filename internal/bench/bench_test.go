@@ -96,6 +96,7 @@ func TestRQBenchTraceSplits(t *testing.T) {
 		DSs:   []ebrrq.DataStructure{ebrrq.SkipList},
 		Techs: []ebrrq.Technique{ebrrq.LockFree}, Threads: []int{2},
 		Trials: 1, Duration: 30 * time.Millisecond, Scale: 100,
+		RQPcts: []int{50}, Combine: []bool{false},
 		TraceDump: &dump,
 	})
 	if err != nil {
@@ -127,6 +128,7 @@ func TestRQBenchNoTrace(t *testing.T) {
 		DSs:   []ebrrq.DataStructure{ebrrq.SkipList},
 		Techs: []ebrrq.Technique{ebrrq.LockFree}, Threads: []int{1},
 		Trials: 1, Duration: 20 * time.Millisecond, Scale: 100,
+		RQPcts: []int{50}, Combine: []bool{false},
 		NoTrace: true,
 	})
 	if err != nil {
@@ -134,6 +136,41 @@ func TestRQBenchNoTrace(t *testing.T) {
 	}
 	if pt := rep.Points[0]; pt.PhaseSplit() != "" {
 		t.Fatalf("NoTrace run still has phase data: %+v", pt)
+	}
+}
+
+// TestRQBenchCombineCell checks that a combine-enabled cell runs, carries
+// the /comb key suffix (so it never gates against a solo baseline), and
+// that an update-heavy mix with more workers than procs actually exercises
+// the funnel when the scheduler allows overlap. The counter assertion is
+// overlap-dependent, so it only requires the cell to complete cleanly; the
+// deterministic funnel coverage lives in internal/rqprov's failpoint tests.
+func TestRQBenchCombineCell(t *testing.T) {
+	rep, err := RunRQBench(RQBenchCfg{
+		DSs:   []ebrrq.DataStructure{ebrrq.SkipList},
+		Techs: []ebrrq.Technique{ebrrq.Lock}, Threads: []int{4},
+		Trials: 1, Duration: 30 * time.Millisecond, Scale: 100,
+		RQPcts: []int{0}, Combine: []bool{true},
+		NoTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 1 {
+		t.Fatalf("points = %d, want 1", len(rep.Points))
+	}
+	pt := rep.Points[0]
+	if !pt.Combine {
+		t.Fatalf("point not marked combined: %+v", pt)
+	}
+	if !strings.HasSuffix(pt.Key(), "/comb") {
+		t.Fatalf("combined key missing /comb suffix: %q", pt.Key())
+	}
+	if pt.RQPct != 0 || pt.RQsPerUs != 0 {
+		t.Fatalf("rq_pct 0 cell still ran range queries: %+v", pt)
+	}
+	if pt.UpdatesPerUs <= 0 {
+		t.Fatalf("no update throughput: %+v", pt)
 	}
 }
 
@@ -157,6 +194,84 @@ func TestRQEnvMismatch(t *testing.T) {
 		if !found {
 			t.Fatalf("no %s message in %v", want, msgs)
 		}
+	}
+}
+
+func TestCompareRQReportsDrift(t *testing.T) {
+	mk := func(scale float64, dips map[int]float64) RQReport {
+		var r RQReport
+		for i := 0; i < 8; i++ {
+			v := scale
+			if d, ok := dips[i]; ok {
+				v = d
+			}
+			r.Points = append(r.Points, RQPoint{
+				DS: "SkipList", Tech: "Lock", Threads: 8, RQPct: i,
+				OpsPerUs: v, BestOpsPerUs: v,
+			})
+		}
+		return r
+	}
+	base := mk(1.0, nil)
+
+	if msgs := CompareRQReports(base, mk(1.0, nil), 0.20); len(msgs) != 0 {
+		t.Fatalf("identical reports regressed: %v", msgs)
+	}
+	// Uniform 22% slowdown: outside the plain per-cell budget, but pure
+	// host drift — the median correction absorbs it.
+	if msgs := CompareRQReports(base, mk(0.78, nil), 0.20); len(msgs) != 0 {
+		t.Fatalf("uniform 22%% drift tripped the gate: %v", msgs)
+	}
+	// One cell 40% down while its peers hold: a real regression; drift
+	// (median ~1.0) must not mask it.
+	if msgs := CompareRQReports(base, mk(1.0, map[int]float64{3: 0.60}), 0.20); len(msgs) != 1 {
+		t.Fatalf("single-cell regression messages = %v, want 1", msgs)
+	}
+	// Uniform 40% slowdown: beyond the 25% drift clamp, so every cell
+	// still trips — a genuine across-the-board regression is not excused.
+	if msgs := CompareRQReports(base, mk(0.60, nil), 0.20); len(msgs) != 8 {
+		t.Fatalf("uniform 40%% regression messages = %d, want 8", len(msgs))
+	}
+	// A faster host never tightens the gate: cells at baseline speed pass
+	// even when the median ratio is above 1.
+	if msgs := CompareRQReports(base, mk(1.5, map[int]float64{2: 0.95}), 0.20); len(msgs) != 0 {
+		t.Fatalf("upward drift tightened the gate: %v", msgs)
+	}
+	// Combined-funnel cells are A/B instrumentation, not gated.
+	combBase := base
+	combBase.Points = append([]RQPoint(nil), base.Points...)
+	combBase.Points = append(combBase.Points, RQPoint{
+		DS: "SkipList", Tech: "Lock", Threads: 8, RQPct: 0, Combine: true,
+		OpsPerUs: 1.0, BestOpsPerUs: 1.0,
+	})
+	combCur := mk(1.0, nil)
+	combCur.Points = append(combCur.Points, RQPoint{
+		DS: "SkipList", Tech: "Lock", Threads: 8, RQPct: 0, Combine: true,
+		OpsPerUs: 0.4, BestOpsPerUs: 0.4,
+	})
+	if msgs := CompareRQReports(combBase, combCur, 0.20); len(msgs) != 0 {
+		t.Fatalf("combined cell was gated: %v", msgs)
+	}
+}
+
+func TestMinRQReports(t *testing.T) {
+	pt := func(rq int, ops, best float64) RQPoint {
+		return RQPoint{DS: "SkipList", Tech: "Lock", Threads: 8, RQPct: rq,
+			OpsPerUs: ops, BestOpsPerUs: best}
+	}
+	cur := RQReport{Points: []RQPoint{pt(0, 1.0, 1.2), pt(10, 0.5, 0.6)}}
+	prev := RQReport{Points: []RQPoint{pt(0, 0.8, 1.4), pt(50, 0.3, 0.4)}}
+	got := MinRQReports(cur, prev)
+	if len(got.Points) != 2 {
+		t.Fatalf("points = %d, want 2 (prev-only cells dropped)", len(got.Points))
+	}
+	// rq0: ops takes prev's lower 0.8, best keeps cur's lower 1.2.
+	if got.Points[0].OpsPerUs != 0.8 || got.Points[0].BestOpsPerUs != 1.2 {
+		t.Fatalf("rq0 = %+v, want ops 0.8 / best 1.2", got.Points[0])
+	}
+	// rq10: absent from prev, unchanged.
+	if got.Points[1].OpsPerUs != 0.5 || got.Points[1].BestOpsPerUs != 0.6 {
+		t.Fatalf("rq10 = %+v, want unchanged", got.Points[1])
 	}
 }
 

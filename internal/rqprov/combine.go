@@ -1,0 +1,379 @@
+package rqprov
+
+import (
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+
+	"ebrrq/internal/dcss"
+	"ebrrq/internal/epoch"
+	"ebrrq/internal/fault"
+	"ebrrq/internal/trace"
+)
+
+// Aggregating update funnel (DESIGN.md §12).
+//
+// Every update still pays its own linearizing CAS, but the surrounding
+// shared-clock window — the shared lock acquisition (Lock/HTM) or the DCSS
+// timestamp validation (lock-free) — serializes concurrent updaters on the
+// same cache lines. The funnel amortizes that window: each updater publishes
+// its op into a per-thread announcement cell, one thread becomes the
+// combiner by acquiring combineLock, drains up to CombineBatch pending ops,
+// takes a single window (one shared lock hold / one TS read) and applies the
+// whole batch inside it, then hands each waiter its result.
+//
+// The protocol is a per-thread status cell, not a queue: publication is one
+// atomic store, claiming is one CAS, and the combiner finds followers by
+// scanning the registered-thread array it already owns for announcement
+// sweeps. Statuses move Free → Pending → Claimed → Done (or Neutralized),
+// and back to Free when the owner consumes the result. All op fields are
+// plain writes ordered by the status atomics: owners write the request
+// fields before storing Pending, the combiner writes the result fields
+// before storing Done.
+//
+// Composition with the rest of the provider:
+//
+//   - Backpressure: AdmitUpdate runs at the set layer before StartOp, so a
+//     backpressured op never reaches the funnel.
+//   - Neutralization: UpdateCAS's pre-linearization CheckNeutralized runs
+//     before publication, and the combiner re-checks each owner's poison
+//     flag inside the window (mirroring the solo in-lock re-check) — a
+//     poisoned op is released with Neutralized instead of being applied.
+//   - Combiner crash: a combiner that panics mid-batch releases every
+//     claimed-but-unapplied follower with Neutralized on its way out
+//     (deferred, before the lock drops), so followers surface
+//     epoch.ErrNeutralized rather than hanging on a lost op. Claimed ops are
+//     only ever applied before their status publishes, so a crash never
+//     loses or duplicates a linearized op — and if the combiner's own op
+//     (always first in the batch) linearized before the crash, the epilogue
+//     still publishes its timestamps and validator record, preserving the
+//     solo invariant that nothing can intervene between an op's CAS and its
+//     finishUpdate.
+//   - Bounded waiting: followers spin with the provider's SpinBudget and
+//     then yield; past the grace window a still-Pending op withdraws itself
+//     (one CAS) and falls back to the solo path, so a wedged combiner
+//     cannot wedge the funnel.
+//   - Deletion announcements: the combiner raises each op's announcement
+//     inside the window, immediately before that op's CAS — the
+//     announce-before-unlink ordering is per-op program order, not
+//     per-thread, so range queries' recovery proof is unchanged. Announcing
+//     at publication instead would pin every funnel-parked op's announcement
+//     at dtime == 0 for its whole residence, and concurrent range queries'
+//     announcement sweeps would spin-wait on all of them.
+//   - Bag fences: the owner retires its dnodes in finishUpdate after
+//     publishing dtime = the batch timestamp, so epoch.Retire raises the
+//     limbo-bag maxDTime fence to the batch's single dtime with no extra
+//     machinery.
+
+// Funnel statuses, stored in combineOp.status.
+const (
+	// combFree: the cell is idle (owner may publish).
+	combFree uint32 = iota
+	// combPending: the owner published an op and is waiting; a combiner may
+	// claim it, or the owner may withdraw it (both by CAS, so the two races
+	// resolve atomically).
+	combPending
+	// combClaimed: a combiner owns the op; the owner must wait for a
+	// terminal status (withdrawal is no longer possible).
+	combClaimed
+	// combDone: the combiner applied the op; ok/ts carry the result.
+	combDone
+	// combNeutralized: the op was not applied — the owner was poisoned, or
+	// the combiner crashed mid-batch. The owner panics ErrNeutralized,
+	// exactly as the solo path's in-window poison check does.
+	combNeutralized
+)
+
+// combineYieldBudget bounds the scheduler yields a pending follower grants
+// the combiner (past SpinBudget) before withdrawing and going solo. Yields,
+// not spins, for the same reason as adoptYieldBudget: on oversubscribed
+// hosts the combiner needs the processor to finish its window.
+const combineYieldBudget = 64
+
+// combineOp is a thread's funnel cell. Request fields are owner-written
+// before status stores Pending; result fields are combiner-written before
+// status stores Done.
+type combineOp struct {
+	slot   *dcss.Slot
+	old    unsafe.Pointer
+	new    unsafe.Pointer
+	inodes []*epoch.Node
+	dnodes []*epoch.Node
+	retire bool
+
+	ok bool
+	ts uint64
+
+	status atomic.Uint32
+}
+
+// clear drops the cell's node references so a parked thread doesn't keep
+// retired nodes (and their limbo chains) live between updates.
+func (op *combineOp) clear() {
+	op.slot, op.old, op.new = nil, nil, nil
+	op.inodes, op.dnodes = nil, nil
+	op.retire = false
+}
+
+// combinedUpdateCAS is the funnel front end, called by UpdateCAS after the
+// pre-linearization poison check (announcements are deferred to the window;
+// see applyBatch). It publishes the op, then
+// loops: consume a terminal status, become the combiner if the lock is
+// free, or — once the grace budget is gone and the op is still unclaimed —
+// withdraw and fall back to the solo path.
+func (t *Thread) combinedUpdateCAS(slot *dcss.Slot, old, new unsafe.Pointer, inodes, dnodes []*epoch.Node, retireDeleted bool) bool {
+	p := t.prov
+	op := &t.comb
+	op.slot, op.old, op.new = slot, old, new
+	op.inodes, op.dnodes = inodes, dnodes
+	op.retire = retireDeleted
+	var t0 int64
+	if t.traced {
+		t0 = trace.Now()
+	}
+	op.status.Store(combPending)
+	fault.Inject("rqprov.combine.published")
+	if p.combineYield {
+		// Oversubscribed host: yield once between publishing and contending
+		// for the combiner role, so other runnable updaters get to publish
+		// first and whoever claims the lock drains a real batch instead of k
+		// combiners each draining one op. Gated on oversubscription because
+		// when GOMAXPROCS <= NumCPU the overlap is physical, and the yield
+		// would hand the publisher's quantum to unrelated goroutines (see
+		// Provider.combineYield).
+		runtime.Gosched()
+	}
+	grace := p.combineSpin + combineYieldBudget
+	for i := 0; ; i++ {
+		st := op.status.Load()
+		if st == combDone || st == combNeutralized {
+			break
+		}
+		if st == combPending {
+			if p.combineLock.CompareAndSwap(0, 1) {
+				t.runCombiner()
+				continue
+			}
+			if i > grace {
+				if op.status.CompareAndSwap(combPending, combFree) {
+					// Withdrawn before any combiner claimed it: the op never
+					// entered a window, so the solo path runs it from scratch
+					// — which means raising the deletion announcement the
+					// combined path deferred to the combiner.
+					op.clear()
+					p.met.combFallbacks.Inc(t.id)
+					t.announceAll(dnodes)
+					fault.Inject("rqprov.update.announced")
+					return t.soloUpdateCAS(slot, old, new, inodes, dnodes, retireDeleted)
+				}
+				continue // a combiner won the withdraw race; wait it out
+			}
+		}
+		if i >= p.combineSpin {
+			runtime.Gosched()
+		}
+	}
+	st := op.status.Load()
+	ok, ts := op.ok, op.ts
+	op.clear()
+	op.status.Store(combFree)
+	if t.traced && t.tr != nil {
+		now := trace.Now()
+		t.tr.EmitAt(trace.EvCombineWait, now, ts, uint64(now-t0))
+	}
+	if st == combNeutralized {
+		panic(epoch.ErrNeutralized)
+	}
+	if ok {
+		t.finishUpdate(true, ts, inodes, dnodes, retireDeleted)
+	} else {
+		t.finishUpdate(false, 0, nil, dnodes, false)
+	}
+	if p.mode == ModeLockFree {
+		t.desc.Store(nil) // installed by the combiner; cleared by the owner
+	}
+	return ok
+}
+
+// runCombiner drains the funnel while holding p.combineLock: claim this
+// thread's op, claim up to CombineBatch-1 other pending ops, apply the
+// batch in one shared-clock window, and publish each result. The deferred
+// epilogue runs on panic too: claimed-but-unapplied followers are released
+// with Neutralized before the lock drops, and the panic keeps unwinding
+// through the combiner's own op (its set layer recovers it like any solo
+// update panic).
+func (t *Thread) runCombiner() {
+	p := t.prov
+	if !t.comb.status.CompareAndSwap(combPending, combClaimed) {
+		// A previous combiner finished our op between our status load and
+		// the lock acquisition; nothing to drain on its behalf.
+		p.combineLock.Store(0)
+		return
+	}
+	if cap(t.combBatch) < p.combineBatch {
+		t.combBatch = make([]*Thread, 0, p.combineBatch)
+	}
+	t.combBatch = append(t.combBatch[:0], t)
+	nthreads := int(p.registered.Load())
+	for i := 0; i < nthreads && len(t.combBatch) < p.combineBatch; i++ {
+		u := p.threads[i].Load()
+		if u == nil || u == t {
+			continue
+		}
+		if u.comb.status.Load() == combPending &&
+			u.comb.status.CompareAndSwap(combPending, combClaimed) {
+			t.combBatch = append(t.combBatch, u)
+		}
+	}
+	size := uint64(len(t.combBatch))
+	var t0 int64
+	if t.tr != nil {
+		t0 = trace.Now()
+		t.tr.EmitAt(trace.EvCombineBegin, t0, size, 0)
+	}
+	done := false
+	defer func() {
+		if !done {
+			// Panicked mid-batch: release every claimed-but-unapplied
+			// follower. Application always precedes status publication, so
+			// anything still Claimed was never applied — Neutralized is
+			// truthful, and no linearized op is lost.
+			for _, u := range t.combBatch {
+				if u != t && u.comb.status.Load() == combClaimed {
+					u.comb.status.Store(combNeutralized)
+				}
+			}
+			// The combiner's own op goes first in the batch, so it may have
+			// linearized before the crash point. The solo path has no panic
+			// source between the CAS and finishUpdate, and the funnel must
+			// keep that invariant: a linearized op's timestamps and validator
+			// record still publish even as the panic unwinds. (applyBatch's
+			// own defer already released the shared window, so this runs
+			// outside it, exactly like solo.)
+			op := &t.comb
+			if op.status.Load() == combDone && op.ok {
+				t.finishUpdate(true, op.ts, op.inodes, op.dnodes, op.retire)
+				if p.mode == ModeLockFree {
+					t.desc.Store(nil)
+				}
+			}
+			op.clear()
+			op.status.Store(combFree)
+		}
+		clear(t.combBatch)
+		t.combBatch = t.combBatch[:0]
+		p.combineLock.Store(0)
+	}()
+	t.applyBatch(t.combBatch)
+	done = true
+	p.met.combBatches.Inc(t.id)
+	p.met.combOps.Add(t.id, size)
+	p.met.combBatchSize.Observe(size)
+	if t.tr != nil {
+		now := trace.Now()
+		t.tr.EmitAt(trace.EvCombineEnd, now, size, uint64(now-t0))
+	}
+}
+
+// applyBatch applies every claimed op inside one shared-clock window and
+// publishes each op's terminal status. The per-op poison re-check mirrors
+// the solo path's in-window check: a poisoned owner's op is released with
+// Neutralized instead of linearizing against nodes it no longer protects.
+func (t *Thread) applyBatch(batch []*Thread) {
+	p := t.prov
+	switch p.mode {
+	case ModeLock:
+		p.lock.AcquireShared()
+		defer p.lock.ReleaseShared() // deferred: a panic mid-batch must not wedge RQ drains
+		ts := p.ts.Load()
+		for _, u := range batch {
+			fault.Inject("rqprov.combine.op")
+			op := &u.comb
+			if u.ep.Poisoned() {
+				op.status.Store(combNeutralized)
+				continue
+			}
+			// Announce on the owner's behalf, just before the CAS: the
+			// announce-before-unlink ordering range queries rely on is a
+			// property of the op's program order, not of which thread runs
+			// it, and raising it this late keeps the announcement's
+			// unresolved window to one batch tail instead of the op's whole
+			// funnel residence.
+			u.announceAll(op.dnodes)
+			op.ok = op.slot.CAS(op.old, op.new)
+			op.ts = ts
+			op.status.Store(combDone)
+		}
+
+	case ModeHTM:
+		p.dist.AcquireShared(t.id)
+		defer p.dist.ReleaseShared(t.id)
+		ts := p.ts.Load()
+		for _, u := range batch {
+			fault.Inject("rqprov.combine.op")
+			op := &u.comb
+			if u.ep.Poisoned() {
+				op.status.Store(combNeutralized)
+				continue
+			}
+			u.announceAll(op.dnodes) // see ModeLock: late announce, same ordering
+			op.ok = op.slot.CAS(op.old, op.new)
+			op.ts = ts
+			op.status.Store(combDone)
+		}
+
+	case ModeLockFree:
+		// One TS read serves the whole batch; DCSS re-validates it at every
+		// linearizing CAS, so an op that sees FailedA1 (a range query moved
+		// TS mid-batch) re-reads and retries — later ops in the same batch
+		// may legally linearize at the newer timestamp.
+		ts := p.ts.Load()
+		for _, u := range batch {
+			fault.Inject("rqprov.combine.op")
+			op := &u.comb
+			u.announceAll(op.dnodes) // see ModeLock: late announce, same ordering
+			applied := false
+			for !applied {
+				if u.ep.Poisoned() {
+					break
+				}
+				d := &dcss.Descriptor{
+					A1: p.ts, Exp1: ts,
+					S: op.slot, Old: op.old, New: op.new,
+					INodes: op.inodes, DNodes: op.dnodes,
+				}
+				// Install into the owner's announcement slot so range
+				// queries help it and learn timestamps from its payload;
+				// the owner clears it after consuming the result.
+				u.desc.Store(d)
+				switch d.Exec() {
+				case dcss.Succeeded:
+					op.ok, op.ts = true, ts
+					applied = true
+				case dcss.FailedValue:
+					op.ok = false
+					applied = true
+				default: // FailedA1: TS moved; refresh for the rest of the batch
+					ts = p.ts.Load()
+					p.met.dcssRetries.Inc(u.id)
+					if t.tr != nil {
+						t.tr.Emit(trace.EvDCSSRetry, ts, 0)
+					}
+				}
+			}
+			if applied {
+				op.status.Store(combDone)
+			} else {
+				// Neutralized after the announcement went up: the owner's
+				// finishUpdate never runs, so retract it here (Abort also
+				// clears announcements, but only once the owner's panic
+				// reaches the set layer).
+				u.unannounceAll(len(op.dnodes))
+				op.status.Store(combNeutralized)
+			}
+		}
+
+	default:
+		panic("rqprov: combining with unknown mode")
+	}
+}

@@ -1,0 +1,295 @@
+package rqprov
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+
+	"ebrrq/internal/dcss"
+	"ebrrq/internal/epoch"
+	"ebrrq/internal/fault"
+	"ebrrq/internal/obs"
+)
+
+// combineModes are the modes with a shared-clock window to amortize.
+// ModeUnsafe has no window and bypasses the funnel entirely.
+var combineModes = []Mode{ModeLock, ModeHTM, ModeLockFree}
+
+// TestFaultCombineBatchWindow forces a full k-op batch deterministically:
+// k-1 followers publish their ops and then block inside the
+// rqprov.combine.published failpoint (published but unable to withdraw or
+// become combiners), so the main thread's update must claim all of them and
+// apply the whole batch in one window. Every op must succeed, every insert
+// must carry the same linearization timestamp, and the combine counters
+// must record exactly one batch of k ops with no solo fallbacks.
+func TestFaultCombineBatchWindow(t *testing.T) {
+	if !fault.Enabled {
+		t.Skip("combining fault test requires -tags failpoints")
+	}
+	const k = 4
+	for _, mode := range combineModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			defer fault.Reset()
+			reg := obs.NewRegistry(k)
+			p := New(Config{MaxThreads: k, Mode: mode, CombineUpdates: true})
+			p.EnableMetrics(reg)
+
+			// Followers park inside the failpoint after publishing: their
+			// ops sit Pending, claimable, but the owning goroutines cannot
+			// spin, withdraw, or race for the combiner lock.
+			gate := make(chan struct{})
+			var published sync.WaitGroup
+			published.Add(k - 1)
+			fault.Arm("rqprov.combine.published", fault.Hook(func(string) {
+				published.Done()
+				<-gate
+			}).Times(k-1))
+
+			slots := make([]dcss.Slot, k)
+			nodes := make([]*epoch.Node, k)
+			oks := make([]bool, k)
+			var wg sync.WaitGroup
+			for g := 1; g < k; g++ {
+				nodes[g] = newNode(int64(g), int64(g)*10)
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					th := p.Register()
+					defer th.Deregister()
+					th.StartOp()
+					oks[g] = th.UpdateCAS(&slots[g], nil,
+						unsafe.Pointer(nodes[g]), []*epoch.Node{nodes[g]}, nil, false)
+					th.EndOp()
+				}(g)
+			}
+			published.Wait()
+
+			// All k-1 follower ops are Pending; this update finds the
+			// combiner lock free on its first loop iteration and must drain
+			// them all into its own window.
+			main := p.Register()
+			main.StartOp()
+			nodes[0] = newNode(0, 100)
+			oks[0] = main.UpdateCAS(&slots[0], nil,
+				unsafe.Pointer(nodes[0]), []*epoch.Node{nodes[0]}, nil, false)
+			main.EndOp()
+			close(gate)
+			wg.Wait()
+			main.Deregister()
+
+			for g := 0; g < k; g++ {
+				if !oks[g] {
+					t.Fatalf("op %d failed", g)
+				}
+				if got := slots[g].Load(); got != unsafe.Pointer(nodes[g]) {
+					t.Fatalf("slot %d = %p, want %p", g, got, nodes[g])
+				}
+				if nodes[g].ITime() != nodes[0].ITime() {
+					t.Fatalf("op %d itime %d != op 0 itime %d: batch took more than one window",
+						g, nodes[g].ITime(), nodes[0].ITime())
+				}
+			}
+			if nodes[0].ITime() == 0 {
+				t.Fatal("batch inserts not stamped")
+			}
+			snap := reg.Snapshot()
+			if got := snap.Counter("ebrrq_combine_batches_total"); got != 1 {
+				t.Fatalf("combine_batches = %d, want 1", got)
+			}
+			if got := snap.Counter("ebrrq_combine_ops_total"); got != k {
+				t.Fatalf("combine_ops = %d, want %d", got, k)
+			}
+			if got := snap.Counter("ebrrq_combine_solo_fallbacks_total"); got != 0 {
+				t.Fatalf("combine_solo_fallbacks = %d, want 0", got)
+			}
+		})
+	}
+}
+
+// TestFaultCombineLeaderPanicReleasesFollowers crashes the combiner
+// mid-batch — after its own op applied, before any follower's CAS — and
+// checks the crash contract: every follower is released with
+// epoch.ErrNeutralized (no waiter hangs on a lost op), no follower slot is
+// touched (an unapplied op is never half-applied), the leader's own op
+// linearized exactly once, and after the fault is disarmed every follower
+// can rerun its op successfully on the same provider.
+func TestFaultCombineLeaderPanicReleasesFollowers(t *testing.T) {
+	if !fault.Enabled {
+		t.Skip("combining fault test requires -tags failpoints")
+	}
+	const k = 4
+	for _, mode := range combineModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			defer fault.Reset()
+			reg := obs.NewRegistry(k)
+			p := New(Config{MaxThreads: k, Mode: mode, CombineUpdates: true})
+			p.EnableMetrics(reg)
+
+			gate := make(chan struct{})
+			var published sync.WaitGroup
+			published.Add(k - 1)
+			fault.Arm("rqprov.combine.published", fault.Hook(func(string) {
+				published.Done()
+				<-gate
+			}).Times(k-1))
+			// First hit is the leader's own op (skipped: it applies); the
+			// second hit fires before the first follower's CAS.
+			fault.Arm("rqprov.combine.op", fault.Panic("leader crash").After(1).Once())
+
+			slots := make([]dcss.Slot, k)
+			nodes := make([]*epoch.Node, k)
+			threads := make([]*Thread, k)
+			recovered := make([]any, k)
+			var wg sync.WaitGroup
+			for g := 1; g < k; g++ {
+				nodes[g] = newNode(int64(g), int64(g)*10)
+				threads[g] = p.Register()
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					defer func() { recovered[g] = recover() }()
+					th := threads[g]
+					th.StartOp()
+					th.UpdateCAS(&slots[g], nil,
+						unsafe.Pointer(nodes[g]), []*epoch.Node{nodes[g]}, nil, false)
+					th.EndOp()
+				}(g)
+			}
+			published.Wait()
+
+			main := p.Register()
+			nodes[0] = newNode(0, 100)
+			var leaderPanic any
+			func() {
+				defer func() { leaderPanic = recover() }()
+				main.StartOp()
+				main.UpdateCAS(&slots[0], nil,
+					unsafe.Pointer(nodes[0]), []*epoch.Node{nodes[0]}, nil, false)
+				main.EndOp()
+			}()
+			close(gate)
+			wg.Wait()
+
+			if _, ok := leaderPanic.(fault.PanicError); !ok {
+				t.Fatalf("leader panic = %v, want fault.PanicError", leaderPanic)
+			}
+			// The leader's op ran before the crash point: linearized exactly
+			// once, visible in the slot, and — crash notwithstanding — its
+			// timestamp still published (the epilogue finishes a linearized
+			// own-op on the way out).
+			if got := slots[0].Load(); got != unsafe.Pointer(nodes[0]) {
+				t.Fatalf("leader slot = %p, want %p", got, nodes[0])
+			}
+			if nodes[0].ITime() == 0 {
+				t.Fatal("leader's linearized op lost its itime in the crash")
+			}
+			snap := reg.Snapshot()
+			if got := snap.Counter("ebrrq_combine_batches_total"); got != 0 {
+				t.Fatalf("combine_batches = %d, want 0 (batch crashed)", got)
+			}
+			for g := 1; g < k; g++ {
+				if recovered[g] != epoch.ErrNeutralized {
+					t.Fatalf("follower %d recovered %v, want ErrNeutralized", g, recovered[g])
+				}
+				if got := slots[g].Load(); got != nil {
+					t.Fatalf("follower %d slot = %p, want untouched", g, got)
+				}
+			}
+
+			// The funnel must be reusable: disarm the crash, recover each
+			// follower the way the set layer does (Abort settles the cell),
+			// and rerun the same ops to completion.
+			fault.Reset()
+			main.Abort()
+			main.Deregister()
+			for g := 1; g < k; g++ {
+				th := threads[g]
+				th.Abort()
+				th.StartOp()
+				if !th.UpdateCAS(&slots[g], nil,
+					unsafe.Pointer(nodes[g]), []*epoch.Node{nodes[g]}, nil, false) {
+					t.Fatalf("follower %d rerun failed", g)
+				}
+				th.EndOp()
+				th.Deregister()
+				if got := slots[g].Load(); got != unsafe.Pointer(nodes[g]) {
+					t.Fatalf("follower %d rerun slot = %p, want %p", g, got, nodes[g])
+				}
+			}
+		})
+	}
+}
+
+// TestCombineFallbackOnWedgedCombiner simulates a combiner stalled inside
+// its window (the lock held, no progress) and checks the bounded-wait
+// discipline: a pending follower exhausts its spin + yield grace, withdraws
+// its op with one CAS, and completes solo — counted as a fallback, not a
+// batch. Once the lock frees, the next update combines again (a batch of
+// one). Needs no failpoints, so it also runs in the plain test suite.
+func TestCombineFallbackOnWedgedCombiner(t *testing.T) {
+	for _, mode := range combineModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			reg := obs.NewRegistry(1)
+			// Small spin budget so the grace window (SpinBudget +
+			// combineYieldBudget iterations) expires quickly.
+			p := New(Config{MaxThreads: 1, Mode: mode, CombineUpdates: true, SpinBudget: 4})
+			p.EnableMetrics(reg)
+			th := p.Register()
+			defer th.Deregister()
+
+			p.combineLock.Store(1) // wedged combiner: lock held, nothing drains
+
+			var slot dcss.Slot
+			n := newNode(1, 10)
+			th.StartOp()
+			ok := th.UpdateCAS(&slot, nil, unsafe.Pointer(n), []*epoch.Node{n}, nil, false)
+			th.EndOp()
+			if !ok || slot.Load() != unsafe.Pointer(n) {
+				t.Fatal("withdrawn op did not complete solo")
+			}
+			if n.ITime() == 0 {
+				t.Fatal("solo fallback did not stamp itime")
+			}
+			snap := reg.Snapshot()
+			if got := snap.Counter("ebrrq_combine_solo_fallbacks_total"); got != 1 {
+				t.Fatalf("combine_solo_fallbacks = %d, want 1", got)
+			}
+			if got := snap.Counter("ebrrq_combine_batches_total"); got != 0 {
+				t.Fatalf("combine_batches = %d, want 0", got)
+			}
+
+			p.combineLock.Store(0) // combiner recovers; funnel usable again
+			del := n
+			th.StartOp()
+			if !th.UpdateCAS(&slot, unsafe.Pointer(del), nil, nil, []*epoch.Node{del}, true) {
+				t.Fatal("post-recovery delete failed")
+			}
+			th.EndOp()
+			snap = reg.Snapshot()
+			if got := snap.Counter("ebrrq_combine_batches_total"); got != 1 {
+				t.Fatalf("combine_batches = %d, want 1 (batch of one)", got)
+			}
+			if got := snap.Counter("ebrrq_combine_ops_total"); got != 1 {
+				t.Fatalf("combine_ops = %d, want 1", got)
+			}
+		})
+	}
+}
+
+// TestCombineBatchDefault checks the CombineBatch default (MaxThreads) and
+// the explicit override, plus that combining is fully disabled when the
+// option is off.
+func TestCombineBatchDefault(t *testing.T) {
+	p := New(Config{MaxThreads: 6, Mode: ModeLock, CombineUpdates: true})
+	if got := p.CombineBatch(); got != 6 {
+		t.Fatalf("default CombineBatch = %d, want MaxThreads (6)", got)
+	}
+	p = New(Config{MaxThreads: 6, Mode: ModeLock, CombineUpdates: true, CombineBatch: 3})
+	if got := p.CombineBatch(); got != 3 {
+		t.Fatalf("CombineBatch = %d, want 3", got)
+	}
+	p = New(Config{MaxThreads: 6, Mode: ModeLock})
+	if got := p.CombineBatch(); got != 0 {
+		t.Fatalf("CombineBatch = %d with combining off, want 0", got)
+	}
+}

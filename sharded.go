@@ -83,6 +83,16 @@ type ShardedOptions struct {
 	// PressureWait is each shard's bounded wait at the hard limit before an
 	// update is rejected with ErrMemoryPressure; see Options.PressureWait.
 	PressureWait time.Duration
+
+	// CombineUpdates enables each shard's aggregating update funnel (see
+	// Options.CombineUpdates). Funnels are per shard — updates only combine
+	// with updates routed to the same shard, so a batch's single window
+	// stays on one provider's lock and clock word.
+	CombineUpdates bool
+
+	// CombineBatch caps each shard's combiner batch; see
+	// Options.CombineBatch.
+	CombineBatch int
 }
 
 // shardedMetrics holds the router-layer aggregate observability handles;
@@ -166,6 +176,8 @@ func NewShardedWithOptions(d DataStructure, t Technique, maxThreads, shards int,
 			LimboSoftLimit: opt.LimboSoftLimit,
 			LimboHardLimit: opt.LimboHardLimit,
 			PressureWait:   opt.PressureWait,
+			CombineUpdates: opt.CombineUpdates,
+			CombineBatch:   opt.CombineBatch,
 		}
 		if opt.Metrics != nil {
 			o.MetricLabels = fmt.Sprintf(`shard="%d"`, i)
