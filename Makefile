@@ -28,7 +28,7 @@ race:
 chaos:
 	$(GO) build -tags failpoints ./...
 	$(GO) test -race -tags failpoints -count=1 -timeout 1800s \
-		-run 'Chaos|Fault|Stall|Watchdog|Deregister|TryRegister|Abort|Panic' \
+		-run 'Chaos|Fault|Stall|Watchdog|Deregister|TryRegister|Abort|Panic|Bundle' \
 		./internal/fault/ ./internal/epoch/ ./internal/rqprov/ \
 		./internal/ds/skiplist/ ./internal/dstest/ .
 
@@ -59,9 +59,14 @@ bench:
 # re-rolls on retry while a real code regression fails all three.
 # The baseline is host-specific: refresh it with `make rebaseline` when
 # the reference hardware changes.
+# The matrix includes the lazylist (the second bundled structure) and runs
+# both range-query techniques interleaved; bundle cells gate only once the
+# committed baseline has been refreshed to contain them (unmatched cells
+# are skipped by the gate, so adding the dimension is not a flag day).
 bench-quick:
 	@for i in 1 2 3; do \
-		$(GO) run ./cmd/rqbench -trials 5 -duration 300ms -out BENCH_rq.json \
+		$(GO) run ./cmd/rqbench -ds skiplist,lflist,lazylist -technique both \
+			-trials 5 -duration 300ms -out BENCH_rq.json \
 			-baseline results/bench_rq_baseline.json && exit 0; \
 		echo "bench-quick: attempt $$i regressed"; \
 	done; echo "bench-quick: regression reproduced in 3/3 attempts"; exit 1
@@ -71,8 +76,10 @@ bench-quick:
 # conservative floor, so a cell captured in its fast scheduler regime
 # cannot gate every later slow-regime run.
 rebaseline:
-	$(GO) run ./cmd/rqbench -trials 5 -duration 300ms -out results/bench_rq_baseline.json
-	$(GO) run ./cmd/rqbench -trials 5 -duration 300ms -out results/bench_rq_baseline.json \
+	$(GO) run ./cmd/rqbench -ds skiplist,lflist,lazylist -technique both \
+		-trials 5 -duration 300ms -out results/bench_rq_baseline.json
+	$(GO) run ./cmd/rqbench -ds skiplist,lflist,lazylist -technique both \
+		-trials 5 -duration 300ms -out results/bench_rq_baseline.json \
 		-min-with results/bench_rq_baseline.json
 
 validate:

@@ -47,7 +47,7 @@ func reportTrial(b *testing.B, cfg bench.TrialCfg) {
 // BenchmarkExp1_Fig5: n update threads (50/50) + 1 RQ thread (range 100).
 func BenchmarkExp1_Fig5(b *testing.B) {
 	for _, ds := range bench.AllStructures {
-		for _, tech := range bench.TechniquesFor(ds) {
+		for _, tech := range bench.ModesFor(ds) {
 			b.Run(fmt.Sprintf("%s/%s", ds, tech), func(b *testing.B) {
 				k := bench.DefaultKeyRange(ds, 100)
 				reportTrial(b, bench.TrialCfg{
@@ -81,7 +81,7 @@ func BenchmarkExp2_Fig6(b *testing.B) {
 // range size, for SkipList and Citrus.
 func BenchmarkExp3_Fig7(b *testing.B) {
 	for _, ds := range []ebrrq.DataStructure{ebrrq.SkipList, ebrrq.Citrus} {
-		for _, tech := range bench.TechniquesFor(ds) {
+		for _, tech := range bench.ModesFor(ds) {
 			for _, size := range []int64{10, 100, 1000} {
 				b.Run(fmt.Sprintf("%s/%s/rq=%d", ds, tech, size), func(b *testing.B) {
 					mix := bench.Mix{InsertPct: 10, DeletePct: 10, SearchPct: 80}
@@ -100,7 +100,7 @@ func BenchmarkExp3_Fig7(b *testing.B) {
 func BenchmarkExp4_Fig8(b *testing.B) {
 	mix := bench.Mix{InsertPct: 10, DeletePct: 10, SearchPct: 78, RQPct: 2, RQSize: 100}
 	for _, ds := range bench.AllStructures {
-		for _, tech := range bench.TechniquesFor(ds) {
+		for _, tech := range bench.ModesFor(ds) {
 			b.Run(fmt.Sprintf("%s/%s", ds, tech), func(b *testing.B) {
 				reportTrial(b, bench.TrialCfg{
 					DS: ds, Tech: tech, KeyRange: bench.DefaultKeyRange(ds, 100),
@@ -114,7 +114,7 @@ func BenchmarkExp4_Fig8(b *testing.B) {
 // BenchmarkTPCC_Fig9: the TPC-C macrobenchmark at test scale.
 func BenchmarkTPCC_Fig9(b *testing.B) {
 	for _, ds := range []ebrrq.DataStructure{ebrrq.ABTree, ebrrq.LFBST, ebrrq.Citrus, ebrrq.SkipList} {
-		for _, tech := range []ebrrq.Technique{ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree, ebrrq.RLU, ebrrq.Unsafe} {
+		for _, tech := range []ebrrq.Mode{ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree, ebrrq.RLU, ebrrq.Unsafe} {
 			if !ebrrq.Supported(ds, tech) {
 				continue
 			}
@@ -140,7 +140,7 @@ func BenchmarkTPCC_Fig9(b *testing.B) {
 // prefilled structure (ns/op, allocations).
 func BenchmarkOps(b *testing.B) {
 	for _, ds := range []ebrrq.DataStructure{ebrrq.SkipList, ebrrq.ABTree, ebrrq.LFBST} {
-		for _, tech := range []ebrrq.Technique{ebrrq.Unsafe, ebrrq.Lock, ebrrq.LockFree} {
+		for _, tech := range []ebrrq.Mode{ebrrq.Unsafe, ebrrq.Lock, ebrrq.LockFree} {
 			set, err := ebrrq.New(ds, tech, 2)
 			if err != nil {
 				b.Fatal(err)
@@ -303,7 +303,7 @@ func BenchmarkAblationKCASvsDCSS(b *testing.B) {
 // section cost: the distributed reader-indicator (HTM emulation) versus the
 // centralized fetch-add lock, under update-heavy load.
 func BenchmarkAblationHTMvsLock(b *testing.B) {
-	for _, tech := range []ebrrq.Technique{ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree} {
+	for _, tech := range []ebrrq.Mode{ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree} {
 		b.Run(tech.String(), func(b *testing.B) {
 			reportTrial(b, bench.TrialCfg{
 				DS: ebrrq.SkipList, Tech: tech, KeyRange: 1 << 10,

@@ -44,7 +44,7 @@ func main() {
 	}
 
 	structures := []ebrrq.DataStructure{ebrrq.ABTree, ebrrq.LFBST, ebrrq.Citrus, ebrrq.SkipList}
-	techniques := []ebrrq.Technique{ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree, ebrrq.RLU, ebrrq.Unsafe}
+	techniques := []ebrrq.Mode{ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree, ebrrq.RLU, ebrrq.Unsafe}
 
 	fmt.Printf("# TPC-C (Figure 9): %d warehouses, %d workers, scale 1/%d, %v per cell\n",
 		*warehouses, *workers, *scale, *duration)

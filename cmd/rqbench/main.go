@@ -33,6 +33,7 @@ func main() {
 		shardFlag = flag.String("shards", "1", "comma-separated shard counts (1 = plain set)")
 		rqPct     = flag.String("rq-pct", "0,10,50", "comma-separated range-query percentages (0 = pure updates)")
 		combine   = flag.String("combine", "both", "update combining: off, on, or both (A/B per cell)")
+		technique = flag.String("technique", "ebr", "range-query technique: ebr, bundle, or both (interleaved A/B per cell)")
 		rqSize    = flag.Int64("rq-size", 64, "keys spanned per range query")
 		scale     = flag.Int64("scale", 10, "key-range divisor (1 = paper sizes)")
 		trials    = flag.Int("trials", 3, "trials per cell (results are merged)")
@@ -100,6 +101,12 @@ func main() {
 	}
 	if cfg.Combine, err = parseCombine(*combine); err != nil {
 		fatal(err)
+	}
+	if cfg.Techniques, err = parseTechniques(*technique); err != nil {
+		fatal(err)
+	}
+	if *combine == "on" && !hasEBR(cfg.Techniques) {
+		fatal(fmt.Errorf("-combine on requires the EBR technique: the aggregating update funnel is an EBR-provider feature and the bundle technique has no combined variant (use -technique ebr or both, or -combine off/both)"))
 	}
 
 	warnSingleProc()
@@ -212,8 +219,8 @@ func parseDSs(s string) ([]ebrrq.DataStructure, error) {
 	return out, nil
 }
 
-func parseTechs(s string) ([]ebrrq.Technique, error) {
-	var out []ebrrq.Technique
+func parseTechs(s string) ([]ebrrq.Mode, error) {
+	var out []ebrrq.Mode
 	for _, part := range strings.Split(s, ",") {
 		switch strings.ToLower(strings.TrimSpace(part)) {
 		case "lock":
@@ -261,6 +268,30 @@ func parseCombine(s string) ([]bool, error) {
 	default:
 		return nil, fmt.Errorf("bad -combine %q (want off, on or both)", s)
 	}
+}
+
+func parseTechniques(s string) ([]ebrrq.Technique, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "ebr", "":
+		return []ebrrq.Technique{ebrrq.EBR}, nil
+	case "bundle":
+		return []ebrrq.Technique{ebrrq.Bundle}, nil
+	case "both":
+		// EBR first, then bundle, inside each cell: the interleaving is the
+		// point — both techniques of a cell see the same host conditions.
+		return []ebrrq.Technique{ebrrq.EBR, ebrrq.Bundle}, nil
+	default:
+		return nil, fmt.Errorf("bad -technique %q (want ebr, bundle or both)", s)
+	}
+}
+
+func hasEBR(tqs []ebrrq.Technique) bool {
+	for _, tq := range tqs {
+		if tq == ebrrq.EBR {
+			return true
+		}
+	}
+	return false
 }
 
 // warnSingleProc makes the dead-counter trap impossible to miss: with a

@@ -15,7 +15,6 @@ import (
 	"time"
 
 	"ebrrq"
-	"ebrrq/internal/rqprov"
 	"ebrrq/internal/validate"
 )
 
@@ -29,7 +28,7 @@ func main() {
 
 	structures := []ebrrq.DataStructure{ebrrq.LFList, ebrrq.LazyList, ebrrq.SkipList,
 		ebrrq.LFBST, ebrrq.Citrus, ebrrq.ABTree}
-	techniques := []ebrrq.Technique{ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree}
+	techniques := []ebrrq.Mode{ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree}
 
 	failed := 0
 	for _, ds := range structures {
@@ -47,7 +46,7 @@ func main() {
 	}
 }
 
-func run(ds ebrrq.DataStructure, tech ebrrq.Technique, updaters, rqThreads int, keys int64, d time.Duration, seed int64) error {
+func run(ds ebrrq.DataStructure, tech ebrrq.Mode, updaters, rqThreads int, keys int64, d time.Duration, seed int64) error {
 	n := updaters + rqThreads + 1
 	checker := validate.NewChecker(n)
 	set, err := ebrrq.NewWithOptions(ds, tech, n, ebrrq.Options{Recorder: checker})
@@ -85,7 +84,7 @@ func run(ds ebrrq.DataStructure, tech ebrrq.Technique, updaters, rqThreads int, 
 			defer wg.Done()
 			th := set.NewThread()
 			r := rand.New(rand.NewSource(s))
-			var pt *rqprov.Thread = th.ProviderThread()
+			tid := th.ID()
 			for !stop.Load() {
 				width := int64(1) + r.Int63n(keys)
 				lo := int64(0)
@@ -93,7 +92,7 @@ func run(ds ebrrq.DataStructure, tech ebrrq.Technique, updaters, rqThreads int, 
 					lo = r.Int63n(keys - width)
 				}
 				res := th.RangeQuery(lo, lo+width-1)
-				checker.AddRQ(pt.ID(), th.LastRQTimestamp(), lo, lo+width-1, res)
+				checker.AddRQ(tid, th.LastRQTimestamp(), lo, lo+width-1, res)
 			}
 		}(seed + 1000 + int64(w))
 	}

@@ -25,14 +25,8 @@ import (
 	"sync/atomic"
 	"time"
 
-	"ebrrq/internal/ds/abtree"
-	"ebrrq/internal/ds/citrus"
-	"ebrrq/internal/ds/lazylist"
-	"ebrrq/internal/ds/lfbst"
-	"ebrrq/internal/ds/lflist"
 	"ebrrq/internal/ds/rlucitrus"
 	"ebrrq/internal/ds/rlulist"
-	"ebrrq/internal/ds/skiplist"
 	"ebrrq/internal/epoch"
 	"ebrrq/internal/obs"
 	"ebrrq/internal/rqprov"
@@ -104,12 +98,13 @@ func (d DataStructure) String() string {
 	return "?"
 }
 
-// Technique selects the range-query algorithm.
-type Technique int
+// Mode selects the EBR range-query linearization mode (the paper's
+// "technique" axis for the epoch-based provider).
+type Mode int
 
 const (
 	// Unsafe is the non-linearizable single-traversal baseline.
-	Unsafe Technique = iota
+	Unsafe Mode = iota
 	// Lock is the paper's lock-based RQ provider (§4.3).
 	Lock
 	// HTM is the paper's HTM-based provider (§4.4), emulated in software.
@@ -123,7 +118,7 @@ const (
 )
 
 // String returns the technique's display name from the paper's figures.
-func (t Technique) String() string {
+func (t Mode) String() string {
 	switch t {
 	case Unsafe:
 		return "Unsafe"
@@ -141,28 +136,19 @@ func (t Technique) String() string {
 	return "?"
 }
 
-// Supported reports whether the (structure, technique) pair exists — the
-// feasibility matrix of the paper's artifact (Table 1): the Snap-collector
-// needs logical deletion (lists only); RLU requires a ground-up redesign
-// and is provided for LazyList and Citrus.
-func Supported(d DataStructure, t Technique) bool {
-	switch t {
-	case Unsafe, Lock, HTM, LockFree:
-		return d >= LFList && d <= BSlack
-	case Snap:
-		return d == LFList || d == LazyList || d == SkipList
-	case RLU:
-		return d == LazyList || d == Citrus
-	}
-	return false
+// Supported reports whether the (structure, mode) pair exists for the
+// default EBR technique — the feasibility matrix of the paper's artifact
+// (Table 1). For other techniques use Technique.Supports.
+func Supported(d DataStructure, t Mode) bool {
+	return EBR.Supports(d, t)
 }
 
 // Set is a concurrent ordered map[int64]int64 with range queries.
 type Set struct {
 	ds    DataStructure
-	tech  Technique
-	prov  *rqprov.Provider // nil for RLU
-	impl  setImpl
+	mode  Mode
+	tq    Technique
+	impl  techSet
 	met   *setMetrics  // nil unless Options.Metrics was set
 	mtids atomic.Int32 // metric shard ids (covers RLU, which has no provider tid)
 }
@@ -171,8 +157,8 @@ type Set struct {
 // between goroutines.
 type Thread struct {
 	set   *Set
-	impl  threadImpl
-	pt    *rqprov.Thread // nil for RLU
+	impl  techThread
+	pt    *rqprov.Thread // EBR provider thread; nil for other techniques
 	tr    *trace.Ring    // flight-recorder ring (nil when untraced)
 	mtid  int            // metric shard id
 	opSeq uint64         // operations issued; drives latency sampling
@@ -191,6 +177,13 @@ type threadImpl interface {
 
 // Options tunes construction.
 type Options struct {
+	// Technique selects the range-query algorithm family (nil — the
+	// default — is EBR, the paper's provider). See the Technique docs for
+	// the available techniques and their trade-offs. The technique must
+	// support the requested (structure, mode) pair: Bundle covers LazyList
+	// and SkipList under the timestamp-based modes.
+	Technique Technique
+
 	// Recorder, if non-nil, receives every timestamped update (validation
 	// harness support). Ignored by Snap and RLU.
 	Recorder rqprov.Recorder
@@ -302,113 +295,108 @@ func newSetMetrics(reg *obs.Registry) *setMetrics {
 
 // New creates a set using the given structure, technique and maximum thread
 // count.
-func New(d DataStructure, t Technique, maxThreads int) (*Set, error) {
+func New(d DataStructure, t Mode, maxThreads int) (*Set, error) {
 	return NewWithOptions(d, t, maxThreads, Options{})
 }
 
 // NewWithOptions is New with tuning options.
-func NewWithOptions(d DataStructure, t Technique, maxThreads int, opt Options) (*Set, error) {
-	if !Supported(d, t) {
-		return nil, fmt.Errorf("ebrrq: %v does not support the %v technique", d, t)
+func NewWithOptions(d DataStructure, t Mode, maxThreads int, opt Options) (*Set, error) {
+	tq := opt.Technique
+	if tq == nil {
+		tq = EBR
+	}
+	if !tq.Supports(d, t) {
+		return nil, fmt.Errorf("ebrrq: the %v technique does not support %v in %v mode", tq, d, t)
 	}
 	if maxThreads <= 0 {
 		return nil, fmt.Errorf("ebrrq: maxThreads must be positive")
 	}
-	s := &Set{ds: d, tech: t}
+	if opt.CombineUpdates && tq != EBR {
+		// The aggregating funnel batches updates into one EBR provider
+		// clock window; other techniques linearize updates themselves.
+		return nil, fmt.Errorf("ebrrq: CombineUpdates is an EBR-provider feature (technique %v selected)", tq)
+	}
+	s := &Set{ds: d, mode: t, tq: tq}
 	reg := opt.Metrics
 	if reg != nil {
 		reg = reg.WithLabels(opt.MetricLabels)
 		s.met = newSetMetrics(reg)
 	}
-	if t == RLU {
-		switch d {
-		case LazyList:
-			s.impl = rluListImpl{l: rlulist.New(maxThreads)}
-		case Citrus:
-			s.impl = rluCitrusImpl{t: rlucitrus.New(maxThreads)}
-		}
-		return s, nil
+	impl, err := tq.newSet(d, t, maxThreads, opt, reg)
+	if err != nil {
+		return nil, err
 	}
-	mode := rqprov.ModeUnsafe
-	switch t {
-	case Lock:
-		mode = rqprov.ModeLock
-	case HTM:
-		mode = rqprov.ModeHTM
-	case LockFree:
-		mode = rqprov.ModeLockFree
-	}
-	// Limbo lists are dtime-sorted unless helpers may physically unlink
-	// other threads' victims (Harris list); see the package docs of each
-	// structure.
-	limboSorted := d != LFList
-	maxAnnounce := 0 // provider default
-	if d == BSlack {
-		// One B-slack compression deletes a whole sibling group.
-		maxAnnounce = 2*maxThreads + 8
-		if min := 2*16 + 8; maxAnnounce < min {
-			maxAnnounce = min
-		}
-	}
-	s.prov = rqprov.New(rqprov.Config{
-		MaxThreads:     maxThreads,
-		Mode:           mode,
-		LimboSorted:    limboSorted,
-		MaxAnnounce:    maxAnnounce,
-		Recorder:       opt.Recorder,
-		Clock:          opt.Clock,
-		WaitBudget:     opt.WaitBudget,
-		Trace:          opt.Trace,
-		TraceLabel:     opt.TraceLabel,
-		LimboSoftLimit: opt.LimboSoftLimit,
-		LimboHardLimit: opt.LimboHardLimit,
-		PressureWait:   opt.PressureWait,
-		CombineUpdates: opt.CombineUpdates,
-		CombineBatch:   opt.CombineBatch,
-	})
-	if reg != nil {
-		s.prov.EnableMetrics(reg)
-	}
-	switch d {
-	case LFList:
-		if t == Snap {
-			s.impl = provImpl{s: lflist.NewSnap(s.prov)}
-		} else {
-			s.impl = provImpl{s: lflist.New(s.prov)}
-		}
-	case LazyList:
-		if t == Snap {
-			s.impl = provImpl{s: lazylist.NewSnap(s.prov)}
-		} else {
-			s.impl = provImpl{s: lazylist.New(s.prov)}
-		}
-	case SkipList:
-		if t == Snap {
-			s.impl = provImpl{s: skiplist.NewSnap(s.prov)}
-		} else {
-			s.impl = provImpl{s: skiplist.New(s.prov)}
-		}
-	case LFBST:
-		s.impl = provImpl{s: lfbst.New(s.prov)}
-	case Citrus:
-		s.impl = provImpl{s: citrus.New(s.prov)}
-	case ABTree:
-		s.impl = provImpl{s: abtree.New(s.prov)}
-	case BSlack:
-		s.impl = provImpl{s: abtree.NewBSlack(s.prov)}
-	}
+	s.impl = impl
 	return s, nil
 }
 
 // DataStructure returns the set's structure.
 func (s *Set) DataStructure() DataStructure { return s.ds }
 
-// Technique returns the set's RQ technique.
-func (s *Set) Technique() Technique { return s.tech }
+// Mode returns the set's EBR linearization mode.
+func (s *Set) Mode() Mode { return s.mode }
 
-// Provider exposes the underlying RQ provider (nil for RLU sets) for stats
-// such as the global timestamp or emulated-HTM abort counts.
-func (s *Set) Provider() *rqprov.Provider { return s.prov }
+// Technique returns the set's range-query technique (EBR or Bundle).
+func (s *Set) Technique() Technique { return s.tq }
+
+// Provider exposes the underlying EBR RQ provider.
+//
+// Deprecated: Provider is an EBR-only escape hatch kept for compatibility;
+// it returns nil for every other technique (Bundle) and for RLU sets. Use
+// the technique-neutral accessors instead: Health, Domain, Clock,
+// LimboSize, UnreclaimedNodes, UnreclaimedBytes, HTMAborts.
+func (s *Set) Provider() *rqprov.Provider { return s.impl.provider() }
+
+// Health returns the set's health check: critical when updates are being
+// rejected at the hard limbo limit, degraded when the escalation ladder is
+// working (stalls, unacknowledged neutralizations, breached soft limit).
+// The zero HealthCheck (nil Check/Warn) is returned by techniques with
+// nothing to report (RLU).
+func (s *Set) Health() obs.HealthCheck { return s.impl.health() }
+
+// Domain returns the epoch reclamation domain backing the set's node
+// memory — attach watchdogs or read limbo statistics through it. Nil for
+// techniques without one (RLU).
+func (s *Set) Domain() *epoch.Domain { return s.impl.domain() }
+
+// Clock returns the timestamp source the set's updates and range queries
+// linearize on (nil for non-timestamp techniques: RLU, and EBR in Snap
+// mode still has a clock but does not use it).
+func (s *Set) Clock() rqprov.TimestampSource { return s.impl.clock() }
+
+// LimboSize returns the number of nodes awaiting epoch reclamation (0 when
+// the technique has no epoch domain).
+func (s *Set) LimboSize() int {
+	d := s.impl.domain()
+	if d == nil {
+		return 0
+	}
+	return d.LimboSize()
+}
+
+// UnreclaimedNodes returns the count bounded by the limbo limits: limbo
+// plus neutralization quarantine (0 without an epoch domain).
+func (s *Set) UnreclaimedNodes() int64 {
+	d := s.impl.domain()
+	if d == nil {
+		return 0
+	}
+	return d.BoundedNodes()
+}
+
+// UnreclaimedBytes approximates the bytes held by unreclaimed nodes (0
+// without an epoch domain).
+func (s *Set) UnreclaimedBytes() int64 {
+	d := s.impl.domain()
+	if d == nil {
+		return 0
+	}
+	return d.LimboBytes() + d.QuarantinedBytes()
+}
+
+// HTMAborts returns the cumulative emulated-HTM abort count (0 unless the
+// set runs the EBR technique in HTM mode).
+func (s *Set) HTMAborts() uint64 { return s.impl.htmAborts() }
 
 // NewThread registers a goroutine with the set, panicking when every thread
 // slot is held by a live thread. Prefer TryNewThread where running out of
@@ -427,20 +415,12 @@ func (s *Set) NewThread() *Thread {
 // TryNewThread is NewThread. The returned Thread must only be used by a
 // single goroutine.
 func (s *Set) TryNewThread() (*Thread, error) {
-	var pt *rqprov.Thread
-	if s.prov != nil {
-		var err error
-		pt, err = s.prov.TryRegister()
-		if err != nil {
-			return nil, err
-		}
+	tt, err := s.impl.newThread()
+	if err != nil {
+		return nil, err
 	}
-	th := &Thread{set: s, impl: s.impl.newThread(pt), pt: pt,
-		mtid: int(s.mtids.Add(1)) - 1}
-	if pt != nil {
-		th.tr = pt.TraceRing()
-	}
-	return th, nil
+	return &Thread{set: s, impl: tt, pt: tt.providerThread(),
+		tr: tt.traceRing(), mtid: int(s.mtids.Add(1)) - 1}, nil
 }
 
 // Close releases the thread's slot for reuse by a future NewThread or
@@ -449,11 +429,12 @@ func (s *Set) TryNewThread() (*Thread, error) {
 // epoch (its abandoned limbo nodes are reclaimed by the orphan sweep once
 // they age out). Idempotent; a no-op for RLU sets. After Close the handle
 // must not be used again.
-func (t *Thread) Close() {
-	if t.pt != nil {
-		t.pt.Deregister()
-	}
-}
+func (t *Thread) Close() { t.impl.close() }
+
+// ID returns the thread's registration index within its set (-1 when the
+// technique does not number threads, e.g. RLU). Stable for the lifetime of
+// the handle; reused after Close.
+func (t *Thread) ID() int { return t.impl.id() }
 
 // guard is deferred by every public operation: a panic that unwinds
 // data-structure code mid-operation (a bug, or fault injection in the chaos
@@ -463,9 +444,7 @@ func (t *Thread) Close() {
 // the panic continues to the caller, who may keep using the thread.
 func (t *Thread) guard() {
 	if r := recover(); r != nil {
-		if t.pt != nil {
-			t.pt.Abort()
-		}
+		t.impl.abort()
 		panic(r)
 	}
 }
@@ -476,10 +455,7 @@ func (t *Thread) guard() {
 // when the write must be shed; TryInsert/TryDelete convert that into an
 // error return.
 func (t *Thread) admitUpdate() {
-	if t.pt == nil {
-		return
-	}
-	if err := t.pt.AdmitUpdate(); err != nil {
+	if err := t.impl.admitUpdate(); err != nil {
 		panic(err)
 	}
 }
@@ -606,13 +582,8 @@ func (t *Thread) RangeQuery(low, high int64) []KV {
 }
 
 // LastRQTimestamp returns the linearization timestamp of this thread's most
-// recent range query (provider-based techniques only; 0 otherwise).
-func (t *Thread) LastRQTimestamp() uint64 {
-	if t.pt == nil {
-		return 0
-	}
-	return t.pt.LastRQTS()
-}
+// recent range query (timestamp-based techniques only; 0 otherwise).
+func (t *Thread) LastRQTimestamp() uint64 { return t.impl.lastRQTS() }
 
 // LimboVisitedLast returns how many limbo-list nodes this thread's most
 // recent range query visited (provider-based techniques only).
@@ -643,9 +614,13 @@ func (t *Thread) BagsSweptTotal() uint64 {
 	return t.pt.BagsSweptTotal()
 }
 
-// ProviderThread exposes the underlying provider thread handle (nil for
-// RLU) for advanced uses such as the validation harness.
-func (t *Thread) ProviderThread() *rqprov.Thread { return t.pt }
+// ProviderThread exposes the underlying EBR provider thread handle.
+//
+// Deprecated: ProviderThread is an EBR-only escape hatch kept for
+// compatibility; it returns nil for every other technique (Bundle) and for
+// RLU. Use the technique-neutral Thread accessors instead (ID,
+// LastRQTimestamp, LimboVisitedLast, BagsSkippedTotal, BagsSweptTotal).
+func (t *Thread) ProviderThread() *rqprov.Thread { return t.impl.providerThread() }
 
 // ---------------------------------------------------------------------------
 // Adapters

@@ -17,7 +17,7 @@ var allStructures = []ebrrq.DataStructure{
 	ebrrq.LFBST, ebrrq.Citrus, ebrrq.ABTree, ebrrq.BSlack,
 }
 
-var allTechniques = []ebrrq.Technique{
+var allTechniques = []ebrrq.Mode{
 	ebrrq.Unsafe, ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree, ebrrq.Snap, ebrrq.RLU,
 }
 
@@ -187,7 +187,7 @@ func TestMetricsDisabledNoRegistry(t *testing.T) {
 // publish/claim/consume handoffs across goroutines.
 func TestCombineConcurrentSmoke(t *testing.T) {
 	for _, d := range []ebrrq.DataStructure{ebrrq.LFList, ebrrq.SkipList} {
-		for _, tech := range []ebrrq.Technique{ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree} {
+		for _, tech := range []ebrrq.Mode{ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree} {
 			t.Run(d.String()+"/"+tech.String(), func(t *testing.T) {
 				s, err := ebrrq.NewWithOptions(d, tech, 6,
 					ebrrq.Options{CombineUpdates: true, CombineBatch: 4})

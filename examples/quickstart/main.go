@@ -68,5 +68,23 @@ func main() {
 	if v, ok := main0.Contains(100); ok {
 		fmt.Printf("Contains(100) = %d\n", v)
 	}
+
+	// The same API runs other range-query techniques. Options.Technique
+	// selects bundled references — per-link timestamped version lists —
+	// instead of the paper's EBR provider; the set's behavior and the
+	// linearizability guarantee are identical, only the mechanism (and
+	// its performance profile, see EXPERIMENTS.md) differs.
+	bset, err := ebrrq.NewWithOptions(ebrrq.LazyList, ebrrq.Lock, 1,
+		ebrrq.Options{Technique: ebrrq.Bundle})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bth := bset.NewThread()
+	for k := int64(0); k < 20; k++ {
+		bth.Insert(k, k*3)
+	}
+	bres := bth.RangeQuery(5, 14)
+	fmt.Printf("bundle technique rq@ts=%d: %d keys\n", bth.LastRQTimestamp(), len(bres))
+	bth.Close()
 	fmt.Println("done")
 }

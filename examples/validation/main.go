@@ -49,7 +49,7 @@ func main() {
 	}
 
 	rqThread := set.NewThread()
-	pid := rqThread.ProviderThread().ID()
+	pid := rqThread.ID()
 	r := rand.New(rand.NewSource(99))
 	deadline := time.Now().Add(300 * time.Millisecond)
 	for time.Now().Before(deadline) {
@@ -66,6 +66,27 @@ func main() {
 		log.Fatalf("validation FAILED: %v", err)
 	}
 	fmt.Println("all range queries returned exactly the keys present at their timestamps")
+
+	// The same replay validation works for the bundle technique: bundled
+	// sets record updates and linearize queries on the same shared clock,
+	// so one checker covers any technique.
+	bchk := validate.NewChecker(2)
+	bset, err := ebrrq.NewWithOptions(ebrrq.SkipList, ebrrq.Lock, 2,
+		ebrrq.Options{Technique: ebrrq.Bundle, Recorder: bchk})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bth := bset.NewThread()
+	for k := int64(0); k < 64; k++ {
+		bth.Insert(k, k)
+	}
+	bres := bth.RangeQuery(10, 40)
+	bchk.AddRQ(bth.ID(), bth.LastRQTimestamp(), 10, 40, bres)
+	if err := bchk.Check(); err != nil {
+		log.Fatalf("bundle validation FAILED: %v", err)
+	}
+	fmt.Printf("bundle technique: %d-key range query validated at ts=%d\n",
+		len(bres), bth.LastRQTimestamp())
 
 	// Now corrupt one result on purpose and watch the checker object.
 	bad := validate.NewChecker(1)

@@ -20,12 +20,12 @@ func FuzzSetAgainstModel(f *testing.F) {
 
 	type pair struct {
 		d ebrrq.DataStructure
-		t ebrrq.Technique
+		t ebrrq.Mode
 	}
 	var ps []pair
 	for _, d := range []ebrrq.DataStructure{ebrrq.LFList, ebrrq.LazyList,
 		ebrrq.SkipList, ebrrq.LFBST, ebrrq.Citrus, ebrrq.ABTree} {
-		for _, t := range []ebrrq.Technique{ebrrq.Lock, ebrrq.LockFree, ebrrq.Snap, ebrrq.RLU} {
+		for _, t := range []ebrrq.Mode{ebrrq.Lock, ebrrq.LockFree, ebrrq.Snap, ebrrq.RLU} {
 			if ebrrq.Supported(d, t) {
 				ps = append(ps, pair{d, t})
 			}

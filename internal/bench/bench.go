@@ -34,11 +34,17 @@ func RQOnly(size int64) Mix { return Mix{RQPct: 100, RQSize: size} }
 // TrialCfg configures one timed trial.
 type TrialCfg struct {
 	DS       ebrrq.DataStructure
-	Tech     ebrrq.Technique
+	Tech     ebrrq.Mode
 	KeyRange int64 // keys drawn uniformly from [0, KeyRange)
 	Threads  []Mix // one worker per entry
 	Duration time.Duration
 	Seed     int64
+
+	// Technique selects the range-query algorithm family (nil = EBR, the
+	// paper's provider; ebrrq.Bundle = bundled references). With Bundle
+	// the Tech mode only names the benchmark cell — the bundled structures
+	// use their own locking.
+	Technique ebrrq.Technique
 
 	// Shards > 1 runs the trial against an ebrrq.Sharded set partitioning
 	// [0, KeyRange) across that many shards on one shared clock; 0 or 1
@@ -203,7 +209,8 @@ func RunTrial(cfg TrialCfg) (Result, error) {
 	if cfg.Shards > 1 {
 		sh, err := ebrrq.NewShardedWithOptions(cfg.DS, cfg.Tech, len(cfg.Threads)+1,
 			cfg.Shards, ebrrq.ShardedOptions{
-				Metrics: reg, Trace: cfg.Trace,
+				Technique: cfg.Technique,
+				Metrics:   reg, Trace: cfg.Trace,
 				KeyMin: 0, KeyMax: cfg.KeyRange - 1,
 				CombineUpdates: cfg.Combine, CombineBatch: cfg.CombineBatch})
 		if err != nil {
@@ -212,39 +219,39 @@ func RunTrial(cfg TrialCfg) (Result, error) {
 		newHandle = func() opHandle { return sh.NewThread() }
 		limboSize = func() (n int) {
 			for i := 0; i < sh.Shards(); i++ {
-				n += sh.Shard(i).Provider().Domain().LimboSize()
+				n += sh.Shard(i).LimboSize()
 			}
 			return n
 		}
 		limboGauges = func() (nodes, bytes int64) {
 			for i := 0; i < sh.Shards(); i++ {
-				d := sh.Shard(i).Provider().Domain()
-				nodes += d.BoundedNodes()
-				bytes += d.LimboBytes() + d.QuarantinedBytes()
+				n, b := sh.Shard(i).UnreclaimedNodes(), sh.Shard(i).UnreclaimedBytes()
+				nodes += n
+				bytes += b
 			}
 			return nodes, bytes
 		}
 		htmAborts = func() (n uint64) {
 			for i := 0; i < sh.Shards(); i++ {
-				n += sh.Shard(i).Provider().HTMAborts()
+				n += sh.Shard(i).HTMAborts()
 			}
 			return n
 		}
 	} else {
 		set, err := ebrrq.NewWithOptions(cfg.DS, cfg.Tech, len(cfg.Threads)+1,
-			ebrrq.Options{Metrics: reg, Trace: cfg.Trace,
+			ebrrq.Options{Technique: cfg.Technique,
+				Metrics: reg, Trace: cfg.Trace,
 				CombineUpdates: cfg.Combine, CombineBatch: cfg.CombineBatch})
 		if err != nil {
 			return Result{}, err
 		}
 		newHandle = func() opHandle { return set.NewThread() }
-		if p := set.Provider(); p != nil {
-			limboSize = func() int { return p.Domain().LimboSize() }
+		if set.Domain() != nil {
+			limboSize = set.LimboSize
 			limboGauges = func() (nodes, bytes int64) {
-				d := p.Domain()
-				return d.BoundedNodes(), d.LimboBytes() + d.QuarantinedBytes()
+				return set.UnreclaimedNodes(), set.UnreclaimedBytes()
 			}
-			htmAborts = p.HTMAborts
+			htmAborts = set.HTMAborts
 		}
 	}
 	prefill(newHandle(), cfg.KeyRange, cfg.Seed)
@@ -479,12 +486,12 @@ func Table(header Row, rows []Row) string {
 	return out
 }
 
-// TechniquesFor lists the techniques applicable to a structure in the
+// ModesFor lists the techniques applicable to a structure in the
 // paper's presentation order.
-func TechniquesFor(d ebrrq.DataStructure) []ebrrq.Technique {
-	all := []ebrrq.Technique{ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree,
+func ModesFor(d ebrrq.DataStructure) []ebrrq.Mode {
+	all := []ebrrq.Mode{ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree,
 		ebrrq.RLU, ebrrq.Snap, ebrrq.Unsafe}
-	var out []ebrrq.Technique
+	var out []ebrrq.Mode
 	for _, t := range all {
 		if ebrrq.Supported(d, t) {
 			out = append(out, t)

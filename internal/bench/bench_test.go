@@ -94,7 +94,7 @@ func TestRQBenchTraceSplits(t *testing.T) {
 	var dump bytes.Buffer
 	rep, err := RunRQBench(RQBenchCfg{
 		DSs:   []ebrrq.DataStructure{ebrrq.SkipList},
-		Techs: []ebrrq.Technique{ebrrq.LockFree}, Threads: []int{2},
+		Techs: []ebrrq.Mode{ebrrq.LockFree}, Threads: []int{2},
 		Trials: 1, Duration: 30 * time.Millisecond, Scale: 100,
 		RQPcts: []int{50}, Combine: []bool{false},
 		TraceDump: &dump,
@@ -126,7 +126,7 @@ func TestRQBenchTraceSplits(t *testing.T) {
 func TestRQBenchNoTrace(t *testing.T) {
 	rep, err := RunRQBench(RQBenchCfg{
 		DSs:   []ebrrq.DataStructure{ebrrq.SkipList},
-		Techs: []ebrrq.Technique{ebrrq.LockFree}, Threads: []int{1},
+		Techs: []ebrrq.Mode{ebrrq.LockFree}, Threads: []int{1},
 		Trials: 1, Duration: 20 * time.Millisecond, Scale: 100,
 		RQPcts: []int{50}, Combine: []bool{false},
 		NoTrace: true,
@@ -148,7 +148,7 @@ func TestRQBenchNoTrace(t *testing.T) {
 func TestRQBenchCombineCell(t *testing.T) {
 	rep, err := RunRQBench(RQBenchCfg{
 		DSs:   []ebrrq.DataStructure{ebrrq.SkipList},
-		Techs: []ebrrq.Technique{ebrrq.Lock}, Threads: []int{4},
+		Techs: []ebrrq.Mode{ebrrq.Lock}, Threads: []int{4},
 		Trials: 1, Duration: 30 * time.Millisecond, Scale: 100,
 		RQPcts: []int{0}, Combine: []bool{true},
 		NoTrace: true,
@@ -171,6 +171,67 @@ func TestRQBenchCombineCell(t *testing.T) {
 	}
 	if pt.UpdatesPerUs <= 0 {
 		t.Fatalf("no update throughput: %+v", pt)
+	}
+}
+
+// TestRQBenchTechniqueCells: listing [EBR, Bundle] emits an interleaved
+// A/B pair per cell; the bundle point collapses the mode dimension (one
+// cell anchored at the first supported mode, even with two modes listed),
+// carries the technique key suffix, and skips combined variants.
+func TestRQBenchTechniqueCells(t *testing.T) {
+	rep, err := RunRQBench(RQBenchCfg{
+		DSs:   []ebrrq.DataStructure{ebrrq.LazyList},
+		Techs: []ebrrq.Mode{ebrrq.Lock, ebrrq.LockFree}, Threads: []int{2},
+		Trials: 1, Duration: 30 * time.Millisecond, Scale: 100,
+		RQPcts: []int{10}, Combine: []bool{false, true},
+		Techniques: []ebrrq.Technique{ebrrq.EBR, ebrrq.Bundle},
+		NoTrace:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 modes × (EBR solo + EBR combined) + 1 anchored bundle solo cell.
+	var ebrPts, bundlePts, bundleComb int
+	for _, pt := range rep.Points {
+		switch pt.Technique {
+		case "ebr":
+			ebrPts++
+			if strings.Contains(pt.Key(), "/bundle") {
+				t.Fatalf("EBR point has bundle key: %q", pt.Key())
+			}
+		case "bundle":
+			bundlePts++
+			if pt.Combine {
+				bundleComb++
+			}
+			if !strings.HasSuffix(pt.Key(), "/bundle") {
+				t.Fatalf("bundle key missing suffix: %q", pt.Key())
+			}
+			if pt.Tech != ebrrq.Lock.String() {
+				t.Fatalf("bundle cell anchored at %q, want first supported mode %q",
+					pt.Tech, ebrrq.Lock.String())
+			}
+		default:
+			t.Fatalf("unexpected technique %q", pt.Technique)
+		}
+		if pt.Ops == 0 {
+			t.Fatalf("cell %s ran no ops", pt.Key())
+		}
+	}
+	if ebrPts != 4 || bundlePts != 1 || bundleComb != 0 {
+		t.Fatalf("got %d EBR / %d bundle (%d combined) points, want 4 / 1 / 0",
+			ebrPts, bundlePts, bundleComb)
+	}
+}
+
+// TestTechniqueAnchor pins the mode-collapse rule.
+func TestTechniqueAnchor(t *testing.T) {
+	modes := []ebrrq.Mode{ebrrq.Unsafe, ebrrq.LockFree, ebrrq.Lock}
+	if m, ok := techniqueAnchor(modes, ebrrq.SkipList, ebrrq.Bundle); !ok || m != ebrrq.LockFree {
+		t.Fatalf("anchor = %v/%v, want LockFree (first supported)", m, ok)
+	}
+	if _, ok := techniqueAnchor(modes, ebrrq.LFBST, ebrrq.Bundle); ok {
+		t.Fatal("anchor found for an unsupported structure")
 	}
 }
 

@@ -133,7 +133,7 @@ func (c ExpCfg) Exp1() {
 			header.Cells = append(header.Cells, fmt.Sprintf("n=%d", n))
 		}
 		var rows []Row
-		for _, tech := range TechniquesFor(ds) {
+		for _, tech := range ModesFor(ds) {
 			row := Row{Label: tech.String()}
 			for _, n := range c.threadCounts() {
 				threads := make([]Mix, 0, n+1)
@@ -161,7 +161,7 @@ func (c ExpCfg) Exp1b() {
 	c.printf("# and total limbo size, workload as in Experiment 1.\n")
 	for _, ds := range AllStructures {
 		k := DefaultKeyRange(ds, c.Scale)
-		for _, tech := range []ebrrq.Technique{ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree} {
+		for _, tech := range []ebrrq.Mode{ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree} {
 			n := c.Threads
 			threads := make([]Mix, 0, n+1)
 			for i := 0; i < n; i++ {
@@ -202,7 +202,7 @@ func (c ExpCfg) Exp2() {
 			header.Cells = append(header.Cells, fmt.Sprintf("rq=%d", rq))
 		}
 		var rows []Row
-		for _, tech := range TechniquesFor(ds) {
+		for _, tech := range ModesFor(ds) {
 			row := Row{Label: tech.String()}
 			for _, rq := range rqCounts {
 				threads := make([]Mix, 0, upd+rq)
@@ -246,7 +246,7 @@ func (c ExpCfg) Exp3() {
 			header.Cells = append(header.Cells, fmt.Sprintf("rq=%d", s))
 		}
 		var rqRows, updRows []Row
-		for _, tech := range TechniquesFor(ds) {
+		for _, tech := range ModesFor(ds) {
 			rqRow := Row{Label: tech.String()}
 			updRow := Row{Label: tech.String()}
 			for _, s := range sizes {
@@ -278,14 +278,14 @@ func (c ExpCfg) Exp4() {
 	c.printf("# Experiment 4 (Figure 8): %d threads, each 10%% ins / 10%% del /\n", c.Threads)
 	c.printf("# 78%% search / 2%% RQ(100). Total ops/us.\n\n")
 	header := Row{Label: "structure"}
-	for _, t := range []ebrrq.Technique{ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree, ebrrq.RLU, ebrrq.Snap, ebrrq.Unsafe} {
+	for _, t := range []ebrrq.Mode{ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree, ebrrq.RLU, ebrrq.Snap, ebrrq.Unsafe} {
 		header.Cells = append(header.Cells, t.String())
 	}
 	var rows []Row
 	for _, ds := range AllStructures {
 		k := DefaultKeyRange(ds, c.Scale)
 		row := Row{Label: ds.String()}
-		for _, tech := range []ebrrq.Technique{ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree, ebrrq.RLU, ebrrq.Snap, ebrrq.Unsafe} {
+		for _, tech := range []ebrrq.Mode{ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree, ebrrq.RLU, ebrrq.Snap, ebrrq.Unsafe} {
 			if !ebrrq.Supported(ds, tech) {
 				row.Cells = append(row.Cells, "-")
 				continue
@@ -315,7 +315,7 @@ func (c ExpCfg) ExpLatency() {
 		c.printf("[%s] key range %d\n", ds, k)
 		header := Row{Label: "technique", Cells: []string{"p50", "p99"}}
 		var rows []Row
-		for _, tech := range TechniquesFor(ds) {
+		for _, tech := range ModesFor(ds) {
 			threads := make([]Mix, 0, c.Threads+1)
 			for i := 0; i < c.Threads; i++ {
 				threads = append(threads, Updates5050)

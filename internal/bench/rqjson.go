@@ -32,6 +32,12 @@ type RQPoint struct {
 	// (ebrrq.Options.CombineUpdates). Combined cells carry a distinct key
 	// suffix so they never gate against solo baselines.
 	Combine bool `json:"combine,omitempty"`
+	// Technique is the range-query technique the cell ran: "ebr" (the
+	// paper's provider) or "bundle" (bundled references). Empty in
+	// baselines predating the technique dimension, which means "ebr" —
+	// EBR cells keep their historical key, bundle cells get a "/bundle"
+	// suffix and gate only against bundle baseline cells.
+	Technique string `json:"technique,omitempty"`
 
 	ElapsedMs    int64   `json:"elapsed_ms"`
 	Ops          uint64  `json:"ops"`
@@ -91,6 +97,9 @@ func (p RQPoint) Key() string {
 		// the same one: they gate only against combined baseline cells.
 		k += "/comb"
 	}
+	if p.Technique != "" && p.Technique != "ebr" {
+		k += "/" + p.Technique
+	}
 	return k
 }
 
@@ -115,8 +124,8 @@ const SingleProcNote = "gomaxprocs=1: contention-path counters (ts_shared, fence
 // RQBenchCfg parameterizes RunRQBench. Zero values select the quick
 // configuration used by `make bench-quick` and the CI bench-smoke job.
 type RQBenchCfg struct {
-	DSs   []ebrrq.DataStructure
-	Techs []ebrrq.Technique
+	DSs     []ebrrq.DataStructure
+	Techs   []ebrrq.Mode
 	Threads []int
 	// RQPcts lists the range-query percentages to sweep; the remainder of
 	// each mix splits evenly between inserts and deletes. Default
@@ -136,6 +145,15 @@ type RQBenchCfg struct {
 	// true = CombineUpdates). Default [false, true], so one invocation
 	// emits the combined-vs-solo A/B and the regression gate covers both.
 	Combine []bool
+	// Techniques lists the range-query techniques to run each cell at
+	// (nil entry = EBR). Default [EBR]. Bundle entries run only for the
+	// structures the technique supports, collapse the mode dimension (the
+	// bundled structures use their own locking — each bundle cell runs
+	// once, anchored at the first supported mode in Techs, labeled with
+	// it), and skip combined-funnel variants (an EBR-provider feature).
+	// Listing [EBR, Bundle] interleaves the A/B per cell, so both
+	// techniques of a cell see the same host conditions.
+	Techniques []ebrrq.Technique
 
 	// NoTrace disables the flight recorder (tracing is on by default: the
 	// recorder is how the per-phase RQ splits are collected, and its
@@ -152,7 +170,7 @@ func (c *RQBenchCfg) defaults() {
 		c.DSs = []ebrrq.DataStructure{ebrrq.SkipList, ebrrq.LFList}
 	}
 	if len(c.Techs) == 0 {
-		c.Techs = []ebrrq.Technique{ebrrq.Lock, ebrrq.LockFree}
+		c.Techs = []ebrrq.Mode{ebrrq.Lock, ebrrq.LockFree}
 	}
 	if len(c.Threads) == 0 {
 		c.Threads = []int{8}
@@ -180,6 +198,9 @@ func (c *RQBenchCfg) defaults() {
 	}
 	if len(c.Combine) == 0 {
 		c.Combine = []bool{false, true}
+	}
+	if len(c.Techniques) == 0 {
+		c.Techniques = []ebrrq.Technique{ebrrq.EBR}
 	}
 }
 
@@ -244,94 +265,115 @@ warmup:
 			for _, nt := range cfg.Threads {
 				for _, shards := range cfg.Shards {
 					for _, rqPct := range cfg.RQPcts {
-						for _, combine := range cfg.Combine {
-							upd := (100 - rqPct) / 2
-							mix := Mix{InsertPct: upd, DeletePct: upd,
-								RQPct: 100 - 2*upd, RQSize: cfg.RQSize}
-							threads := make([]Mix, nt)
-							for i := range threads {
-								threads[i] = mix
+						for _, tq := range cfg.Techniques {
+							if tq == nil {
+								tq = ebrrq.EBR
 							}
-							keyRange := DefaultKeyRange(ds, cfg.Scale)
-							var total Result
-							var best float64
-							for trial := 0; trial < cfg.Trials; trial++ {
-								// One recorder per trial: each trial builds a fresh
-								// set, so sharing a recorder would pile up rings with
-								// duplicate labels. The last trial's recorder feeds
-								// TraceDump.
-								var rec *trace.Recorder
-								if !cfg.NoTrace {
-									rec = trace.NewRecorder(trace.Config{EventsPerRing: 1024})
-									lastRec = rec
+							if tq != ebrrq.EBR {
+								// Non-EBR cells collapse the mode dimension: run once,
+								// anchored at (and labeled with) the first mode in
+								// Techs the technique supports for this structure.
+								anchor, ok := techniqueAnchor(cfg.Techs, ds, tq)
+								if !ok || tech != anchor {
+									continue
 								}
-								res, err := RunTrial(TrialCfg{
-									DS: ds, Tech: tech, KeyRange: keyRange,
-									Threads: threads, Duration: cfg.Duration,
-									Seed:    cfg.Seed + int64(trial)*31337,
-									Shards:  shards,
-									Trace:   rec,
-									Combine: combine,
-								})
-								if err != nil {
-									return rep, err
-								}
-								if t := res.TotalOpsPerUs(); t > best {
-									best = t
-								}
-								total.Merge(&res)
 							}
-							ptShards := 0
-							if shards > 1 {
-								ptShards = shards
-							}
-							pt := RQPoint{
-								DS: ds.String(), Tech: tech.String(), Threads: nt,
-								RQPct: mix.RQPct, RQSize: cfg.RQSize, KeyRange: keyRange,
-								Trials:           cfg.Trials,
-								Shards:           ptShards,
-								Combine:          combine,
-								ElapsedMs:        total.Elapsed.Milliseconds(),
-								Ops:              total.Ops,
-								OpsPerUs:         total.TotalOpsPerUs(),
-								BestOpsPerUs:     best,
-								UpdatesPerUs:     total.UpdatesPerUs(),
-								RQsPerUs:         total.RQsPerUs(),
-								RQP50ns:          int64(total.RQLatencyPercentile(50)),
-								RQP90ns:          int64(total.RQLatencyPercentile(90)),
-								RQP99ns:          int64(total.RQLatencyPercentile(99)),
-								LimboVisited:     total.LimboVisit,
-								PeakLimboNodes:   total.PeakLimboNodes,
-								PeakLimboBytes:   total.PeakLimboBytes,
-								TSShared:         total.Obs.Counter("ebrrq_rq_ts_shared"),
-								TSAdvanced:       total.Obs.Counter("ebrrq_rq_ts_advanced"),
-								FenceShared:      total.Obs.Counter("ebrrq_rq_fence_shared"),
-								BagsSkipped:      total.Obs.Counter("ebrrq_rq_bags_skipped"),
-								BagsSwept:        total.Obs.Counter("ebrrq_rq_bags_swept"),
-								CombineBatches:   total.Obs.Counter("ebrrq_combine_batches_total"),
-								CombineOps:       total.Obs.Counter("ebrrq_combine_ops_total"),
-								CombineFallbacks: total.Obs.Counter("ebrrq_combine_solo_fallbacks_total"),
-								RQTSWaitNs:       total.Obs.Counter("ebrrq_rq_ts_wait_ns_total"),
-								RQTraverseNs:     total.Obs.Counter("ebrrq_rq_traverse_ns_total"),
-								RQAnnounceNs:     total.Obs.Counter("ebrrq_rq_announce_ns_total"),
-								RQLimboNs:        total.Obs.Counter("ebrrq_rq_limbo_ns_total"),
-							}
-							rep.Points = append(rep.Points, pt)
-							if cfg.Out != nil {
-								fmt.Fprintf(cfg.Out,
-									"%-24s %6.3f ops/us  %6.3f rq/us  p50 %s  p99 %s  ts_shared %d  bags_skipped %d\n",
-									pt.Key(), pt.OpsPerUs, pt.RQsPerUs,
-									time.Duration(pt.RQP50ns), time.Duration(pt.RQP99ns),
-									pt.TSShared, pt.BagsSkipped)
-								if split := pt.PhaseSplit(); split != "" {
-									fmt.Fprintf(cfg.Out, "%-24s   rq phases: %s\n", "", split)
+							for _, combine := range cfg.Combine {
+								if combine && tq != ebrrq.EBR {
+									// The aggregating funnel is an EBR-provider feature;
+									// skip the variant rather than fail the matrix.
+									continue
 								}
-								if combine && pt.CombineBatches > 0 {
+								upd := (100 - rqPct) / 2
+								mix := Mix{InsertPct: upd, DeletePct: upd,
+									RQPct: 100 - 2*upd, RQSize: cfg.RQSize}
+								threads := make([]Mix, nt)
+								for i := range threads {
+									threads[i] = mix
+								}
+								keyRange := DefaultKeyRange(ds, cfg.Scale)
+								var total Result
+								var best float64
+								for trial := 0; trial < cfg.Trials; trial++ {
+									// One recorder per trial: each trial builds a fresh
+									// set, so sharing a recorder would pile up rings with
+									// duplicate labels. The last trial's recorder feeds
+									// TraceDump.
+									var rec *trace.Recorder
+									if !cfg.NoTrace {
+										rec = trace.NewRecorder(trace.Config{EventsPerRing: 1024})
+										lastRec = rec
+									}
+									res, err := RunTrial(TrialCfg{
+										DS: ds, Tech: tech, KeyRange: keyRange,
+										Threads: threads, Duration: cfg.Duration,
+										Seed:      cfg.Seed + int64(trial)*31337,
+										Shards:    shards,
+										Trace:     rec,
+										Combine:   combine,
+										Technique: tq,
+									})
+									if err != nil {
+										return rep, err
+									}
+									if t := res.TotalOpsPerUs(); t > best {
+										best = t
+									}
+									total.Merge(&res)
+								}
+								ptShards := 0
+								if shards > 1 {
+									ptShards = shards
+								}
+								pt := RQPoint{
+									DS: ds.String(), Tech: tech.String(), Threads: nt,
+									RQPct: mix.RQPct, RQSize: cfg.RQSize, KeyRange: keyRange,
+									Trials:           cfg.Trials,
+									Shards:           ptShards,
+									Combine:          combine,
+									Technique:        tq.String(),
+									ElapsedMs:        total.Elapsed.Milliseconds(),
+									Ops:              total.Ops,
+									OpsPerUs:         total.TotalOpsPerUs(),
+									BestOpsPerUs:     best,
+									UpdatesPerUs:     total.UpdatesPerUs(),
+									RQsPerUs:         total.RQsPerUs(),
+									RQP50ns:          int64(total.RQLatencyPercentile(50)),
+									RQP90ns:          int64(total.RQLatencyPercentile(90)),
+									RQP99ns:          int64(total.RQLatencyPercentile(99)),
+									LimboVisited:     total.LimboVisit,
+									PeakLimboNodes:   total.PeakLimboNodes,
+									PeakLimboBytes:   total.PeakLimboBytes,
+									TSShared:         total.Obs.Counter("ebrrq_rq_ts_shared"),
+									TSAdvanced:       total.Obs.Counter("ebrrq_rq_ts_advanced"),
+									FenceShared:      total.Obs.Counter("ebrrq_rq_fence_shared"),
+									BagsSkipped:      total.Obs.Counter("ebrrq_rq_bags_skipped"),
+									BagsSwept:        total.Obs.Counter("ebrrq_rq_bags_swept"),
+									CombineBatches:   total.Obs.Counter("ebrrq_combine_batches_total"),
+									CombineOps:       total.Obs.Counter("ebrrq_combine_ops_total"),
+									CombineFallbacks: total.Obs.Counter("ebrrq_combine_solo_fallbacks_total"),
+									RQTSWaitNs:       total.Obs.Counter("ebrrq_rq_ts_wait_ns_total"),
+									RQTraverseNs:     total.Obs.Counter("ebrrq_rq_traverse_ns_total"),
+									RQAnnounceNs:     total.Obs.Counter("ebrrq_rq_announce_ns_total"),
+									RQLimboNs:        total.Obs.Counter("ebrrq_rq_limbo_ns_total"),
+								}
+								rep.Points = append(rep.Points, pt)
+								if cfg.Out != nil {
 									fmt.Fprintf(cfg.Out,
-										"%-24s   combining: %d windows / %d ops (%.2f ops/window), %d solo fallbacks\n",
-										"", pt.CombineBatches, pt.CombineOps,
-										float64(pt.CombineOps)/float64(pt.CombineBatches),
-										pt.CombineFallbacks)
+										"%-24s %6.3f ops/us  %6.3f rq/us  p50 %s  p99 %s  ts_shared %d  bags_skipped %d\n",
+										pt.Key(), pt.OpsPerUs, pt.RQsPerUs,
+										time.Duration(pt.RQP50ns), time.Duration(pt.RQP99ns),
+										pt.TSShared, pt.BagsSkipped)
+									if split := pt.PhaseSplit(); split != "" {
+										fmt.Fprintf(cfg.Out, "%-24s   rq phases: %s\n", "", split)
+									}
+									if combine && pt.CombineBatches > 0 {
+										fmt.Fprintf(cfg.Out,
+											"%-24s   combining: %d windows / %d ops (%.2f ops/window), %d solo fallbacks\n",
+											"", pt.CombineBatches, pt.CombineOps,
+											float64(pt.CombineOps)/float64(pt.CombineBatches),
+											pt.CombineFallbacks)
+									}
 								}
 							}
 						}
@@ -516,4 +558,17 @@ func hostDrift(ratios []float64) float64 {
 		return 0.75
 	}
 	return med
+}
+
+// techniqueAnchor picks the mode a non-EBR technique cell is anchored at:
+// the first mode in techs the technique supports for ds. Bundle structures
+// bring their own synchronization, so the mode dimension collapses to a
+// single labeled cell instead of multiplying the matrix.
+func techniqueAnchor(techs []ebrrq.Mode, ds ebrrq.DataStructure, tq ebrrq.Technique) (ebrrq.Mode, bool) {
+	for _, m := range techs {
+		if tq.Supports(ds, m) {
+			return m, true
+		}
+	}
+	return 0, false
 }

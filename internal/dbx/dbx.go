@@ -88,13 +88,13 @@ type Index struct {
 }
 
 // NewIndex creates an index.
-func NewIndex(name string, ds ebrrq.DataStructure, tech ebrrq.Technique, maxThreads int) (*Index, error) {
+func NewIndex(name string, ds ebrrq.DataStructure, tech ebrrq.Mode, maxThreads int) (*Index, error) {
 	return NewIndexWithOptions(name, ds, tech, maxThreads, ebrrq.Options{})
 }
 
 // NewIndexWithOptions is NewIndex with set construction options (e.g. an
 // observability registry shared by every index of a database).
-func NewIndexWithOptions(name string, ds ebrrq.DataStructure, tech ebrrq.Technique, maxThreads int, opt ebrrq.Options) (*Index, error) {
+func NewIndexWithOptions(name string, ds ebrrq.DataStructure, tech ebrrq.Mode, maxThreads int, opt ebrrq.Options) (*Index, error) {
 	set, err := ebrrq.NewWithOptions(ds, tech, maxThreads, opt)
 	if err != nil {
 		return nil, fmt.Errorf("dbx: index %s: %w", name, err)

@@ -1,0 +1,167 @@
+// Bundled-references counterparts of the RunSequential / RunValidated
+// harness: same workloads, same reference-map and timestamp-replay
+// checking, driven through bundle.Provider threads instead of rqprov ones.
+package dstest
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ebrrq/internal/bundle"
+	"ebrrq/internal/epoch"
+	"ebrrq/internal/validate"
+)
+
+// BundleSet is the interface both bundled structures (bundle.List,
+// bundle.SkipList) implement.
+type BundleSet interface {
+	Insert(t *bundle.Thread, key, value int64) bool
+	Delete(t *bundle.Thread, key int64) bool
+	Contains(t *bundle.Thread, key int64) (int64, bool)
+	RangeQuery(t *bundle.Thread, low, high int64) []epoch.KV
+}
+
+// BundleBuilder constructs a bundled set attached to a provider.
+type BundleBuilder func(p *bundle.Provider) BundleSet
+
+// RunBundleSequential is RunSequential for a bundled structure.
+func RunBundleSequential(t *testing.T, build BundleBuilder, cfg SequentialCfg) {
+	t.Helper()
+	if cfg.Ops == 0 {
+		cfg.Ops = 20000
+	}
+	if cfg.KeySpace == 0 {
+		cfg.KeySpace = 200
+	}
+	p := bundle.New(bundle.Config{MaxThreads: 2})
+	s := build(p)
+	th := p.Register()
+	model := map[int64]int64{}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	for i := 0; i < cfg.Ops; i++ {
+		k := rng.Int63n(cfg.KeySpace)
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			v := rng.Int63n(1 << 30)
+			want := false
+			if _, ok := model[k]; !ok {
+				model[k] = v
+				want = true
+			}
+			if got := s.Insert(th, k, v); got != want {
+				t.Fatalf("op %d: Insert(%d)=%v, want %v", i, k, got, want)
+			}
+		case 4, 5, 6:
+			_, want := model[k]
+			delete(model, k)
+			if got := s.Delete(th, k); got != want {
+				t.Fatalf("op %d: Delete(%d)=%v, want %v", i, k, got, want)
+			}
+		case 7, 8:
+			wantV, want := model[k]
+			gotV, got := s.Contains(th, k)
+			if got != want || (want && gotV != wantV) {
+				t.Fatalf("op %d: Contains(%d)=(%d,%v), want (%d,%v)", i, k, gotV, got, wantV, want)
+			}
+		default:
+			lo := rng.Int63n(cfg.KeySpace)
+			hi := lo + rng.Int63n(cfg.KeySpace/4+1)
+			got := s.RangeQuery(th, lo, hi)
+			checkRangeAgainstModel(t, i, model, lo, hi, got)
+		}
+	}
+	got := s.RangeQuery(th, 0, cfg.KeySpace)
+	checkRangeAgainstModel(t, cfg.Ops, model, 0, cfg.KeySpace, got)
+
+	// The single-thread run quiesces here: one clock advance (the final
+	// range query's) plus a full sweep must collapse every bundle to its
+	// boundary entry.
+	p.Clock().AdvanceOrAdopt()
+	p.CollectGarbage()
+}
+
+// RunBundleValidated is RunValidated for a bundled structure: concurrent
+// mixed workload, every range query checked by timestamp replay.
+func RunBundleValidated(t *testing.T, build BundleBuilder, cfg StressCfg) {
+	t.Helper()
+	if cfg.Updaters == 0 {
+		cfg.Updaters = 4
+	}
+	if cfg.RQThreads == 0 {
+		cfg.RQThreads = 2
+	}
+	if cfg.KeySpace == 0 {
+		cfg.KeySpace = 256
+	}
+	if cfg.RQRange == 0 {
+		cfg.RQRange = 32
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 300 * time.Millisecond
+	}
+	n := cfg.Updaters + cfg.RQThreads + 1
+	checker := validate.NewChecker(n)
+	p := bundle.New(bundle.Config{MaxThreads: n, Recorder: checker})
+	s := build(p)
+
+	pre := p.Register()
+	rng := rand.New(rand.NewSource(cfg.Seed + 99))
+	for inserted := int64(0); inserted < cfg.KeySpace/2; {
+		k := rng.Int63n(cfg.KeySpace)
+		if s.Insert(pre, k, k*10) {
+			inserted++
+		}
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Updaters; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			th := p.Register()
+			r := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				k := r.Int63n(cfg.KeySpace)
+				if r.Intn(2) == 0 {
+					s.Insert(th, k, r.Int63n(1<<30))
+				} else {
+					s.Delete(th, k)
+				}
+			}
+		}(cfg.Seed + int64(w))
+	}
+	for w := 0; w < cfg.RQThreads; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			th := p.Register()
+			r := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				width := cfg.RQRange
+				lo := int64(0)
+				if width >= cfg.KeySpace {
+					width = cfg.KeySpace
+				} else {
+					lo = r.Int63n(cfg.KeySpace - width)
+				}
+				res := s.RangeQuery(th, lo, lo+width-1)
+				checker.AddRQ(th.ID(), th.LastRQTS(), lo, lo+width-1, res)
+			}
+		}(cfg.Seed + 1000 + int64(w))
+	}
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+
+	if checker.RQs() == 0 {
+		t.Fatal("dstest: no range queries executed")
+	}
+	if err := checker.Check(); err != nil {
+		t.Fatalf("validation failed after %d events / %d rqs: %v", checker.Events(), checker.RQs(), err)
+	}
+}

@@ -1,0 +1,149 @@
+package dstest_test
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ebrrq/internal/bundle"
+	"ebrrq/internal/dstest"
+	"ebrrq/internal/epoch"
+	"ebrrq/internal/validate"
+)
+
+func TestBundleListSequential(t *testing.T) {
+	dstest.RunBundleSequential(t, func(p *bundle.Provider) dstest.BundleSet {
+		return bundle.NewList(p)
+	}, dstest.SequentialCfg{Seed: 1})
+}
+
+func TestBundleSkipListSequential(t *testing.T) {
+	dstest.RunBundleSequential(t, func(p *bundle.Provider) dstest.BundleSet {
+		return bundle.NewSkipList(p)
+	}, dstest.SequentialCfg{Seed: 2, KeySpace: 1000})
+}
+
+func TestBundleListValidated(t *testing.T) {
+	dstest.RunBundleValidated(t, func(p *bundle.Provider) dstest.BundleSet {
+		return bundle.NewList(p)
+	}, dstest.StressCfg{Seed: 3})
+}
+
+func TestBundleSkipListValidated(t *testing.T) {
+	dstest.RunBundleValidated(t, func(p *bundle.Provider) dstest.BundleSet {
+		return bundle.NewSkipList(p)
+	}, dstest.StressCfg{Seed: 4, KeySpace: 1024, RQRange: 128})
+}
+
+// bundleLenSet adds the bundle-length probe both structures export.
+type bundleLenSet interface {
+	dstest.BundleSet
+	MaxBundleLen() int
+}
+
+// TestChaosBundleGCPinnedTS is the bundle technique's stall column: one
+// thread pins an old timestamp (cross-shard style: epoch pin, then a
+// private clock advance it replays on every query) while updaters hammer
+// the structure. While the pin holds, bundles must retain every version
+// the pinned queries dereference — all queries at the pinned timestamp
+// must return the identical snapshot, and the replay checker must accept
+// them. After the pin is dropped, one clock advance plus one full GC
+// sweep must collapse every bundle back to its boundary entry.
+func TestChaosBundleGCPinnedTS(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(p *bundle.Provider) bundleLenSet
+	}{
+		{"lazylist", func(p *bundle.Provider) bundleLenSet { return bundle.NewList(p) }},
+		{"skiplist", func(p *bundle.Provider) bundleLenSet { return bundle.NewSkipList(p) }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			const (
+				updaters = 4
+				keySpace = 128
+			)
+			n := updaters + 2
+			checker := validate.NewChecker(n)
+			p := bundle.New(bundle.Config{MaxThreads: n, Recorder: checker})
+			s := tc.build(p)
+
+			pre := p.Register()
+			rng := rand.New(rand.NewSource(42))
+			for inserted := 0; inserted < keySpace/2; {
+				if s.Insert(pre, rng.Int63n(keySpace), 7) {
+					inserted++
+				}
+			}
+
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			for w := 0; w < updaters; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					th := p.Register()
+					r := rand.New(rand.NewSource(seed))
+					for !stop.Load() {
+						k := r.Int63n(keySpace)
+						if r.Intn(2) == 0 {
+							s.Insert(th, k, r.Int63n(1<<30))
+						} else {
+							s.Delete(th, k)
+						}
+					}
+				}(int64(100 + w))
+			}
+
+			// Pin: epoch first (publishes the version floor), then the
+			// timestamp — the shard router's ordering.
+			th := p.Register()
+			th.PinEpoch()
+			ts, _ := p.Clock().AdvanceOrAdopt()
+
+			var first []epoch.KV
+			deadline := time.Now().Add(150 * time.Millisecond)
+			for rqs := 0; time.Now().Before(deadline) || rqs == 0; rqs++ {
+				th.PinTimestamp(ts)
+				res := s.RangeQuery(th, 0, keySpace)
+				checker.AddRQ(th.ID(), ts, 0, keySpace, res)
+				if first == nil {
+					first = append([]epoch.KV(nil), res...)
+					continue
+				}
+				if len(res) != len(first) {
+					t.Fatalf("pinned RQ drifted: %d keys, first saw %d", len(res), len(first))
+				}
+				for i := range res {
+					if res[i] != first[i] {
+						t.Fatalf("pinned RQ drifted at %d: %v != %v", i, res[i], first[i])
+					}
+				}
+			}
+
+			stop.Store(true)
+			wg.Wait()
+
+			grown := s.MaxBundleLen()
+			th.UnpinEpoch()
+			// One advance moves the clock past every stamp issued during the
+			// run, so the sweep's floor strictly dominates them.
+			p.Clock().AdvanceOrAdopt()
+			pruned := p.CollectGarbage()
+			after := s.MaxBundleLen()
+			t.Logf("max bundle length: %d pinned, %d after unpin+GC (%d entries pruned, %d live)",
+				grown, after, pruned, p.EntriesLive())
+			if after > 2 {
+				t.Fatalf("bundle length not bounded after unpin+GC: %d", after)
+			}
+
+			if err := checker.Check(); err != nil {
+				t.Fatalf("validation failed after %d events / %d rqs: %v",
+					checker.Events(), checker.RQs(), err)
+			}
+		})
+	}
+}

@@ -356,7 +356,7 @@ func TestChaosStallTraceDump(t *testing.T) {
 
 	dir := dstest.TraceDumpDir(t)
 	dumped := make(chan string, 1)
-	wd := set.Provider().Domain().StartWatchdog(epoch.WatchdogConfig{
+	wd := set.Domain().StartWatchdog(epoch.WatchdogConfig{
 		Interval:   time.Millisecond,
 		StallAfter: 20 * time.Millisecond,
 		OnStall: func([]epoch.Stall) {

@@ -12,7 +12,7 @@ func pairs() [][2]any {
 	var out [][2]any
 	for _, d := range []ebrrq.DataStructure{ebrrq.LFList, ebrrq.LazyList,
 		ebrrq.SkipList, ebrrq.LFBST, ebrrq.Citrus, ebrrq.ABTree, ebrrq.BSlack} {
-		for _, t := range []ebrrq.Technique{ebrrq.Unsafe, ebrrq.Lock,
+		for _, t := range []ebrrq.Mode{ebrrq.Unsafe, ebrrq.Lock,
 			ebrrq.HTM, ebrrq.LockFree, ebrrq.Snap, ebrrq.RLU} {
 			if ebrrq.Supported(d, t) {
 				out = append(out, [2]any{d, t})
@@ -24,7 +24,7 @@ func pairs() [][2]any {
 
 func TestEmptySetBehaviour(t *testing.T) {
 	for _, p := range pairs() {
-		d, tech := p[0].(ebrrq.DataStructure), p[1].(ebrrq.Technique)
+		d, tech := p[0].(ebrrq.DataStructure), p[1].(ebrrq.Mode)
 		t.Run(d.String()+"/"+tech.String(), func(t *testing.T) {
 			s, err := ebrrq.New(d, tech, 1)
 			if err != nil {
@@ -49,7 +49,7 @@ func TestEmptySetBehaviour(t *testing.T) {
 
 func TestSingletonRanges(t *testing.T) {
 	for _, p := range pairs() {
-		d, tech := p[0].(ebrrq.DataStructure), p[1].(ebrrq.Technique)
+		d, tech := p[0].(ebrrq.DataStructure), p[1].(ebrrq.Mode)
 		t.Run(d.String()+"/"+tech.String(), func(t *testing.T) {
 			s, err := ebrrq.New(d, tech, 1)
 			if err != nil {
@@ -78,7 +78,7 @@ func TestSingletonRanges(t *testing.T) {
 
 func TestBoundaryKeys(t *testing.T) {
 	for _, p := range pairs() {
-		d, tech := p[0].(ebrrq.DataStructure), p[1].(ebrrq.Technique)
+		d, tech := p[0].(ebrrq.DataStructure), p[1].(ebrrq.Mode)
 		t.Run(d.String()+"/"+tech.String(), func(t *testing.T) {
 			s, err := ebrrq.New(d, tech, 1)
 			if err != nil {
@@ -111,7 +111,7 @@ func TestBoundaryKeys(t *testing.T) {
 // back out of the per-thread pools.
 func TestReinsertionCycles(t *testing.T) {
 	for _, p := range pairs() {
-		d, tech := p[0].(ebrrq.DataStructure), p[1].(ebrrq.Technique)
+		d, tech := p[0].(ebrrq.DataStructure), p[1].(ebrrq.Mode)
 		t.Run(d.String()+"/"+tech.String(), func(t *testing.T) {
 			s, err := ebrrq.New(d, tech, 1)
 			if err != nil {
@@ -140,7 +140,7 @@ func TestReinsertionCycles(t *testing.T) {
 // TestInsertDoesNotOverwrite pins down the no-overwrite contract.
 func TestInsertDoesNotOverwrite(t *testing.T) {
 	for _, p := range pairs() {
-		d, tech := p[0].(ebrrq.DataStructure), p[1].(ebrrq.Technique)
+		d, tech := p[0].(ebrrq.DataStructure), p[1].(ebrrq.Mode)
 		t.Run(d.String()+"/"+tech.String(), func(t *testing.T) {
 			s, err := ebrrq.New(d, tech, 1)
 			if err != nil {
@@ -168,7 +168,7 @@ func TestInsertDoesNotOverwrite(t *testing.T) {
 func TestMonotonicInsertThenReverseDelete(t *testing.T) {
 	const n = 800
 	for _, p := range pairs() {
-		d, tech := p[0].(ebrrq.DataStructure), p[1].(ebrrq.Technique)
+		d, tech := p[0].(ebrrq.DataStructure), p[1].(ebrrq.Mode)
 		t.Run(d.String()+"/"+tech.String(), func(t *testing.T) {
 			s, err := ebrrq.New(d, tech, 1)
 			if err != nil {

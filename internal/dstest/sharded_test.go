@@ -23,21 +23,29 @@ func shardedDuration() time.Duration {
 func TestShardedValidated(t *testing.T) {
 	type cell struct {
 		ds     ebrrq.DataStructure
-		tech   ebrrq.Technique
+		tech   ebrrq.Mode
+		tq     ebrrq.Technique // nil = EBR
 		shards int
 	}
 	cells := []cell{
-		{ebrrq.SkipList, ebrrq.Lock, 2},
-		{ebrrq.SkipList, ebrrq.HTM, 2},
-		{ebrrq.SkipList, ebrrq.LockFree, 2},
-		{ebrrq.SkipList, ebrrq.LockFree, 4},
-		{ebrrq.LFList, ebrrq.Lock, 2},
-		{ebrrq.LFList, ebrrq.LockFree, 2},
+		{ebrrq.SkipList, ebrrq.Lock, nil, 2},
+		{ebrrq.SkipList, ebrrq.HTM, nil, 2},
+		{ebrrq.SkipList, ebrrq.LockFree, nil, 2},
+		{ebrrq.SkipList, ebrrq.LockFree, nil, 4},
+		{ebrrq.LFList, ebrrq.Lock, nil, 2},
+		{ebrrq.LFList, ebrrq.LockFree, nil, 2},
+		{ebrrq.LazyList, ebrrq.Lock, ebrrq.Bundle, 2},
+		{ebrrq.SkipList, ebrrq.Lock, ebrrq.Bundle, 2},
+		{ebrrq.SkipList, ebrrq.Lock, ebrrq.Bundle, 4},
 	}
 	for _, c := range cells {
 		c := c
-		t.Run(c.ds.String()+"/"+c.tech.String()+"/s"+string(rune('0'+c.shards)), func(t *testing.T) {
-			runShardedValidated(t, c.ds, c.tech, c.shards, dstest.StressCfg{
+		name := c.ds.String() + "/" + c.tech.String() + "/s" + string(rune('0'+c.shards))
+		if c.tq != nil {
+			name += "/" + c.tq.String()
+		}
+		t.Run(name, func(t *testing.T) {
+			runShardedValidated(t, c.ds, c.tech, c.tq, c.shards, dstest.StressCfg{
 				Duration: shardedDuration(),
 				Seed:     int64(c.shards) * 7919,
 			})
@@ -112,7 +120,7 @@ func TestShardedStallCrossShardRQ(t *testing.T) {
 	if ok := <-updDone; !ok {
 		t.Fatal("wedged Delete(20) reported failure on a present key")
 	}
-	checker.AddRQ(rq.ShardThread(0).ProviderThread().ID(), rq.LastRQTimestamp(), 0, 99, res)
+	checker.AddRQ(rq.ShardThread(0).ID(), rq.LastRQTimestamp(), 0, 99, res)
 	upd.Close()
 	rq.Close()
 	main.Close()
@@ -197,7 +205,7 @@ func TestShardedStallLockFreeBoundedWaitRQ(t *testing.T) {
 	if _, still := main.Contains(20); still {
 		t.Fatal("key 20 still present after its delete completed")
 	}
-	checker.AddRQ(rq.ShardThread(0).ProviderThread().ID(), rq.LastRQTimestamp(), 0, 99, res)
+	checker.AddRQ(rq.ShardThread(0).ID(), rq.LastRQTimestamp(), 0, 99, res)
 	upd.Close()
 	rq.Close()
 	main.Close()

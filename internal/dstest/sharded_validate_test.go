@@ -34,7 +34,7 @@ import (
 // RQ threads cycle through three width classes so every run exercises all
 // router paths: cfg.RQRange (typically inside one shard), KeySpace/2 (spans
 // shards), and a periodic full iteration over [0, KeySpace).
-func runShardedValidated(t *testing.T, ds ebrrq.DataStructure, tech ebrrq.Technique, shards int, cfg dstest.StressCfg) {
+func runShardedValidated(t *testing.T, ds ebrrq.DataStructure, tech ebrrq.Mode, tq ebrrq.Technique, shards int, cfg dstest.StressCfg) {
 	t.Helper()
 	if tech == ebrrq.Unsafe {
 		t.Fatal("runShardedValidated requires a linearizable technique")
@@ -57,9 +57,10 @@ func runShardedValidated(t *testing.T, ds ebrrq.DataStructure, tech ebrrq.Techni
 	n := cfg.Updaters + cfg.RQThreads + 1 // +1: the prefill thread stays registered
 	checker := validate.NewChecker(shards * n)
 	s, err := ebrrq.NewShardedWithOptions(ds, tech, n, shards, ebrrq.ShardedOptions{
-		Recorder: checker,
-		KeyMin:   0,
-		KeyMax:   cfg.KeySpace - 1,
+		Technique: tq,
+		Recorder:  checker,
+		KeyMin:    0,
+		KeyMax:    cfg.KeySpace - 1,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -100,7 +101,7 @@ func runShardedValidated(t *testing.T, ds ebrrq.DataStructure, tech ebrrq.Techni
 			defer wg.Done()
 			th := s.NewThread()
 			defer th.Close()
-			tid := th.ShardThread(0).ProviderThread().ID()
+			tid := th.ShardThread(0).ID()
 			r := rand.New(rand.NewSource(seed))
 			for i := 0; !stop.Load(); i++ {
 				var width int64

@@ -18,7 +18,7 @@ import (
 //	C4: for every order, the order-line index holds exactly O_OL_CNT lines.
 //	C5: every new-order entry refers to an existing, undelivered order.
 func TestConsistencyConditions(t *testing.T) {
-	for _, tech := range []ebrrq.Technique{ebrrq.Lock, ebrrq.LockFree} {
+	for _, tech := range []ebrrq.Mode{ebrrq.Lock, ebrrq.LockFree} {
 		t.Run(tech.String(), func(t *testing.T) {
 			cfg := Config{Warehouses: 2, Scale: 100, DS: ebrrq.ABTree, Tech: tech,
 				MaxThreads: 6, Seed: 11}

@@ -125,7 +125,7 @@ type Config struct {
 	Warehouses int
 	Scale      int // divisor on customers/orders/items per the spec (1 = full)
 	DS         ebrrq.DataStructure
-	Tech       ebrrq.Technique
+	Tech       ebrrq.Mode
 	MaxThreads int
 	Seed       int64
 	// Metrics, if non-nil, instruments every index of the database with

@@ -9,7 +9,7 @@ import (
 	"ebrrq/internal/dbx"
 )
 
-func smallCfg(ds ebrrq.DataStructure, tech ebrrq.Technique) Config {
+func smallCfg(ds ebrrq.DataStructure, tech ebrrq.Mode) Config {
 	return Config{Warehouses: 2, Scale: 100, DS: ds, Tech: tech, MaxThreads: 6, Seed: 7}
 }
 
@@ -163,7 +163,7 @@ func TestDeliveryDrainsNewOrders(t *testing.T) {
 // TestConcurrentDrive runs the full mix concurrently on several index
 // techniques.
 func TestConcurrentDrive(t *testing.T) {
-	for _, tech := range []ebrrq.Technique{ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree, ebrrq.Unsafe} {
+	for _, tech := range []ebrrq.Mode{ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree, ebrrq.Unsafe} {
 		t.Run(tech.String(), func(t *testing.T) {
 			cfg := smallCfg(ebrrq.ABTree, tech)
 			cfg.MaxThreads = 5

@@ -362,6 +362,6 @@ func (w *Worker) stockLevel() {
 // the Snap-collector, which the paper excludes from Figure 9 as it was
 // 1000x slower — it must snapshot entire indexes per range query; it is
 // still runnable here for demonstration at tiny scales).
-func Supported(ds ebrrq.DataStructure, tech ebrrq.Technique) bool {
+func Supported(ds ebrrq.DataStructure, tech ebrrq.Mode) bool {
 	return ebrrq.Supported(ds, tech)
 }

@@ -131,6 +131,12 @@ const (
 	// result back. arg1 = the batch timestamp, arg2 = ns from publication
 	// to consumption.
 	EvCombineWait
+	// EvBundleEnter: a bundle-technique range query began its as-of-ts
+	// traversal. arg1 = ts, arg2 = low key.
+	EvBundleEnter
+	// EvBundleGC: a bundle garbage-collection pass finished. arg1 = the
+	// reclamation floor (min active timestamp), arg2 = entries pruned.
+	EvBundleGC
 )
 
 // Op kinds carried in EvOpBegin/EvOpEnd arg1.
@@ -173,6 +179,7 @@ var typeNames = map[EventType]string{
 	EvQuarantineDrain: "quarantine_drain", EvBackpressure: "backpressure",
 	EvCombineBegin: "combine_begin", EvCombineEnd: "combine_end",
 	EvCombineWait: "combine_wait",
+	EvBundleEnter: "bundle_enter", EvBundleGC: "bundle_gc",
 }
 
 // String returns the event type's snake_case name.

@@ -68,7 +68,7 @@ func (r *panickyRecorder) RecordUpdate(tid int, ts uint64, inodes, dnodes []*epo
 // mode, future range queries). The guard aborts the provider state, the
 // panic propagates, and both the panicked thread and its peers keep working.
 func TestPanicInRecorderLeavesSetUsable(t *testing.T) {
-	for _, tech := range []ebrrq.Technique{ebrrq.Lock, ebrrq.LockFree} {
+	for _, tech := range []ebrrq.Mode{ebrrq.Lock, ebrrq.LockFree} {
 		s, err := ebrrq.NewWithOptions(ebrrq.LFList, tech, 2,
 			ebrrq.Options{Recorder: &panickyRecorder{n: 3}})
 		if err != nil {
@@ -102,12 +102,12 @@ func TestPanicInRecorderLeavesSetUsable(t *testing.T) {
 		}
 
 		// Reclamation still works: churn and check the epoch advances.
-		base := s.Provider().Domain().Advances()
+		base := s.Domain().Advances()
 		for i := int64(0); i < 2048; i++ {
 			th.Insert(100+i%64, i)
 			th.Delete(100 + i%64)
 		}
-		if s.Provider().Domain().Advances() == base {
+		if s.Domain().Advances() == base {
 			t.Fatalf("%v: epoch wedged after recorder panic", tech)
 		}
 	}

@@ -27,7 +27,8 @@ import (
 // through one lock, one announcement table and one limbo machinery.
 type Sharded struct {
 	ds     DataStructure
-	tech   Technique
+	tech   Mode
+	tq     Technique
 	clock  *rqprov.SharedClock
 	shards []*Set
 	// starts[i] is the lowest key owned by shard i: shard i covers
@@ -40,6 +41,12 @@ type Sharded struct {
 
 // ShardedOptions tunes NewShardedWithOptions.
 type ShardedOptions struct {
+	// Technique selects the range-query algorithm family for every shard
+	// (nil = EBR); see Options.Technique. All shards run one technique —
+	// they linearize on one clock, and the cross-shard router relies on
+	// the technique's pin contract uniformly.
+	Technique Technique
+
 	// Recorder receives every timestamped update across all shards
 	// (validation harness support). Thread ids are offset per shard —
 	// shard k reports tid + k*maxThreads — so the ids the recorder sees
@@ -106,19 +113,23 @@ type shardedMetrics struct {
 // NewSharded creates a key-range-partitioned set with the given number of
 // shards; maxThreads bounds the registered threads (each thread holds one
 // handle per shard).
-func NewSharded(d DataStructure, t Technique, maxThreads, shards int) (*Sharded, error) {
+func NewSharded(d DataStructure, t Mode, maxThreads, shards int) (*Sharded, error) {
 	return NewShardedWithOptions(d, t, maxThreads, shards, ShardedOptions{})
 }
 
 // NewShardedWithOptions is NewSharded with tuning options.
-func NewShardedWithOptions(d DataStructure, t Technique, maxThreads, shards int, opt ShardedOptions) (*Sharded, error) {
+func NewShardedWithOptions(d DataStructure, t Mode, maxThreads, shards int, opt ShardedOptions) (*Sharded, error) {
+	tq := opt.Technique
+	if tq == nil {
+		tq = EBR
+	}
 	switch t {
 	case Unsafe, Lock, HTM, LockFree:
 	default:
-		return nil, fmt.Errorf("ebrrq: sharding requires a timestamp-based technique, not %v", t)
+		return nil, fmt.Errorf("ebrrq: sharding requires a timestamp-based mode, not %v", t)
 	}
-	if !Supported(d, t) {
-		return nil, fmt.Errorf("ebrrq: %v does not support the %v technique", d, t)
+	if !tq.Supports(d, t) {
+		return nil, fmt.Errorf("ebrrq: the %v technique does not support %v in %v mode", tq, d, t)
 	}
 	if maxThreads <= 0 {
 		return nil, fmt.Errorf("ebrrq: maxThreads must be positive")
@@ -138,7 +149,7 @@ func NewShardedWithOptions(d DataStructure, t Technique, maxThreads, shards int,
 		return nil, fmt.Errorf("ebrrq: %d shards over a %d-key range", shards, span)
 	}
 	s := &Sharded{
-		ds: d, tech: t,
+		ds: d, tech: t, tq: tq,
 		clock:  rqprov.NewSharedClock(),
 		shards: make([]*Set, shards),
 		starts: make([]int64, shards),
@@ -170,6 +181,7 @@ func NewShardedWithOptions(d DataStructure, t Technique, maxThreads, shards int,
 	}
 	for i := range s.shards {
 		o := Options{
+			Technique:      opt.Technique,
 			Metrics:        opt.Metrics,
 			Clock:          s.clock,
 			WaitBudget:     opt.WaitBudget,
@@ -213,8 +225,11 @@ func (o offsetRecorder) RecordUpdate(tid int, ts uint64, inodes, dnodes []*epoch
 // DataStructure returns the per-shard structure.
 func (s *Sharded) DataStructure() DataStructure { return s.ds }
 
-// Technique returns the per-shard RQ technique.
-func (s *Sharded) Technique() Technique { return s.tech }
+// Mode returns the per-shard EBR linearization mode.
+func (s *Sharded) Mode() Mode { return s.tech }
+
+// Technique returns the shards' range-query technique (EBR or Bundle).
+func (s *Sharded) Technique() Technique { return s.tq }
 
 // Shards returns the shard count.
 func (s *Sharded) Shards() int { return len(s.shards) }
@@ -263,7 +278,7 @@ func (s *Sharded) Health() obs.HealthCheck {
 		Name: "epoch",
 		Check: func() error {
 			for i, sh := range s.shards {
-				if err := sh.Provider().Health().Check(); err != nil {
+				if err := sh.Health().Check(); err != nil {
 					return fmt.Errorf("shard %d: %w", i, err)
 				}
 			}
@@ -271,7 +286,7 @@ func (s *Sharded) Health() obs.HealthCheck {
 		},
 		Warn: func() error {
 			for i, sh := range s.shards {
-				if err := sh.Provider().Health().Warn(); err != nil {
+				if err := sh.Health().Warn(); err != nil {
 					return fmt.Errorf("shard %d: %w", i, err)
 				}
 			}
@@ -286,7 +301,7 @@ func (s *Sharded) Health() obs.HealthCheck {
 func (s *Sharded) StartWatchdogs(cfg epoch.WatchdogConfig) (stop func()) {
 	wds := make([]*epoch.Watchdog, len(s.shards))
 	for i, sh := range s.shards {
-		wds[i] = sh.Provider().Domain().StartWatchdog(cfg)
+		wds[i] = sh.Domain().StartWatchdog(cfg)
 	}
 	return func() {
 		for _, w := range wds {
@@ -445,11 +460,11 @@ func (t *ShardedThread) RangeQuery(low, high int64) []KV {
 		// that shard's provider state (clearing its own pin), and the defer
 		// releases the rest.
 		for i := s1; i <= s2; i++ {
-			t.ths[i].pt.PinEpoch()
+			t.ths[i].impl.pinEpoch()
 		}
 		defer func() {
 			for i := s1; i <= s2; i++ {
-				t.ths[i].pt.UnpinEpoch()
+				t.ths[i].impl.unpinEpoch()
 			}
 		}()
 		ts, _ = s.clock.AdvanceOrAdopt()
@@ -472,7 +487,7 @@ func (t *ShardedThread) RangeQuery(low, high int64) []KV {
 			// Pinned immediately before the shard's query, so a panic
 			// inside it (whose guard clears the shard's provider state,
 			// pin included) leaves no stale pin on any shard.
-			th.pt.PinTimestamp(ts)
+			th.impl.pinTimestamp(ts)
 		}
 		out = append(out, th.RangeQuery(lo, hi)...)
 	}

@@ -80,7 +80,7 @@ func TestShardedRejects(t *testing.T) {
 // a reference map, mixing point ops with range queries that land inside one
 // shard, across two, and across all shards.
 func TestShardedSequential(t *testing.T) {
-	techs := []ebrrq.Technique{ebrrq.Unsafe, ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree}
+	techs := []ebrrq.Mode{ebrrq.Unsafe, ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree}
 	for _, tech := range techs {
 		t.Run(tech.String(), func(t *testing.T) {
 			const keyMax = 1000
@@ -218,8 +218,8 @@ func TestShardedSharedClock(t *testing.T) {
 		t.Fatalf("cross-shard RQ timestamp = %d, want >= 2", ts)
 	}
 	for i := 0; i < s.Shards(); i++ {
-		if got := s.Shard(i).Provider().Timestamp(); got != ts {
-			t.Errorf("shard %d provider timestamp = %d, want shared %d", i, got, ts)
+		if got := s.Shard(i).Clock().Load(); got != ts {
+			t.Errorf("shard %d clock timestamp = %d, want shared %d", i, got, ts)
 		}
 	}
 	th.RangeQuery(0, 10) // single-shard on shard 0
@@ -236,7 +236,7 @@ func TestShardedSharedClock(t *testing.T) {
 // under all techniques; run with -race this is the quick cross-shard data
 // race check (full linearizability validation lives in internal/dstest).
 func TestShardedConcurrentSmoke(t *testing.T) {
-	for _, tech := range []ebrrq.Technique{ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree} {
+	for _, tech := range []ebrrq.Mode{ebrrq.Lock, ebrrq.HTM, ebrrq.LockFree} {
 		t.Run(tech.String(), func(t *testing.T) {
 			const nt, keyMax = 4, 400
 			s, err := ebrrq.NewShardedWithOptions(ebrrq.SkipList, tech, nt, 4,

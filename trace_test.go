@@ -23,7 +23,7 @@ func countTypes(s *trace.Snapshot) map[trace.EventType]int {
 // event and per-phase events for the range query, and retire events from the
 // deletes.
 func TestSetTraceEndToEnd(t *testing.T) {
-	for _, tech := range []ebrrq.Technique{ebrrq.Lock, ebrrq.LockFree} {
+	for _, tech := range []ebrrq.Mode{ebrrq.Lock, ebrrq.LockFree} {
 		t.Run(tech.String(), func(t *testing.T) {
 			rec := trace.NewRecorder(trace.Config{EventsPerRing: 256})
 			s, err := ebrrq.NewWithOptions(ebrrq.SkipList, tech, 2, ebrrq.Options{Trace: rec})
